@@ -1,0 +1,181 @@
+//! One Criterion benchmark per paper table/figure.
+//!
+//! Each benchmark times a miniaturized slice of the corresponding
+//! experiment (small app set, short budget) so `cargo bench` finishes in
+//! minutes while still exercising every figure's code path. The full
+//! regenerators are the `spb-experiments` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::{bench_apps, bench_config, bench_sb_bound_apps};
+use spb_mem::prefetch::PrefetcherKind;
+use spb_sim::config::PolicyKind;
+use spb_sim::run_app;
+use spb_sim::suite::SuiteResult;
+use std::hint::black_box;
+
+fn bench_grid_slice(c: &mut Criterion, name: &str, sb: usize, policy: PolicyKind) {
+    c.bench_function(name, |b| {
+        let apps = bench_sb_bound_apps();
+        let cfg = bench_config().with_sb(sb).with_policy(policy);
+        b.iter(|| black_box(SuiteResult::run(&apps, &cfg)));
+    });
+}
+
+fn figures(c: &mut Criterion) {
+    // Table I: configuration dump (static — trivially fast, kept for
+    // one-bench-per-table completeness).
+    c.bench_function("tab1_config_dump", |b| {
+        b.iter(|| black_box(spb_experiments::tab1::run(spb_experiments::Budget::Quick)));
+    });
+
+    // Figure 1: SB-stall ratios under at-commit across SB sizes.
+    c.bench_function("fig01_sb_stall_ratio", |b| {
+        let apps = bench_sb_bound_apps();
+        b.iter(|| {
+            for sb in [14usize, 56] {
+                let cfg = bench_config().with_sb(sb);
+                black_box(SuiteResult::run(&apps, &cfg));
+            }
+        });
+    });
+
+    // Figure 3: region attribution of SB stalls.
+    c.bench_function("fig03_region_attribution", |b| {
+        let app = &bench_sb_bound_apps()[0];
+        let cfg = bench_config();
+        b.iter(|| {
+            let r = run_app(app, &cfg);
+            black_box(r.cpu.sb_stall_by_region)
+        });
+    });
+
+    // Figures 5/6: the policy × SB-size grid (perf vs ideal).
+    bench_grid_slice(
+        c,
+        "fig05_policy_grid_at_commit_sb14",
+        14,
+        PolicyKind::AtCommit,
+    );
+    bench_grid_slice(
+        c,
+        "fig06_policy_grid_spb_sb14",
+        14,
+        PolicyKind::spb_default(),
+    );
+
+    // Figure 7: energy model evaluation on top of a run.
+    c.bench_function("fig07_energy_breakdown", |b| {
+        let app = &bench_apps()[0];
+        let cfg = bench_config();
+        b.iter(|| {
+            let r = run_app(app, &cfg);
+            black_box(r.energy.total_nj())
+        });
+    });
+
+    // Figures 8/9: SB-stall normalization across policies.
+    c.bench_function("fig08_sb_stall_normalization", |b| {
+        let apps = bench_sb_bound_apps();
+        b.iter(|| {
+            let base = SuiteResult::run(&apps, &bench_config().with_sb(14));
+            let spb = SuiteResult::run(
+                &apps,
+                &bench_config()
+                    .with_sb(14)
+                    .with_policy(PolicyKind::spb_default()),
+            );
+            black_box(spb_experiments::fig08::norm_sb_stalls(&spb, &base, true))
+        });
+    });
+    bench_grid_slice(c, "fig09_per_app_sb_stalls", 28, PolicyKind::spb_default());
+
+    // Figure 10: issue-stall split (same grid data, different view).
+    bench_grid_slice(c, "fig10_issue_stall_split", 14, PolicyKind::IdealSb);
+
+    // Figure 11: prefetch outcome classification.
+    c.bench_function("fig11_prefetch_classification", |b| {
+        let app = &bench_sb_bound_apps()[0];
+        let cfg = bench_config().with_policy(PolicyKind::spb_default());
+        b.iter(|| {
+            let r = run_app(app, &cfg);
+            black_box((r.mem.prefetch_successful, r.mem.prefetch_late))
+        });
+    });
+
+    // Figures 12/13: traffic and tag-check overheads.
+    c.bench_function("fig12_fig13_traffic_overheads", |b| {
+        let app = &bench_sb_bound_apps()[1];
+        b.iter(|| {
+            let ac = run_app(app, &bench_config());
+            let spb = run_app(app, &bench_config().with_policy(PolicyKind::spb_default()));
+            black_box((
+                spb.mem.l1_tag_checks as f64 / ac.mem.l1_tag_checks.max(1) as f64,
+                spb.mem.prefetch_requests,
+            ))
+        });
+    });
+
+    // Figures 14/15: L1D-miss-pending execution stalls.
+    c.bench_function("fig14_fig15_l1d_miss_pending", |b| {
+        let app = &bench_sb_bound_apps()[0];
+        b.iter(|| {
+            let r = run_app(app, &bench_config().with_sb(14));
+            black_box(r.topdown.l1d_miss_pending_stalls())
+        });
+    });
+
+    // Figure 16: SPB under an aggressive generic prefetcher.
+    c.bench_function("fig16_aggressive_prefetcher", |b| {
+        let app = &bench_sb_bound_apps()[0];
+        let mut cfg = bench_config().with_policy(PolicyKind::spb_default());
+        cfg.mem.prefetcher = PrefetcherKind::Aggressive;
+        b.iter(|| black_box(run_app(app, &cfg)));
+    });
+
+    // Figure 17: a Table II core (Silvermont) configuration.
+    c.bench_function("fig17_silvermont_core", |b| {
+        let app = &bench_sb_bound_apps()[0];
+        let mut cfg = bench_config().with_policy(PolicyKind::spb_default());
+        cfg.core = spb_cpu::CoreConfig::silvermont();
+        b.iter(|| black_box(run_app(app, &cfg)));
+    });
+
+    // Figure 18: an 8-thread PARSEC run over the coherent hierarchy.
+    c.bench_function("fig18_parsec_8_threads", |b| {
+        let app = spb_trace::profile::AppProfile::by_name("dedup").unwrap();
+        let mut cfg = bench_config().with_policy(PolicyKind::spb_default());
+        cfg.warmup_uops = 5_000;
+        cfg.measure_uops = 30_000;
+        b.iter(|| black_box(run_app(&app, &cfg)));
+    });
+
+    // §IV-C sensitivity: one off-default N.
+    c.bench_function("sens_n_window_24", |b| {
+        let app = &bench_sb_bound_apps()[0];
+        let cfg = bench_config().with_sb(14).with_policy(PolicyKind::Spb {
+            n: 24,
+            dedupe: true,
+        });
+        b.iter(|| black_box(run_app(app, &cfg)));
+    });
+
+    // SB-shrink claim: the 20-entry SPB configuration.
+    c.bench_function("sb20_shrunk_store_buffer", |b| {
+        let app = &bench_sb_bound_apps()[1];
+        let cfg = bench_config()
+            .with_sb(20)
+            .with_policy(PolicyKind::spb_default());
+        b.iter(|| black_box(run_app(app, &cfg)));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = figures
+}
+criterion_main!(benches);

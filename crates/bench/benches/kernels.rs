@@ -1,0 +1,110 @@
+//! Throughput benchmarks for the simulator's hot kernels.
+//!
+//! These are the numbers that determine how much evaluation a wall-clock
+//! budget buys: simulated µops per second through the full core + memory
+//! stack, raw cache-array and detector operation rates, and the burst
+//! queue's drain cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spb_core::detector::{SpbConfig, SpbDetector};
+use spb_cpu::policy::AtCommitPolicy;
+use spb_cpu::{config::CoreConfig, core::Core};
+use spb_mem::cache::{CacheArray, CacheGeometry};
+use spb_mem::line::CoherenceState;
+use spb_mem::{MemoryConfig, MemorySystem};
+use spb_trace::profile::AppProfile;
+use std::hint::black_box;
+
+fn kernels(c: &mut Criterion) {
+    // Full-stack simulation throughput (µops/second).
+    let mut g = c.benchmark_group("sim_throughput");
+    const UOPS: u64 = 100_000;
+    g.throughput(Throughput::Elements(UOPS));
+    for name in ["x264", "povray"] {
+        g.bench_function(format!("core_cycle_loop_{name}"), |b| {
+            b.iter(|| {
+                let app = AppProfile::by_name(name).unwrap();
+                let mut mem = MemorySystem::new(MemoryConfig::default());
+                let mut core = Core::new(
+                    0,
+                    CoreConfig::skylake(),
+                    Box::new(app.build(1)),
+                    Box::new(AtCommitPolicy::new()),
+                );
+                black_box(core.run_until_committed(&mut mem, UOPS))
+            });
+        });
+    }
+    g.finish();
+
+    // SPB detector: pure observe throughput on a contiguous stream.
+    let mut g = c.benchmark_group("spb_detector");
+    const STORES: u64 = 1_000_000;
+    g.throughput(Throughput::Elements(STORES));
+    g.bench_function("observe_contiguous_stream", |b| {
+        b.iter(|| {
+            let mut d = SpbDetector::new(SpbConfig::default());
+            let mut triggers = 0u64;
+            for i in 0..STORES {
+                if d.observe_store(i * 8).is_some() {
+                    triggers += 1;
+                }
+            }
+            black_box(triggers)
+        });
+    });
+    g.finish();
+
+    // Cache array: lookup/insert mix at L1 geometry.
+    let mut g = c.benchmark_group("cache_array");
+    const OPS: u64 = 1_000_000;
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("l1_lookup_insert_mix", |b| {
+        b.iter(|| {
+            let mut l1 = CacheArray::new(CacheGeometry::new(32 * 1024, 8));
+            let mut hits = 0u64;
+            let mut x = 1234567u64;
+            for _ in 0..OPS {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let block = x % 2048; // 4x the L1 capacity: plenty of misses
+                if l1.lookup(block).is_some() {
+                    hits += 1;
+                    l1.touch(block);
+                } else {
+                    l1.insert(block, CoherenceState::Exclusive, 0, None);
+                }
+            }
+            black_box(hits)
+        });
+    });
+    g.finish();
+
+    // Burst queue drain: enqueue a page burst and tick it dry.
+    let mut g = c.benchmark_group("burst_queue");
+    g.bench_function("enqueue_and_drain_page", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            mem.enqueue_burst(0, 0..64u64);
+            let mut now = 0;
+            while mem.burst_queue_len(0) > 0 {
+                mem.tick(now);
+                now += 1;
+            }
+            black_box(now)
+        });
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = kernels
+}
+criterion_main!(benches);

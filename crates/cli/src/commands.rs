@@ -1,0 +1,326 @@
+//! Command execution for `spbsim`.
+
+use crate::{find_app, CliError, Command, RunOpts};
+use spb_sim::suite::SuiteResult;
+use spb_stats::{chart, Table};
+use spb_trace::file::{record, TraceReader};
+use spb_trace::profile::AppProfile;
+use spb_trace::{OpKind, TraceSource};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Executes a parsed command; returns the process exit code.
+pub fn execute(cmd: Command) -> Result<(), CliError> {
+    match cmd {
+        Command::Help => {
+            print!("{}", crate::USAGE);
+            Ok(())
+        }
+        Command::Apps => apps(),
+        Command::Run { app, cfg, chart } => run(&app, &cfg, chart),
+        Command::Suite { suite, cfg } => suite_cmd(&suite, &cfg),
+        Command::Record {
+            app,
+            ops,
+            out,
+            seed,
+        } => record_cmd(&app, ops, &out, seed),
+        Command::TraceInfo { path } => trace_info(&path),
+        Command::Replay { trace, cfg } => replay(&trace, &cfg),
+        Command::Sweep {
+            app,
+            sbs,
+            policies,
+            cfg,
+            chart,
+        } => sweep(&app, &sbs, &policies, &cfg, chart),
+        Command::Experiment { name, quick } => experiment(&name, quick),
+    }
+}
+
+fn sweep(
+    app: &str,
+    sbs: &[usize],
+    policies: &[spb_sim::PolicyKind],
+    opts: &RunOpts,
+    with_chart: bool,
+) -> Result<(), CliError> {
+    let profile = find_app(app)?;
+    let labels: Vec<String> = policies.iter().map(|p| p.label()).collect();
+    let cols: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let mut cycles_t = Table::new(format!("{app} — cycles"), &cols);
+    let mut stall_t = Table::new(format!("{app} — SB-stall %"), &cols);
+    for &sb in sbs {
+        let mut cycles_row = Vec::new();
+        let mut stall_row = Vec::new();
+        for &policy in policies {
+            let mut cfg = opts.to_sim_config().with_sb(sb);
+            cfg.policy = policy;
+            let r = spb_sim::run_app(&profile, &cfg);
+            cycles_row.push(r.cycles as f64);
+            stall_row.push(r.sb_stall_ratio() * 100.0);
+        }
+        cycles_t.push_row(format!("SB{sb}"), &cycles_row);
+        stall_t.push_row(format!("SB{sb}"), &stall_row);
+    }
+    cycles_t.set_precision(0);
+    stall_t.set_precision(1);
+    println!("{cycles_t}");
+    println!("{stall_t}");
+    if with_chart {
+        print!("{}", chart::render_all(&stall_t, None));
+    }
+    Ok(())
+}
+
+fn apps() -> Result<(), CliError> {
+    println!("SPEC CPU 2017 profiles:");
+    for p in AppProfile::spec2017() {
+        println!(
+            "  {:<12} {}",
+            p.name(),
+            if p.is_sb_bound() { "SB-bound" } else { "" }
+        );
+    }
+    println!("\nPARSEC profiles (8 threads):");
+    for p in AppProfile::parsec() {
+        println!(
+            "  {:<14} {}",
+            p.name(),
+            if p.is_sb_bound() { "SB-bound" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn run(app: &str, opts: &RunOpts, with_chart: bool) -> Result<(), CliError> {
+    let profile = find_app(app)?;
+    let result = spb_sim::run_app(&profile, &opts.to_sim_config());
+    print!("{}", spb_sim::report::render(&result));
+    if with_chart {
+        let mut t = Table::new("headline", &["value"]);
+        t.push_row("IPC", &[result.ipc()]);
+        t.push_row("SB-stall %", &[result.sb_stall_ratio() * 100.0]);
+        let pf_ok: u64 = result.mem.prefetch_successful.iter().sum();
+        let pf_all: u64 = result.mem.prefetch_requests.iter().sum();
+        t.push_row(
+            "pf success %",
+            &[100.0 * pf_ok as f64 / pf_all.max(1) as f64],
+        );
+        if let Some(art) = chart::render_column(&t, "value", None) {
+            println!("\n{art}");
+        }
+    }
+    Ok(())
+}
+
+fn suite_cmd(suite: &str, opts: &RunOpts) -> Result<(), CliError> {
+    let apps = match suite {
+        "spec" => AppProfile::spec2017(),
+        "parsec" => AppProfile::parsec(),
+        other => {
+            return Err(CliError(format!(
+                "unknown suite {other:?} (expected spec | parsec)"
+            )))
+        }
+    };
+    let results = SuiteResult::run(&apps, &opts.to_sim_config());
+    let mut t = Table::new(
+        format!("{suite} suite — {} @ SB{}", opts.policy.label(), opts.sb),
+        &["cycles", "IPC", "SB-stall %"],
+    );
+    for r in &results.runs {
+        t.push_row(
+            r.app.clone(),
+            &[r.cycles as f64, r.ipc(), r.sb_stall_ratio() * 100.0],
+        );
+    }
+    t.set_precision(2);
+    println!("{t}");
+    println!(
+        "geomean IPC: all {:.3}, SB-bound {:.3}",
+        results.geomean_all(|r| r.ipc()),
+        results.geomean_sb_bound(|r| r.ipc())
+    );
+    Ok(())
+}
+
+fn record_cmd(app: &str, ops: u64, out: &str, seed: u64) -> Result<(), CliError> {
+    let profile = find_app(app)?;
+    let mut source = profile.build(seed);
+    let file = File::create(out)?;
+    let n = record(&mut source, BufWriter::new(file), ops)?;
+    println!("recorded {n} ops of {app} (seed {seed}) to {out}");
+    Ok(())
+}
+
+fn trace_info(path: &str) -> Result<(), CliError> {
+    let file = File::open(path)?;
+    let mut reader = TraceReader::new(BufReader::new(file))
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    println!("{path}: {} ops", reader.len());
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut branches = 0u64;
+    let mut alu = 0u64;
+    let mut store_blocks = std::collections::BTreeSet::new();
+    while let Some(op) = reader.next_op() {
+        match op.kind() {
+            OpKind::Load { .. } => loads += 1,
+            OpKind::Store { .. } => {
+                stores += 1;
+                if let Some(b) = op.block() {
+                    store_blocks.insert(b);
+                }
+            }
+            OpKind::Branch { .. } => branches += 1,
+            _ => alu += 1,
+        }
+    }
+    let total = (loads + stores + branches + alu).max(1);
+    println!(
+        "  alu      {alu:>10} ({:>5.1}%)",
+        100.0 * alu as f64 / total as f64
+    );
+    println!(
+        "  loads    {loads:>10} ({:>5.1}%)",
+        100.0 * loads as f64 / total as f64
+    );
+    println!(
+        "  stores   {stores:>10} ({:>5.1}%)",
+        100.0 * stores as f64 / total as f64
+    );
+    println!(
+        "  branches {branches:>10} ({:>5.1}%)",
+        100.0 * branches as f64 / total as f64
+    );
+    println!("  distinct store blocks: {}", store_blocks.len());
+    Ok(())
+}
+
+fn replay(path: &str, opts: &RunOpts) -> Result<(), CliError> {
+    use spb_cpu::core::Core;
+    use spb_mem::MemorySystem;
+    let file = File::open(path)?;
+    let reader = TraceReader::new(BufReader::new(file))
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let cfg = opts.to_sim_config();
+    let mut mem = MemorySystem::new(cfg.mem.clone());
+    let mut core_cfg = cfg.core;
+    if let Some(sb) = cfg.policy.sb_override() {
+        core_cfg.sb_entries = sb;
+    }
+    let mut core = Core::new(0, core_cfg, Box::new(reader), cfg.policy.build());
+    let mut now = 0u64;
+    while !core.is_drained() {
+        mem.tick(now);
+        core.cycle(&mut mem, now);
+        now += 1;
+    }
+    mem.finalize_stats();
+    println!(
+        "replayed {path}: {} µops in {now} cycles (IPC {:.3}, SB stalls {:.1}%)",
+        core.committed_uops(),
+        core.committed_uops() as f64 / now as f64,
+        core.topdown().sb_stall_ratio() * 100.0
+    );
+    Ok(())
+}
+
+fn experiment(name: &str, quick: bool) -> Result<(), CliError> {
+    use spb_experiments as exp;
+    let budget = if quick {
+        exp::Budget::Quick
+    } else {
+        exp::Budget::Paper
+    };
+    let tables = match name {
+        "tab1" => exp::tab1::run(budget),
+        "fig01" => exp::fig01::run(budget),
+        "fig03" => exp::fig03::run(budget),
+        "fig05" => exp::fig05::run(budget),
+        "fig06" => exp::fig06::run(budget),
+        "fig07" => exp::fig07::run(budget),
+        "fig08" => exp::fig08::run(budget),
+        "fig09" => exp::fig09::run(budget),
+        "fig10" => exp::fig10::run(budget),
+        "fig11" => exp::fig11::run(budget),
+        "fig12" => exp::fig12::run(budget),
+        "fig13" => exp::fig13::run(budget),
+        "fig14" => exp::fig14::run(budget),
+        "fig15" => exp::fig15::run(budget),
+        "fig16" => exp::fig16::run(budget),
+        "fig17" => exp::fig17::run(budget),
+        "fig18" => exp::fig18::run(budget),
+        "sens_n" => exp::sens_n::run(budget),
+        "sb20" => exp::sb20::run(budget),
+        "ablations" => exp::ablations::run(budget),
+        "smt" | "smt_validation" => exp::smt_validation::run(budget),
+        "variance" => exp::variance::run(budget),
+        "spatial" => exp::spatial::run(budget),
+        "coalescing" => exp::coalescing::run(budget),
+        other => {
+            return Err(CliError(format!(
+                "unknown experiment {other:?}; known: tab1, fig01, fig03, fig05..fig18, sens_n, sb20, ablations, smt_validation, variance, spatial, coalescing"
+            )))
+        }
+    };
+    exp::print_tables(&tables);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn apps_listing_runs() {
+        assert!(execute(Command::Apps).is_ok());
+    }
+
+    #[test]
+    fn record_info_replay_round_trip() {
+        let dir = std::env::temp_dir().join("spbsim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gcc.spbt");
+        let path_str = path.to_str().unwrap();
+
+        execute(
+            parse([
+                "record", "--app", "gcc", "--ops", "20000", "--out", path_str,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        execute(parse(["trace-info", path_str]).unwrap()).unwrap();
+        execute(
+            parse([
+                "replay", "--trace", path_str, "--policy", "spb", "--sb", "14",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn unknown_suite_is_an_error() {
+        let err = execute(Command::Suite {
+            suite: "nope".into(),
+            cfg: RunOpts::default(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown suite"));
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let err = execute(Command::Experiment {
+            name: "fig99".into(),
+            quick: true,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown experiment"));
+    }
+}

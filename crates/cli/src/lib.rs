@@ -1,0 +1,550 @@
+//! Implementation of the `spbsim` command-line tool.
+//!
+//! Kept as a library so the argument parsing and command dispatch are
+//! unit-testable; `main.rs` is a two-line shim. No external argument
+//! parser: the surface is small and stable.
+//!
+//! ```text
+//! spbsim apps
+//! spbsim run --app x264 [--policy spb] [--sb 14] [--uops 300000] [--chart]
+//! spbsim suite --suite spec [--policy spb] [--sb 14]
+//! spbsim record --app x264 --ops 100000 --out x264.spbt
+//! spbsim trace-info x264.spbt
+//! spbsim replay --trace x264.spbt [--policy spb] [--sb 14]
+//! spbsim experiment fig05 [--quick]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spb_sim::config::{PolicyKind, SimConfig};
+use spb_trace::profile::AppProfile;
+use std::fmt;
+
+pub mod commands;
+
+/// A fatal CLI error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List every application profile.
+    Apps,
+    /// Run one application and print a report.
+    Run {
+        /// Application name.
+        app: String,
+        /// Run configuration.
+        cfg: RunOpts,
+        /// Also render bar charts of the headline numbers.
+        chart: bool,
+    },
+    /// Run a whole suite and print a summary table.
+    Suite {
+        /// `spec` or `parsec`.
+        suite: String,
+        /// Run configuration.
+        cfg: RunOpts,
+    },
+    /// Record an application's trace to a file.
+    Record {
+        /// Application name.
+        app: String,
+        /// Ops to record.
+        ops: u64,
+        /// Output path.
+        out: String,
+        /// Workload seed.
+        seed: u64,
+    },
+    /// Print a trace file's header and op mix.
+    TraceInfo {
+        /// Trace path.
+        path: String,
+    },
+    /// Replay a recorded trace through the simulator.
+    Replay {
+        /// Trace path.
+        trace: String,
+        /// Run configuration.
+        cfg: RunOpts,
+    },
+    /// Sweep SB sizes × policies for one application.
+    Sweep {
+        /// Application name.
+        app: String,
+        /// SB sizes to sweep.
+        sbs: Vec<usize>,
+        /// Policies to sweep.
+        policies: Vec<PolicyKind>,
+        /// Base run configuration.
+        cfg: RunOpts,
+        /// Render bar charts.
+        chart: bool,
+    },
+    /// Regenerate a paper experiment by name.
+    Experiment {
+        /// Experiment name (fig01..fig18, tab1, sens_n, sb20, …).
+        name: String,
+        /// Use the quick budget.
+        quick: bool,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by run-like commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOpts {
+    /// Store-prefetch policy.
+    pub policy: PolicyKind,
+    /// SB entries.
+    pub sb: usize,
+    /// Measured µops.
+    pub uops: u64,
+    /// Warm-up µops.
+    pub warmup: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        let d = SimConfig::paper_default();
+        Self {
+            policy: PolicyKind::AtCommit,
+            sb: 56,
+            uops: d.measure_uops,
+            warmup: d.warmup_uops,
+            seed: d.seed,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Converts to a [`SimConfig`].
+    pub fn to_sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper_default()
+            .with_sb(self.sb)
+            .with_policy(self.policy);
+        cfg.measure_uops = self.uops;
+        cfg.warmup_uops = self.warmup;
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// Parses a policy name.
+pub fn parse_policy(s: &str) -> Result<PolicyKind, CliError> {
+    Ok(match s {
+        "none" => PolicyKind::None,
+        "at-execute" | "exe" => PolicyKind::AtExecute,
+        "at-commit" | "commit" => PolicyKind::AtCommit,
+        "spb" => PolicyKind::spb_default(),
+        "spb-dynamic" => PolicyKind::SpbDynamic { n: 48 },
+        "ideal" => PolicyKind::IdealSb,
+        other => {
+            return Err(CliError(format!(
+                "unknown policy {other:?} (expected none | at-execute | at-commit | spb | spb-dynamic | ideal)"
+            )))
+        }
+    })
+}
+
+fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, CliError> {
+    it.next()
+        .ok_or_else(|| CliError(format!("{flag} requires a value")))
+}
+
+fn parse_run_opts<'a>(
+    args: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>,
+    opts: &mut RunOpts,
+) -> Result<Vec<String>, CliError> {
+    let mut leftovers = Vec::new();
+    while let Some(&a) = args.peek() {
+        match a {
+            "--policy" => {
+                args.next();
+                opts.policy = parse_policy(take_value("--policy", args)?)?;
+            }
+            "--sb" => {
+                args.next();
+                let v = take_value("--sb", args)?;
+                opts.sb = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--sb expects a number, got {v:?}")))?;
+            }
+            "--uops" => {
+                args.next();
+                let v = take_value("--uops", args)?;
+                opts.uops = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--uops expects a number, got {v:?}")))?;
+            }
+            "--warmup" => {
+                args.next();
+                let v = take_value("--warmup", args)?;
+                opts.warmup = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--warmup expects a number, got {v:?}")))?;
+            }
+            "--seed" => {
+                args.next();
+                let v = take_value("--seed", args)?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--seed expects a number, got {v:?}")))?;
+            }
+            _ => {
+                leftovers.push(args.next().unwrap().to_string());
+            }
+        }
+    }
+    Ok(leftovers)
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, CliError> {
+    let mut it = args.into_iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd {
+        "apps" => Ok(Command::Apps),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => {
+            let mut opts = RunOpts::default();
+            let mut app = None;
+            let mut chart = false;
+            let rest = parse_run_opts(&mut it, &mut opts)?;
+            let mut rest_it = rest.iter();
+            while let Some(a) = rest_it.next() {
+                match a.as_str() {
+                    "--app" => app = rest_it.next().cloned(),
+                    "--chart" => chart = true,
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            let app = app.ok_or_else(|| CliError("run requires --app NAME".into()))?;
+            Ok(Command::Run {
+                app,
+                cfg: opts,
+                chart,
+            })
+        }
+        "suite" => {
+            let mut opts = RunOpts::default();
+            let mut suite = None;
+            let rest = parse_run_opts(&mut it, &mut opts)?;
+            let mut rest_it = rest.iter();
+            while let Some(a) = rest_it.next() {
+                match a.as_str() {
+                    "--suite" => suite = rest_it.next().cloned(),
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            Ok(Command::Suite {
+                suite: suite.unwrap_or_else(|| "spec".into()),
+                cfg: opts,
+            })
+        }
+        "record" => {
+            let mut app = None;
+            let mut ops = 100_000u64;
+            let mut out = None;
+            let mut seed = 42u64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--app" => app = it.next().map(str::to_string),
+                    "--ops" => {
+                        let v = take_value("--ops", &mut it)?;
+                        ops = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad --ops {v:?}")))?;
+                    }
+                    "--out" => out = it.next().map(str::to_string),
+                    "--seed" => {
+                        let v = take_value("--seed", &mut it)?;
+                        seed = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad --seed {v:?}")))?;
+                    }
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            Ok(Command::Record {
+                app: app.ok_or_else(|| CliError("record requires --app NAME".into()))?,
+                ops,
+                out: out.ok_or_else(|| CliError("record requires --out FILE".into()))?,
+                seed,
+            })
+        }
+        "trace-info" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("trace-info requires a path".into()))?;
+            Ok(Command::TraceInfo { path: path.into() })
+        }
+        "replay" => {
+            let mut opts = RunOpts::default();
+            let mut trace = None;
+            let rest = parse_run_opts(&mut it, &mut opts)?;
+            let mut rest_it = rest.iter();
+            while let Some(a) = rest_it.next() {
+                match a.as_str() {
+                    "--trace" => trace = rest_it.next().cloned(),
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            Ok(Command::Replay {
+                trace: trace.ok_or_else(|| CliError("replay requires --trace FILE".into()))?,
+                cfg: opts,
+            })
+        }
+        "sweep" => {
+            let mut opts = RunOpts::default();
+            let mut app = None;
+            let mut sbs = vec![14, 20, 28, 56];
+            let mut policies = vec![PolicyKind::AtCommit, PolicyKind::spb_default()];
+            let mut chart = false;
+            // Note: --sb/--policy are consumed here as comma lists, so
+            // bypass parse_run_opts for those two flags.
+            while let Some(a) = it.next() {
+                match a {
+                    "--app" => app = it.next().map(str::to_string),
+                    "--chart" => chart = true,
+                    "--sb" => {
+                        let v = take_value("--sb", &mut it)?;
+                        sbs = v
+                            .split(',')
+                            .map(|x| {
+                                x.parse()
+                                    .map_err(|_| CliError(format!("bad SB size {x:?}")))
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--policy" => {
+                        let v = take_value("--policy", &mut it)?;
+                        policies = v.split(',').map(parse_policy).collect::<Result<_, _>>()?;
+                    }
+                    "--uops" => {
+                        let v = take_value("--uops", &mut it)?;
+                        opts.uops = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad --uops {v:?}")))?;
+                    }
+                    "--warmup" => {
+                        let v = take_value("--warmup", &mut it)?;
+                        opts.warmup = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad --warmup {v:?}")))?;
+                    }
+                    "--seed" => {
+                        let v = take_value("--seed", &mut it)?;
+                        opts.seed = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad --seed {v:?}")))?;
+                    }
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            Ok(Command::Sweep {
+                app: app.ok_or_else(|| CliError("sweep requires --app NAME".into()))?,
+                sbs,
+                policies,
+                cfg: opts,
+                chart,
+            })
+        }
+        "experiment" => {
+            let name = it
+                .next()
+                .ok_or_else(|| CliError("experiment requires a name (e.g. fig05)".into()))?
+                .to_string();
+            let quick = it.any(|a| a == "--quick");
+            Ok(Command::Experiment { name, quick })
+        }
+        other => Err(CliError(format!(
+            "unknown command {other:?}; try `spbsim help`"
+        ))),
+    }
+}
+
+/// Looks up an application in both suites with a helpful error.
+pub fn find_app(name: &str) -> Result<AppProfile, CliError> {
+    AppProfile::by_name(name).ok_or_else(|| {
+        let known: Vec<String> = AppProfile::spec2017()
+            .iter()
+            .chain(AppProfile::parsec().iter())
+            .map(|p| p.name().to_string())
+            .collect();
+        CliError(format!(
+            "unknown application {name:?}; known: {}",
+            known.join(", ")
+        ))
+    })
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+spbsim — the Store-Prefetch Burst simulator
+
+USAGE:
+  spbsim apps                                   list application profiles
+  spbsim run --app NAME [opts] [--chart]        run one application, print a report
+  spbsim suite [--suite spec|parsec] [opts]     run a whole suite
+  spbsim record --app NAME --ops N --out FILE   record a trace file
+  spbsim trace-info FILE                        inspect a trace file
+  spbsim replay --trace FILE [opts]             replay a recorded trace
+  spbsim sweep --app NAME [--sb 14,20,28,56] [--policy at-commit,spb] [--chart]
+  spbsim experiment NAME [--quick]              regenerate a paper experiment
+
+RUN OPTIONS:
+  --policy none|at-execute|at-commit|spb|spb-dynamic|ideal   (default at-commit)
+  --sb N          store-buffer entries            (default 56)
+  --uops N        measured µops                   (default 600000)
+  --warmup N      warm-up µops                    (default 150000)
+  --seed N        workload seed                   (default 42)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_run_with_options() {
+        let cmd = parse([
+            "run", "--app", "x264", "--policy", "spb", "--sb", "14", "--chart",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run { app, cfg, chart } => {
+                assert_eq!(app, "x264");
+                assert_eq!(cfg.policy, PolicyKind::spb_default());
+                assert_eq!(cfg.sb, 14);
+                assert!(chart);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_suite_defaults() {
+        let cmd = parse(["suite"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Suite {
+                suite: "spec".into(),
+                cfg: RunOpts::default()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_record_and_replay() {
+        let cmd = parse([
+            "record",
+            "--app",
+            "gcc",
+            "--ops",
+            "5000",
+            "--out",
+            "/tmp/t.spbt",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Record {
+                app: "gcc".into(),
+                ops: 5000,
+                out: "/tmp/t.spbt".into(),
+                seed: 42
+            }
+        );
+        let cmd = parse(["replay", "--trace", "/tmp/t.spbt", "--sb", "20"]).unwrap();
+        match cmd {
+            Command::Replay { trace, cfg } => {
+                assert_eq!(trace, "/tmp/t.spbt");
+                assert_eq!(cfg.sb, 20);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_policy_and_command() {
+        assert!(parse(["run", "--app", "x", "--policy", "magic"]).is_err());
+        assert!(parse(["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse([]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_sweep_lists() {
+        let cmd = parse([
+            "sweep",
+            "--app",
+            "x264",
+            "--sb",
+            "8,16",
+            "--policy",
+            "spb,ideal",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                app, sbs, policies, ..
+            } => {
+                assert_eq!(app, "x264");
+                assert_eq!(sbs, vec![8, 16]);
+                assert_eq!(
+                    policies,
+                    vec![PolicyKind::spb_default(), PolicyKind::IdealSb]
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn experiment_parses_quick_flag() {
+        assert_eq!(
+            parse(["experiment", "fig05", "--quick"]).unwrap(),
+            Command::Experiment {
+                name: "fig05".into(),
+                quick: true
+            }
+        );
+    }
+
+    #[test]
+    fn find_app_error_lists_candidates() {
+        let err = find_app("nonexistent").unwrap_err();
+        assert!(err.to_string().contains("bwaves"));
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        assert!(parse(["run", "--app", "x", "--sb", "lots"]).is_err());
+        assert!(parse(["record", "--app", "x", "--ops", "many", "--out", "f"]).is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! `spbsim` — command-line front end for the SPB simulator.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let result = spb_cli::parse(refs).and_then(spb_cli::commands::execute);
+    if let Err(e) = result {
+        eprintln!("spbsim: {e}");
+        std::process::exit(2);
+    }
+}

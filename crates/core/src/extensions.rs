@@ -1,0 +1,357 @@
+//! Detector extensions the paper discusses but does not evaluate.
+//!
+//! Two knobs the paper explicitly leaves on the table:
+//!
+//! - **Backward bursts** (§IV-A): "It is relatively simple for SPB to
+//!   prefetch backward store bursts (e.g., to prefetch data from the
+//!   stack). However, we found no evidence that backward store bursts
+//!   cause SB stalls, so this extension is not considered." Implemented
+//!   here behind [`ExtSpbConfig::backward`]; the `ablations` experiment
+//!   confirms the paper's judgement on this suite.
+//! - **Cross-page bursts** (footnote 2): "We did not explore
+//!   prefetching beyond page boundaries despite our prefetcher can work
+//!   with virtual addresses". Implemented behind
+//!   [`ExtSpbConfig::cross_pages`]; note the caveat the paper raises —
+//!   consecutive virtual pages need not map to consecutive physical
+//!   pages, so a physical-address implementation could not do this.
+//!
+//! The extended detector costs one extra direction bit on top of the
+//! base registers (and the base's optional dedupe register).
+
+use crate::detector::{Burst, SpbConfig};
+use serde::{Deserialize, Serialize};
+
+const BLOCK_BYTES: u64 = 64;
+const BLOCKS_PER_PAGE: u64 = 64;
+const SAT_MAX: u8 = 15;
+
+/// Configuration of the extended detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ExtSpbConfig {
+    /// The base detector parameters.
+    pub base: SpbConfig,
+    /// Detect descending block patterns and burst toward the start of
+    /// the page (stack-like writes).
+    pub backward: bool,
+    /// Extend forward bursts this many pages past the current page
+    /// boundary (0 = paper behaviour). Only sound for virtually-indexed
+    /// prefetching.
+    pub cross_pages: u32,
+}
+
+/// The direction of the run the saturating counter is tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// A burst request with an issue order (backward bursts want the blocks
+/// nearest the current store first).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectedBurst {
+    /// Half-open block range `[start, end)` to request ownership for.
+    pub range: Burst,
+    /// Whether to issue from `end-1` down to `start` (backward bursts).
+    pub descending: bool,
+}
+
+impl DirectedBurst {
+    /// Blocks in issue order.
+    pub fn blocks(&self) -> Vec<u64> {
+        if self.descending {
+            (self.range.start..self.range.end).rev().collect()
+        } else {
+            self.range.blocks().collect()
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> u64 {
+        self.range.len()
+    }
+
+    /// Whether the burst is empty (never produced by the detector).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// The extended SPB detector: base algorithm plus direction tracking
+/// and optional page-boundary crossing.
+///
+/// # Examples
+///
+/// ```
+/// use spb_core::extensions::{ExtSpbConfig, ExtendedSpbDetector};
+/// use spb_core::SpbConfig;
+///
+/// let mut d = ExtendedSpbDetector::new(ExtSpbConfig {
+///     base: SpbConfig { n: 8, dedupe: false },
+///     backward: true,
+///     cross_pages: 0,
+/// });
+/// // A descending stack-like store run…
+/// let top = 0x8000u64;
+/// let mut burst = None;
+/// for i in 0..512u64 {
+///     if let Some(b) = d.observe_store(top - i * 8) {
+///         burst = Some(b);
+///         break;
+///     }
+/// }
+/// let b = burst.expect("backward pattern detected");
+/// assert!(b.descending);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtendedSpbDetector {
+    config: ExtSpbConfig,
+    last_block: u64,
+    sat: u8,
+    dir: Direction,
+    count: u32,
+    last_burst_page: Option<u64>,
+    triggers_forward: u64,
+    triggers_backward: u64,
+    checks: u64,
+}
+
+impl ExtendedSpbDetector {
+    /// Creates the extended detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base window is zero.
+    pub fn new(config: ExtSpbConfig) -> Self {
+        assert!(config.base.n > 0, "the check window must be positive");
+        Self {
+            config,
+            last_block: 0,
+            sat: 0,
+            dir: Direction::Forward,
+            count: 0,
+            last_burst_page: None,
+            triggers_forward: 0,
+            triggers_backward: 0,
+            checks: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ExtSpbConfig {
+        self.config
+    }
+
+    /// Forward bursts emitted.
+    pub fn triggers_forward(&self) -> u64 {
+        self.triggers_forward
+    }
+
+    /// Backward bursts emitted.
+    pub fn triggers_backward(&self) -> u64 {
+        self.triggers_backward
+    }
+
+    /// Window checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// The threshold (same rule as the base detector).
+    pub fn threshold(&self) -> u8 {
+        ((self.config.base.n / 8).max(1) as u8).min(SAT_MAX)
+    }
+
+    /// Storage bits: base cost plus the direction bit.
+    pub fn storage_bits(&self) -> u32 {
+        let count_bits = 32 - self.config.base.n.leading_zeros();
+        58 + 4
+            + count_bits
+            + if self.config.base.dedupe { 52 } else { 0 }
+            + if self.config.backward { 1 } else { 0 }
+    }
+
+    /// Observes a committed store; returns a burst when a run is
+    /// detected at a window check.
+    pub fn observe_store(&mut self, addr: u64) -> Option<DirectedBurst> {
+        let block = addr / BLOCK_BYTES;
+        let delta = block.wrapping_sub(self.last_block);
+        if delta == 1 {
+            if self.dir == Direction::Forward {
+                self.sat = (self.sat + 1).min(SAT_MAX);
+            } else {
+                self.dir = Direction::Forward;
+                self.sat = 1;
+            }
+        } else if delta == u64::MAX && self.config.backward {
+            // delta == -1: a descending run.
+            if self.dir == Direction::Backward {
+                self.sat = (self.sat + 1).min(SAT_MAX);
+            } else {
+                self.dir = Direction::Backward;
+                self.sat = 1;
+            }
+        } else if delta != 0 {
+            self.sat = 0;
+        }
+        self.last_block = block;
+
+        if self.count == self.config.base.n {
+            self.checks += 1;
+            let fired = self.sat >= self.threshold();
+            let dir = self.dir;
+            self.sat = 0;
+            self.count = 0;
+            if fired {
+                return self.make_burst(block, dir);
+            }
+        } else {
+            self.count += 1;
+        }
+        None
+    }
+
+    fn make_burst(&mut self, block: u64, dir: Direction) -> Option<DirectedBurst> {
+        let page = block / BLOCKS_PER_PAGE;
+        if self.config.base.dedupe && self.last_burst_page == Some(page) {
+            return None;
+        }
+        let burst = match dir {
+            Direction::Forward => {
+                let end = (page + 1 + u64::from(self.config.cross_pages)) * BLOCKS_PER_PAGE;
+                let start = block + 1;
+                (start < end).then_some(DirectedBurst {
+                    range: Burst { start, end },
+                    descending: false,
+                })
+            }
+            Direction::Backward => {
+                let start = page * BLOCKS_PER_PAGE;
+                let end = block; // [page start, current block)
+                (start < end).then_some(DirectedBurst {
+                    range: Burst { start, end },
+                    descending: true,
+                })
+            }
+        }?;
+        self.last_burst_page = Some(page);
+        match dir {
+            Direction::Forward => self.triggers_forward += 1,
+            Direction::Backward => self.triggers_backward += 1,
+        }
+        Some(burst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: u32, backward: bool, cross: u32) -> ExtSpbConfig {
+        ExtSpbConfig {
+            base: SpbConfig { n, dedupe: false },
+            backward,
+            cross_pages: cross,
+        }
+    }
+
+    #[test]
+    fn forward_behaviour_matches_base_detector() {
+        use crate::detector::SpbDetector;
+        let mut base = SpbDetector::new(SpbConfig {
+            n: 8,
+            dedupe: false,
+        });
+        let mut ext = ExtendedSpbDetector::new(cfg(8, false, 0));
+        for i in 0..4096u64 {
+            let a = base.observe_store(i * 8);
+            let b = ext.observe_store(i * 8);
+            assert_eq!(a, b.map(|d| d.range), "divergence at store {i}");
+        }
+        assert_eq!(base.triggers(), ext.triggers_forward());
+    }
+
+    #[test]
+    fn backward_run_triggers_descending_burst() {
+        let mut d = ExtendedSpbDetector::new(cfg(8, true, 0));
+        let top = 0x10_0000u64 + 4096 - 8; // last qword of a page
+        let mut bursts = Vec::new();
+        for i in 0..512u64 {
+            if let Some(b) = d.observe_store(top - i * 8) {
+                bursts.push(b);
+            }
+        }
+        assert!(!bursts.is_empty());
+        let b = &bursts[0];
+        assert!(b.descending);
+        // Issue order goes from high blocks toward the page start.
+        let blocks = b.blocks();
+        assert!(blocks.windows(2).all(|w| w[1] == w[0] - 1));
+        // And never leaves the page.
+        let page = blocks[0] / 64;
+        assert!(blocks.iter().all(|blk| blk / 64 == page));
+    }
+
+    #[test]
+    fn backward_disabled_never_triggers_on_descending_runs() {
+        let mut d = ExtendedSpbDetector::new(cfg(8, false, 0));
+        let top = 0x10_0000u64 + 4096 - 8;
+        for i in 0..512u64 {
+            assert!(d.observe_store(top - i * 8).is_none());
+        }
+        assert_eq!(d.triggers_backward(), 0);
+    }
+
+    #[test]
+    fn direction_flip_resets_the_run() {
+        let mut d = ExtendedSpbDetector::new(cfg(48, true, 0));
+        // Alternate up/down across blocks: each flip restarts at sat=1,
+        // which never reaches the threshold of 6.
+        let mut block = 1000u64;
+        for i in 0..5_000u64 {
+            block = if i % 2 == 0 { block + 1 } else { block - 1 };
+            assert!(d.observe_store(block * 64).is_none());
+        }
+    }
+
+    #[test]
+    fn cross_page_extends_the_forward_burst() {
+        let mut plain = ExtendedSpbDetector::new(cfg(8, false, 0));
+        let mut crossing = ExtendedSpbDetector::new(cfg(8, false, 2));
+        let mut plain_burst = None;
+        let mut crossing_burst = None;
+        for i in 0..512u64 {
+            if let Some(b) = plain.observe_store(i * 8) {
+                plain_burst.get_or_insert(b);
+            }
+            if let Some(b) = crossing.observe_store(i * 8) {
+                crossing_burst.get_or_insert(b);
+            }
+        }
+        let p = plain_burst.unwrap();
+        let c = crossing_burst.unwrap();
+        assert_eq!(p.range.start, c.range.start);
+        assert_eq!(c.range.end - p.range.end, 2 * 64, "two extra pages");
+    }
+
+    #[test]
+    fn storage_accounting_includes_direction_bit() {
+        let without = ExtendedSpbDetector::new(cfg(31, false, 0));
+        let with = ExtendedSpbDetector::new(cfg(31, true, 0));
+        assert_eq!(without.storage_bits(), 67);
+        assert_eq!(with.storage_bits(), 68);
+    }
+
+    #[test]
+    fn backward_burst_at_page_start_is_empty_and_suppressed() {
+        let mut d = ExtendedSpbDetector::new(cfg(8, true, 0));
+        // Descend and land the check exactly at the page's first block:
+        // the remaining range is empty; the detector must return None
+        // rather than an empty burst.
+        for i in 0..20_000u64 {
+            if let Some(b) = d.observe_store(0x100_0000 - i * 8) {
+                assert!(!b.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Store-Prefetch Bursts — the paper's contribution.
+//!
+//! SPB (Cebrián, Kaxiras, Ros — MICRO 2020) is a tiny store-side
+//! prefetcher that sits next to the commit stage:
+//!
+//! 1. [`detector::SpbDetector`] watches committed stores with just three
+//!    registers (67 bits for the paper's parameters): the last committed
+//!    store's *block* address (58 bits), a 4-bit saturating counter of
+//!    consecutive-block transitions, and a store counter checked every
+//!    `N` stores.
+//! 2. When the window of `N` stores covered at least `N/8` consecutive
+//!    blocks (8-byte stores fill a 64-byte block in 8 stores), SPB
+//!    predicts the burst continues across the whole page and asks the
+//!    L1 controller for write permission on **every remaining block of
+//!    the current page** in one shot ([`spb_mem::MemorySystem::enqueue_burst`]).
+//! 3. [`policy::SpbPolicy`] packages this on top of the at-commit
+//!    baseline as a drop-in [`spb_cpu::StorePrefetchPolicy`].
+//!
+//! The §IV-C variant that adapts the threshold to the observed store
+//! *size* (and performs slightly worse, per the paper) is provided as
+//! [`detector::SpbDynamicDetector`] / [`policy::SpbDynamicPolicy`].
+//!
+//! # Examples
+//!
+//! ```
+//! use spb_core::detector::{SpbConfig, SpbDetector};
+//!
+//! let mut spb = SpbDetector::new(SpbConfig { n: 8, ..Default::default() });
+//! // Eight 8-byte stores filling block 0, then one touching block 1:
+//! // the Figure 4 running example.
+//! for i in 0..8u64 {
+//!     assert_eq!(spb.observe_store(i * 8), None);
+//! }
+//! let burst = spb.observe_store(0x40).expect("pattern detected");
+//! assert_eq!(burst.start, 2); // blocks after 0x40's block…
+//! assert_eq!(burst.end, 64);  // …to the end of the page
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod extensions;
+pub mod policy;
+
+pub use detector::{SpbConfig, SpbDetector};
+pub use policy::SpbPolicy;

@@ -1,0 +1,299 @@
+//! SPB as a drop-in store-prefetch policy.
+
+use crate::detector::{SpbConfig, SpbDetector, SpbDynamicDetector};
+use spb_cpu::StorePrefetchPolicy;
+use spb_mem::{MemorySystem, RfoOrigin};
+
+/// The full SPB policy: at-commit RFOs for every store (the hardware
+/// baseline keeps running underneath, as in the paper's Figure 4, where
+/// per-store `WritePF` requests continue and are discarded when the
+/// burst already owns the block) plus page bursts when the detector
+/// fires.
+///
+/// # Examples
+///
+/// ```
+/// use spb_core::{SpbConfig, SpbPolicy};
+/// use spb_cpu::StorePrefetchPolicy;
+/// use spb_mem::{MemoryConfig, MemorySystem};
+///
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut spb = SpbPolicy::new(SpbConfig { n: 8, ..Default::default() });
+/// for i in 0..16u64 {
+///     spb.on_store_commit(&mut mem, 0, 0x8000 + i * 8, 8, 0x400, i);
+/// }
+/// assert!(mem.burst_queue_len(0) > 0, "the burst reached the L1 controller");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpbPolicy {
+    detector: SpbDetector,
+}
+
+impl SpbPolicy {
+    /// Creates the policy with the given detector configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n` is zero.
+    pub fn new(config: SpbConfig) -> Self {
+        Self {
+            detector: SpbDetector::new(config),
+        }
+    }
+
+    /// Creates the policy with the paper's preferred parameters (N=48).
+    pub fn with_paper_defaults() -> Self {
+        Self::new(SpbConfig::default())
+    }
+
+    /// The underlying detector (for instrumentation).
+    pub fn detector(&self) -> &SpbDetector {
+        &self.detector
+    }
+}
+
+impl Default for SpbPolicy {
+    fn default() -> Self {
+        Self::with_paper_defaults()
+    }
+}
+
+impl StorePrefetchPolicy for SpbPolicy {
+    fn on_store_commit(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        pc: u64,
+        now: u64,
+    ) {
+        // The default at-commit prefetch continues to be sent every
+        // cycle (discarded as PopReq when the burst already brought the
+        // block — Figure 4, T1..T7).
+        let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtCommit);
+        if let Some(burst) = self.detector.observe_store(addr) {
+            mem.enqueue_burst(core, burst.blocks());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "spb"
+    }
+}
+
+/// The §IV-C dynamic-size variant (kept for the ablation; the paper
+/// found it performs worse than plain SPB).
+#[derive(Debug, Clone)]
+pub struct SpbDynamicPolicy {
+    detector: SpbDynamicDetector,
+}
+
+impl SpbDynamicPolicy {
+    /// Creates the dynamic policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n` is zero.
+    pub fn new(config: SpbConfig) -> Self {
+        Self {
+            detector: SpbDynamicDetector::new(config),
+        }
+    }
+
+    /// The underlying detector (for instrumentation).
+    pub fn detector(&self) -> &SpbDynamicDetector {
+        &self.detector
+    }
+}
+
+impl Default for SpbDynamicPolicy {
+    fn default() -> Self {
+        Self::new(SpbConfig::default())
+    }
+}
+
+impl StorePrefetchPolicy for SpbDynamicPolicy {
+    fn on_store_commit(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        size: u8,
+        pc: u64,
+        now: u64,
+    ) {
+        let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtCommit);
+        if let Some(burst) = self.detector.observe_store(addr, size) {
+            mem.enqueue_burst(core, burst.blocks());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "spb-dynamic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spb_cpu::{config::CoreConfig, core::Core, policy::AtCommitPolicy};
+    use spb_mem::MemoryConfig;
+    use spb_trace::generators::MemsetGen;
+    use spb_trace::CodeRegion;
+
+    #[test]
+    fn spb_enqueues_bursts_on_contiguous_commits() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut spb = SpbPolicy::new(SpbConfig { n: 8, dedupe: true });
+        for i in 0..64u64 {
+            spb.on_store_commit(&mut mem, 0, i * 8, 8, 0x400, i);
+        }
+        assert!(spb.detector().triggers() >= 1);
+        assert!(
+            mem.stats().prefetch_requests[RfoOrigin::AtCommit.index()] == 64,
+            "at-commit RFOs continue under SPB"
+        );
+    }
+
+    #[test]
+    fn spb_stays_silent_on_random_stores() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut spb = SpbPolicy::with_paper_defaults();
+        let mut x = 7u64;
+        for i in 0..5_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            spb.on_store_commit(&mut mem, 0, (x % (1 << 28)) & !7, 8, 0x400, i);
+        }
+        assert_eq!(spb.detector().triggers(), 0);
+        // No burst-origin traffic at all (the L1 queue may hold ordinary
+        // at-commit RFOs waiting on MSHRs; that is not SPB activity).
+        assert_eq!(
+            mem.stats().prefetch_requests[RfoOrigin::SpbBurst.index()],
+            0
+        );
+    }
+
+    /// The headline mechanism end-to-end: on a DRAM-missing store burst
+    /// with a small SB, SPB beats plain at-commit because its page
+    /// bursts run far ahead of the SB window.
+    #[test]
+    fn spb_outruns_at_commit_on_store_bursts() {
+        let run = |policy: Box<dyn StorePrefetchPolicy + Send>| {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            let trace = Box::new(MemsetGen::new(
+                0x100_0000,
+                512 * 1024,
+                CodeRegion::Memset,
+                3,
+            ));
+            let cfg = CoreConfig::skylake().with_sb_entries(14);
+            let mut core = Core::new(0, cfg, trace, policy);
+            core.run_until_committed(&mut mem, 50_000)
+        };
+        let cycles_commit = run(Box::<AtCommitPolicy>::default());
+        let cycles_spb = run(Box::<SpbPolicy>::default());
+        assert!(
+            (cycles_spb as f64) < 0.8 * cycles_commit as f64,
+            "SPB must clearly beat at-commit on a burst: {cycles_spb} vs {cycles_commit}"
+        );
+    }
+
+    #[test]
+    fn spb_success_rate_exceeds_at_commit_on_bursts() {
+        let run = |policy: Box<dyn StorePrefetchPolicy + Send>, origin: RfoOrigin| {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            let trace = Box::new(MemsetGen::new(
+                0x100_0000,
+                512 * 1024,
+                CodeRegion::Memset,
+                3,
+            ));
+            let mut core = Core::new(0, CoreConfig::skylake(), trace, policy);
+            let _ = core.run_until_committed(&mut mem, 50_000);
+            mem.finalize_stats();
+            let s = mem.stats();
+            let i = origin.index();
+            (s.prefetch_successful[i], s.prefetch_late[i])
+        };
+        let (ok_commit, late_commit) = run(Box::<AtCommitPolicy>::default(), RfoOrigin::AtCommit);
+        let (ok_spb, late_spb) = run(Box::<SpbPolicy>::default(), RfoOrigin::SpbBurst);
+        // At-commit: mostly late prefetches (issued at the end of the
+        // store's life). SPB: mostly successful (issued a page ahead).
+        assert!(
+            late_commit > ok_commit,
+            "at-commit is dominated by late prefetches"
+        );
+        assert!(ok_spb > late_spb, "SPB bursts arrive in time");
+    }
+
+    #[test]
+    fn dynamic_policy_works_end_to_end() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut p = SpbDynamicPolicy::new(SpbConfig {
+            n: 16,
+            dedupe: true,
+        });
+        for i in 0..256u64 {
+            p.on_store_commit(&mut mem, 0, 0x20_0000 + i * 8, 8, 0x400, i);
+        }
+        assert!(p.detector().triggers() >= 1);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(SpbPolicy::with_paper_defaults().name(), "spb");
+        assert_eq!(SpbDynamicPolicy::default().name(), "spb-dynamic");
+    }
+}
+
+/// SPB with the §IV-A/footnote-2 extensions (backward bursts and
+/// cross-page bursts) enabled per [`crate::extensions::ExtSpbConfig`].
+///
+/// The paper deliberately ships without these; this policy exists so
+/// the `ablations` experiment can verify that judgement on this suite.
+#[derive(Debug, Clone)]
+pub struct ExtendedSpbPolicy {
+    detector: crate::extensions::ExtendedSpbDetector,
+}
+
+impl ExtendedSpbPolicy {
+    /// Creates the extended policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base window is zero.
+    pub fn new(config: crate::extensions::ExtSpbConfig) -> Self {
+        Self {
+            detector: crate::extensions::ExtendedSpbDetector::new(config),
+        }
+    }
+
+    /// The underlying detector (for instrumentation).
+    pub fn detector(&self) -> &crate::extensions::ExtendedSpbDetector {
+        &self.detector
+    }
+}
+
+impl StorePrefetchPolicy for ExtendedSpbPolicy {
+    fn on_store_commit(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        pc: u64,
+        now: u64,
+    ) {
+        let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtCommit);
+        if let Some(burst) = self.detector.observe_store(addr) {
+            mem.enqueue_burst(core, burst.blocks());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "spb-extended"
+    }
+}

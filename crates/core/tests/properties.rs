@@ -1,0 +1,106 @@
+//! Property-based tests for the SPB detector.
+
+use proptest::prelude::*;
+use spb_core::detector::{SpbConfig, SpbDetector, SpbDynamicDetector};
+
+proptest! {
+    /// No burst ever crosses a 4 KiB page boundary, and bursts are never
+    /// empty, for any address stream and any window size.
+    #[test]
+    fn bursts_stay_within_pages(
+        n in 1u32..64,
+        addrs in proptest::collection::vec(0u64..(1 << 30), 1..2000),
+    ) {
+        let mut d = SpbDetector::new(SpbConfig { n, dedupe: false });
+        for addr in addrs {
+            if let Some(b) = d.observe_store(addr) {
+                prop_assert!(!b.is_empty());
+                prop_assert_eq!((b.start) / 64, (b.end - 1) / 64, "burst {:?} crosses a page", b);
+                prop_assert!(b.end % 64 == 0, "burst must end at the page boundary");
+            }
+        }
+    }
+
+    /// The detector's trigger count never exceeds its check count, and
+    /// checks happen exactly every N+1 observations.
+    #[test]
+    fn checks_follow_the_window(n in 1u32..64, count in 1usize..4000) {
+        let mut d = SpbDetector::new(SpbConfig { n, dedupe: false });
+        for i in 0..count as u64 {
+            let _ = d.observe_store(i * 8);
+        }
+        prop_assert!(d.triggers() <= d.checks());
+        prop_assert_eq!(d.checks(), count as u64 / (u64::from(n) + 1));
+    }
+
+    /// A purely contiguous 8-byte store stream triggers for every
+    /// sensible window (the pattern SPB is built for), while a stream of
+    /// stores that never leaves one block cannot trigger.
+    #[test]
+    fn contiguous_triggers_same_block_does_not(n in 8u32..49) {
+        let mut contiguous = SpbDetector::new(SpbConfig { n, dedupe: false });
+        let mut fired = false;
+        for i in 0..20_000u64 {
+            fired |= contiguous.observe_store(i * 8).is_some();
+        }
+        prop_assert!(fired, "contiguous stream must trigger for n={n}");
+
+        let mut same_block = SpbDetector::new(SpbConfig { n, dedupe: false });
+        for i in 0..20_000u64 {
+            prop_assert_eq!(same_block.observe_store((i % 8) * 8), None);
+        }
+    }
+
+    /// Dedupe only ever removes bursts; it never creates new ones and
+    /// never changes which pages are covered first.
+    #[test]
+    fn dedupe_is_a_filter(addrs in proptest::collection::vec(0u64..(1 << 20), 1..2000)) {
+        let mut plain = SpbDetector::new(SpbConfig { n: 8, dedupe: false });
+        let mut deduped = SpbDetector::new(SpbConfig { n: 8, dedupe: true });
+        let mut plain_bursts = Vec::new();
+        let mut deduped_bursts = Vec::new();
+        for &addr in &addrs {
+            if let Some(b) = plain.observe_store(addr) {
+                plain_bursts.push(b);
+            }
+            if let Some(b) = deduped.observe_store(addr) {
+                deduped_bursts.push(b);
+            }
+        }
+        prop_assert!(deduped_bursts.len() <= plain_bursts.len());
+        // Every deduped burst appears in the plain stream too.
+        for b in &deduped_bursts {
+            prop_assert!(plain_bursts.contains(b), "dedupe invented burst {b:?}");
+        }
+    }
+
+    /// Storage accounting: the counter width grows as log2 of N and the
+    /// paper's 67-bit figure holds exactly for N ≤ 31 without dedupe.
+    #[test]
+    fn storage_bits_accounting(n in 1u32..1024) {
+        let d = SpbDetector::new(SpbConfig { n, dedupe: false });
+        let count_bits = 32 - n.leading_zeros();
+        prop_assert_eq!(d.storage_bits(), 58 + 4 + count_bits);
+        // The paper's 67-bit figure corresponds to a 5-bit store counter
+        // (windows of 16..=31 stores).
+        if (16..=31).contains(&n) {
+            prop_assert_eq!(d.storage_bits(), 67);
+        }
+    }
+
+    /// The dynamic variant degenerates to the plain detector when all
+    /// stores are 8 bytes (its adapted size stays 8).
+    #[test]
+    fn dynamic_matches_plain_for_8_byte_stores(
+        addrs in proptest::collection::vec(0u64..(1 << 20), 1..1500),
+    ) {
+        let mut plain = SpbDetector::new(SpbConfig { n: 16, dedupe: true });
+        let mut dynamic = SpbDynamicDetector::new(SpbConfig { n: 16, dedupe: true });
+        for &addr in &addrs {
+            let a = plain.observe_store(addr);
+            let b = dynamic.observe_store(addr, 8);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(dynamic.adapted_size(), 8);
+    }
+}

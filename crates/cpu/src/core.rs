@@ -1,0 +1,852 @@
+//! The out-of-order core: dispatch, completion, commit, and SB drain.
+
+use crate::config::CoreConfig;
+use crate::policy::StorePrefetchPolicy;
+use spb_mem::MemorySystem;
+use spb_stats::{Histogram, StallCause, TopDown};
+use spb_trace::{CodeRegion, MicroOp, OpKind, TraceSource};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Size of the completion ring (max dependency distance honoured).
+const RING: usize = 1024;
+
+/// Fraction of wrong-path µops that access the L1D (loads on the wrong
+/// path), used for the energy/L1-traffic accounting of Figures 7 and 13.
+const WRONG_PATH_LOAD_RATIO: f64 = 0.25;
+/// Fraction of wrong-path µops that are stores (drives the at-execute
+/// policy's wasted RFOs).
+const WRONG_PATH_STORE_RATIO: f64 = 0.125;
+
+/// Counters specific to the core model (the Top-Down breakdown lives in
+/// [`TopDown`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed branches.
+    pub committed_branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Estimated wrong-path µops fetched while redirects were pending.
+    pub wrong_path_uops: u64,
+    /// Estimated wrong-path L1D accesses (energy model input).
+    pub wrong_path_l1_accesses: u64,
+    /// Loads satisfied by store-to-load forwarding from the SB (no L1
+    /// access; the load reads the youngest older store's data).
+    pub store_forwards: u64,
+    /// Stores merged into an existing SB entry (coalescing mode only).
+    pub coalesced_stores: u64,
+    /// SB-stall cycles attributed to the code region of the blocking
+    /// store (Figure 3), indexed parallel to [`CodeRegion::ALL`].
+    pub sb_stall_by_region: [u64; 5],
+}
+
+impl CpuStats {
+    /// SB-stall cycles charged to `region`.
+    pub fn sb_stalls_in(&self, region: CodeRegion) -> u64 {
+        let idx = CodeRegion::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("every region is in ALL");
+        self.sb_stall_by_region[idx]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    complete_at: u64,
+    addr: u64,
+    pc: u64,
+    size: u8,
+    is_store: bool,
+    is_load: bool,
+    is_branch: bool,
+}
+
+/// One simulated out-of-order core.
+///
+/// Drive it by calling [`Core::cycle`] once per cycle (after
+/// [`MemorySystem::tick`]), or use [`Core::run_until_committed`] for
+/// single-core runs. See the crate docs for the modelling rationale.
+pub struct Core {
+    id: usize,
+    config: CoreConfig,
+    trace: Box<dyn TraceSource + Send>,
+    policy: Box<dyn StorePrefetchPolicy + Send>,
+    rob: VecDeque<RobEntry>,
+    pending_op: Option<MicroOp>,
+    completion_ring: [u64; RING],
+    seq: u64,
+    iq: BinaryHeap<Reverse<u64>>,
+    loads_in_flight: usize,
+    stores_in_machine: usize,
+    sb_pending: VecDeque<(u64, u64, u64)>, // (addr, pc, commit cycle)
+    /// Post-commit SB residency (cycles from commit to drain).
+    sb_residency: Histogram,
+    /// Qword addresses with at least one store still in the machine
+    /// (dispatched, not yet drained), for store-to-load forwarding.
+    pending_store_qwords: HashMap<u64, u32>,
+    sb_next_attempt: u64,
+    fetch_resume_at: u64,
+    last_store_addr: u64,
+    trace_done: bool,
+    topdown: TopDown,
+    stats: CpuStats,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("config", &self.config)
+            .field("rob_occupancy", &self.rob.len())
+            .field("sb_occupancy", &self.stores_in_machine)
+            .field("committed", &self.topdown.committed_uops())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Creates a core with the given id, configuration, instruction
+    /// source and store-prefetch policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`].
+    pub fn new(
+        id: usize,
+        config: CoreConfig,
+        trace: Box<dyn TraceSource + Send>,
+        policy: Box<dyn StorePrefetchPolicy + Send>,
+    ) -> Self {
+        config.validate();
+        Self {
+            id,
+            config,
+            trace,
+            policy,
+            rob: VecDeque::with_capacity(config.rob_entries),
+            pending_op: None,
+            completion_ring: [0; RING],
+            seq: 0,
+            iq: BinaryHeap::new(),
+            loads_in_flight: 0,
+            stores_in_machine: 0,
+            sb_pending: VecDeque::new(),
+            sb_residency: Histogram::new("sb_residency_cycles", 16, 64),
+            pending_store_qwords: HashMap::new(),
+            sb_next_attempt: 0,
+            fetch_resume_at: 0,
+            last_store_addr: 0,
+            trace_done: false,
+            topdown: TopDown::new(),
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// The core's id (index into the memory system).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Committed µops so far.
+    pub fn committed_uops(&self) -> u64 {
+        self.topdown.committed_uops()
+    }
+
+    /// The Top-Down cycle accounting.
+    pub fn topdown(&self) -> &TopDown {
+        &self.topdown
+    }
+
+    /// Core-specific counters.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Whether the trace ended and all in-flight work has retired.
+    pub fn is_drained(&self) -> bool {
+        self.trace_done && self.rob.is_empty() && self.sb_pending.is_empty()
+    }
+
+    /// Current SB occupancy (dispatched-but-undrained stores).
+    pub fn sb_occupancy(&self) -> usize {
+        self.stores_in_machine
+    }
+
+    /// Post-commit SB residency distribution (cycles from commit to
+    /// drain) of the stores drained so far.
+    pub fn sb_residency(&self) -> &Histogram {
+        &self.sb_residency
+    }
+
+    /// Clears all measurement state (end of warm-up) without touching
+    /// pipeline occupancy.
+    pub fn reset_stats(&mut self) {
+        self.topdown.reset();
+        self.stats = CpuStats::default();
+        self.sb_residency.reset();
+    }
+
+    /// Advances the core by one cycle against `mem`.
+    ///
+    /// Call [`MemorySystem::tick`] for the same cycle first so the SPB
+    /// burst queue drains before stores retry.
+    pub fn cycle(&mut self, mem: &mut MemorySystem, now: u64) {
+        let committed = self.commit(mem, now);
+        self.drain_store_buffer(mem, now);
+        self.dispatch(mem, now);
+        self.topdown.tick();
+        self.topdown.record_commit(committed);
+        // "Execution stalls with L1D miss pending" (Intel Top-Down):
+        // nothing retired this cycle, there is in-flight work — in the
+        // ROB *or* waiting in the SB (a drain blocked on a store miss
+        // keeps the counter ticking even if dispatch starvation drained
+        // the ROB) — and a demand L1D miss is outstanding.
+        if committed == 0
+            && (!self.rob.is_empty() || !self.sb_pending.is_empty())
+            && mem.has_pending_demand_miss(self.id, now)
+        {
+            self.topdown.record_l1d_miss_pending_stall();
+        }
+    }
+
+    /// Accounts one cycle in which this hardware thread does not own
+    /// the pipeline (SMT round-robin): the clock advances and the
+    /// memory-boundness metric keeps ticking, but no dispatch, commit,
+    /// or drain happens.
+    pub fn tick_idle(&mut self, mem: &mut MemorySystem, now: u64) {
+        self.topdown.tick();
+        if (!self.rob.is_empty() || !self.sb_pending.is_empty())
+            && mem.has_pending_demand_miss(self.id, now)
+        {
+            self.topdown.record_l1d_miss_pending_stall();
+        }
+    }
+
+    /// Runs single-core until `uops` µops have committed; returns the
+    /// cycle count consumed. Also drives [`MemorySystem::tick`].
+    pub fn run_until_committed(&mut self, mem: &mut MemorySystem, uops: u64) -> u64 {
+        let mut now = 0;
+        let target = self.committed_uops() + uops;
+        while self.committed_uops() < target && !self.is_drained() {
+            mem.tick(now);
+            self.cycle(mem, now);
+            now += 1;
+        }
+        now
+    }
+
+    fn commit(&mut self, mem: &mut MemorySystem, now: u64) -> u64 {
+        let mut committed = 0;
+        while committed < u64::from(self.config.commit_width) {
+            let Some(head) = self.rob.front() else { break };
+            if head.complete_at > now {
+                break;
+            }
+            let e = *head;
+            self.rob.pop_front();
+            if e.is_store {
+                self.stats.committed_stores += 1;
+                let coalesced = self.config.coalescing
+                    && self
+                        .sb_pending
+                        .back()
+                        .is_some_and(|&(prev, _, _)| prev / 64 == e.addr / 64);
+                if coalesced {
+                    // The store merges into the tail entry: its SB slot
+                    // frees immediately and the group drains as one
+                    // write (non-speculative coalescing, §VII-B).
+                    self.stats.coalesced_stores += 1;
+                    self.stores_in_machine -= 1;
+                    let q = e.addr & !7;
+                    if let Some(n) = self.pending_store_qwords.get_mut(&q) {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.pending_store_qwords.remove(&q);
+                        }
+                    }
+                } else {
+                    self.sb_pending.push_back((e.addr, e.pc, now));
+                }
+                self.policy
+                    .on_store_commit(mem, self.id, e.addr, e.size, e.pc, now);
+            } else if e.is_load {
+                self.stats.committed_loads += 1;
+                self.loads_in_flight -= 1;
+            } else if e.is_branch {
+                self.stats.committed_branches += 1;
+            }
+            committed += 1;
+        }
+        committed
+    }
+
+    fn drain_store_buffer(&mut self, mem: &mut MemorySystem, now: u64) {
+        if now < self.sb_next_attempt {
+            return;
+        }
+        let Some(&(addr, _pc, committed_at)) = self.sb_pending.front() else {
+            return;
+        };
+        match mem.store_drain(self.id, addr, now) {
+            spb_mem::system::StoreDrainOutcome::Performed { .. } => {
+                self.sb_residency.record(now - committed_at);
+                self.sb_pending.pop_front();
+                self.stores_in_machine -= 1;
+                let q = addr & !7;
+                if let Some(n) = self.pending_store_qwords.get_mut(&q) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.pending_store_qwords.remove(&q);
+                    }
+                }
+                // Pipelined L1 store port: one drain per cycle.
+                self.sb_next_attempt = now + 1;
+            }
+            spb_mem::system::StoreDrainOutcome::Retry { at } => {
+                self.sb_next_attempt = at.max(now + 1);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, mem: &mut MemorySystem, now: u64) {
+        let mut dispatched = 0u32;
+        let mut stall: Option<StallCause> = None;
+
+        while dispatched < self.config.dispatch_width {
+            if now < self.fetch_resume_at {
+                stall.get_or_insert(StallCause::FrontEnd);
+                break;
+            }
+            let op = match self.pending_op.take().or_else(|| self.trace.next_op()) {
+                Some(op) => op,
+                None => {
+                    self.trace_done = true;
+                    break;
+                }
+            };
+            if let Some(cause) = self.blocking_resource(&op, now) {
+                if cause == StallCause::StoreBuffer {
+                    // Figure 3: charge the stall to the code region of the
+                    // store blocking the SB head.
+                    let pc = self
+                        .sb_pending
+                        .front()
+                        .map(|&(_, pc, _)| pc)
+                        .unwrap_or(op.pc());
+                    let region = CodeRegion::of_pc(pc);
+                    let idx = CodeRegion::ALL.iter().position(|r| *r == region).unwrap();
+                    self.stats.sb_stall_by_region[idx] += 1;
+                }
+                self.pending_op = Some(op);
+                stall.get_or_insert(cause);
+                break;
+            }
+            self.issue_op(mem, op, now);
+            dispatched += 1;
+        }
+
+        if dispatched == 0 {
+            if let Some(cause) = stall {
+                self.topdown.record_stall(cause);
+            }
+        }
+    }
+
+    /// The oldest resource that blocks dispatching `op`, if any.
+    fn blocking_resource(&mut self, op: &MicroOp, now: u64) -> Option<StallCause> {
+        if self.rob.len() >= self.config.rob_entries {
+            return Some(StallCause::Rob);
+        }
+        // Reclaim issued entries before checking IQ occupancy.
+        while let Some(&Reverse(t)) = self.iq.peek() {
+            if t <= now {
+                self.iq.pop();
+            } else {
+                break;
+            }
+        }
+        if self.iq.len() >= self.config.iq_entries {
+            return Some(StallCause::IssueQueue);
+        }
+        if self.rob.len() >= self.config.int_regs + self.config.fp_regs {
+            return Some(StallCause::Registers);
+        }
+        match op.kind() {
+            OpKind::Load { .. } if self.loads_in_flight >= self.config.lq_entries => {
+                Some(StallCause::LoadQueue)
+            }
+            OpKind::Store { .. } if self.stores_in_machine >= self.config.sb_entries => {
+                Some(StallCause::StoreBuffer)
+            }
+            _ => None,
+        }
+    }
+
+    fn issue_op(&mut self, mem: &mut MemorySystem, op: MicroOp, now: u64) {
+        self.seq += 1;
+        let seq = self.seq;
+        let mut dep_ready = 0u64;
+        for d in op.deps() {
+            let d = u64::from(d);
+            if d == 0 || d > seq || d as usize >= RING {
+                continue;
+            }
+            dep_ready = dep_ready.max(self.completion_ring[((seq - d) as usize) % RING]);
+        }
+        let issue_at = dep_ready.max(now + 1);
+
+        let (complete_at, is_store, is_load, is_branch, addr, size) = match op.kind() {
+            OpKind::IntAlu { latency } | OpKind::FpAlu { latency } => {
+                (issue_at + u64::from(latency), false, false, false, 0, 0)
+            }
+            OpKind::Load { addr, size } => {
+                self.loads_in_flight += 1;
+                // Store-to-load forwarding: a load whose qword has an
+                // older store still in the SB reads the store's data
+                // directly (one cycle, no L1 access).
+                if self.pending_store_qwords.contains_key(&(addr & !7)) {
+                    self.stats.store_forwards += 1;
+                    (issue_at + 1, false, true, false, addr, size)
+                } else {
+                    let res = mem.load_with_pc(self.id, addr, op.pc(), issue_at);
+                    (res.ready, false, true, false, addr, size)
+                }
+            }
+            OpKind::Store { addr, size } => {
+                self.policy
+                    .on_store_execute(mem, self.id, addr, size, op.pc(), issue_at);
+                self.stores_in_machine += 1;
+                *self.pending_store_qwords.entry(addr & !7).or_insert(0) += 1;
+                self.last_store_addr = addr;
+                (issue_at, true, false, false, addr, size)
+            }
+            OpKind::Branch { mispredict } => {
+                let resolve = issue_at + 1;
+                if mispredict {
+                    self.squash(mem, now, resolve);
+                }
+                (resolve, false, false, true, 0, 0)
+            }
+        };
+
+        self.completion_ring[(seq as usize) % RING] = complete_at;
+        if issue_at > now + 1 {
+            self.iq.push(Reverse(issue_at));
+        }
+        self.rob.push_back(RobEntry {
+            complete_at,
+            addr,
+            pc: op.pc(),
+            size,
+            is_store,
+            is_load,
+            is_branch,
+        });
+    }
+
+    fn squash(&mut self, mem: &mut MemorySystem, now: u64, resolve: u64) {
+        self.stats.mispredicts += 1;
+        let resume = resolve + self.config.redirect_penalty;
+        self.fetch_resume_at = self.fetch_resume_at.max(resume);
+        // The front end fetched wrong-path µops from `now` until the
+        // redirect; cap by what the machine can physically hold.
+        let window = resume.saturating_sub(now);
+        let wrong =
+            (u64::from(self.config.dispatch_width) * window).min(self.config.rob_entries as u64);
+        self.stats.wrong_path_uops += wrong;
+        let wrong_loads = (wrong as f64 * WRONG_PATH_LOAD_RATIO) as u64;
+        self.stats.wrong_path_l1_accesses += wrong_loads;
+        let wrong_stores = (wrong as f64 * WRONG_PATH_STORE_RATIO) as u64;
+        self.policy
+            .on_squash(mem, self.id, self.last_store_addr, wrong_stores, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AtCommitPolicy, NoPolicy};
+    use spb_mem::MemoryConfig;
+    use spb_trace::generators::{ComputeGen, ComputeParams, MemsetGen, PointerChaseGen};
+    use spb_trace::phased::{PhaseSpec, PhasedWorkload};
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(MemoryConfig::default())
+    }
+
+    fn compute_trace(count: u64) -> Box<dyn TraceSource + Send> {
+        Box::new(ComputeGen::new(
+            ComputeParams {
+                count,
+                fp_ratio: 0.0,
+                mispredict_rate: 0.0,
+                branch_every: 8,
+                dep_density: 0.0,
+            },
+            1,
+        ))
+    }
+
+    #[test]
+    fn commit_width_bounds_ipc() {
+        let mut m = mem();
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            compute_trace(4000),
+            Box::new(NoPolicy),
+        );
+        let cycles = core.run_until_committed(&mut m, 4000);
+        assert!(core.committed_uops() >= 4000);
+        let ipc = core.committed_uops() as f64 / cycles as f64;
+        assert!(ipc <= 4.0 + 1e-9, "ipc {ipc} exceeds the machine width");
+        assert!(
+            ipc > 2.0,
+            "independent int ops should run near full width, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let mut m = mem();
+        let serial = ComputeParams {
+            count: 2000,
+            fp_ratio: 0.0,
+            mispredict_rate: 0.0,
+            branch_every: 1_000_000,
+            dep_density: 1.0,
+        };
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            Box::new(ComputeGen::new(serial, 1)),
+            Box::new(NoPolicy),
+        );
+        let cycles = core.run_until_committed(&mut m, 2000);
+        let ipc = core.committed_uops() as f64 / cycles as f64;
+        assert!(
+            ipc < 1.2,
+            "a fully dependent chain cannot exceed 1 ipc, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn store_burst_without_prefetch_stalls_on_sb() {
+        let mut m = mem();
+        let trace = Box::new(MemsetGen::new(0x10_0000, 256 * 1024, CodeRegion::Memset, 1));
+        let mut core = Core::new(0, CoreConfig::skylake(), trace, Box::new(NoPolicy));
+        let _ = core.run_until_committed(&mut m, 40_000);
+        assert!(
+            core.topdown().sb_stall_ratio() > 0.3,
+            "a serialized DRAM-missing store burst must be SB-bound, ratio {}",
+            core.topdown().sb_stall_ratio()
+        );
+    }
+
+    #[test]
+    fn at_commit_reduces_sb_stalls_versus_none() {
+        let run = |policy: Box<dyn StorePrefetchPolicy + Send>| {
+            let mut m = mem();
+            let trace = Box::new(MemsetGen::new(0x10_0000, 256 * 1024, CodeRegion::Memset, 1));
+            let mut core = Core::new(0, CoreConfig::skylake(), trace, policy);
+            let cycles = core.run_until_committed(&mut m, 40_000);
+            (cycles, core.topdown().stall_cycles(StallCause::StoreBuffer))
+        };
+        let (cycles_none, stalls_none) = run(Box::new(NoPolicy));
+        let (cycles_commit, stalls_commit) = run(Box::new(AtCommitPolicy::new()));
+        assert!(
+            cycles_commit < cycles_none,
+            "at-commit must speed up a store burst: {cycles_commit} vs {cycles_none}"
+        );
+        assert!(stalls_commit < stalls_none);
+    }
+
+    /// A realistic workload interleaves bursts with compute, so the mean
+    /// store rate stays under the 1-per-cycle drain rate; with a
+    /// 1024-entry SB the bursts are absorbed and SB stalls vanish.
+    /// (A *pure* memset is different: stores commit faster than any SB
+    /// can drain, so even an ideal SB backs up — that is physics, not a
+    /// modelling artefact.)
+    #[test]
+    fn ideal_sb_eliminates_sb_stalls_on_mixed_workload() {
+        let mixed = || {
+            Box::new(PhasedWorkload::new(
+                vec![
+                    PhaseSpec::Memset {
+                        bytes: 4096,
+                        region: CodeRegion::Memset,
+                        footprint_pages: 1 << 13,
+                    },
+                    PhaseSpec::Compute(ComputeParams {
+                        count: 4096,
+                        fp_ratio: 0.2,
+                        mispredict_rate: 0.001,
+                        branch_every: 8,
+                        dep_density: 0.3,
+                    }),
+                ],
+                1,
+            ))
+        };
+        let stall_ratio = |sb: usize| {
+            let mut m = mem();
+            let cfg = CoreConfig::skylake().with_sb_entries(sb);
+            let mut core = Core::new(0, cfg, mixed(), Box::new(AtCommitPolicy::new()));
+            let _ = core.run_until_committed(&mut m, 60_000);
+            core.topdown().sb_stall_ratio()
+        };
+        let ideal = stall_ratio(1024);
+        let sb14 = stall_ratio(14);
+        assert!(ideal < 0.01, "ideal SB must absorb bursts, got {ideal}");
+        assert!(
+            sb14 > ideal + 0.02,
+            "SB14 must stall visibly more: {sb14} vs {ideal}"
+        );
+    }
+
+    #[test]
+    fn smaller_sb_stalls_more() {
+        let stalls = |sb: usize| {
+            let mut m = mem();
+            let trace = Box::new(MemsetGen::new(0x10_0000, 128 * 1024, CodeRegion::Memset, 1));
+            let cfg = CoreConfig::skylake().with_sb_entries(sb);
+            let mut core = Core::new(0, cfg, trace, Box::new(AtCommitPolicy::new()));
+            let cycles = core.run_until_committed(&mut m, 20_000);
+            (cycles, core.topdown().stall_cycles(StallCause::StoreBuffer))
+        };
+        let (c56, s56) = stalls(56);
+        let (c14, s14) = stalls(14);
+        assert!(s14 > s56, "SB14 must stall more than SB56 ({s14} vs {s56})");
+        assert!(c14 >= c56);
+    }
+
+    #[test]
+    fn mispredicts_create_front_end_stalls_and_wrong_path() {
+        let mut m = mem();
+        let params = ComputeParams {
+            count: 5000,
+            fp_ratio: 0.0,
+            mispredict_rate: 0.3,
+            branch_every: 4,
+            dep_density: 0.2,
+        };
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            Box::new(ComputeGen::new(params, 3)),
+            Box::new(NoPolicy),
+        );
+        let _ = core.run_until_committed(&mut m, 5000);
+        assert!(core.stats().mispredicts > 50);
+        assert!(core.stats().wrong_path_uops > 0);
+        assert!(core.topdown().stall_cycles(StallCause::FrontEnd) > 0);
+    }
+
+    #[test]
+    fn sb_stalls_attributed_to_blocking_region() {
+        let mut m = mem();
+        let trace = Box::new(MemsetGen::new(0x10_0000, 128 * 1024, CodeRegion::Memset, 1));
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake().with_sb_entries(14),
+            trace,
+            Box::new(NoPolicy),
+        );
+        let _ = core.run_until_committed(&mut m, 20_000);
+        assert!(core.stats().sb_stalls_in(CodeRegion::Memset) > 0);
+        assert_eq!(core.stats().sb_stalls_in(CodeRegion::ClearPage), 0);
+    }
+
+    #[test]
+    fn pointer_chase_is_latency_bound_not_sb_bound() {
+        let mut m = mem();
+        let trace = Box::new(PointerChaseGen::new(0x100_0000, 1 << 16, 5_000, 7));
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            trace,
+            Box::new(AtCommitPolicy::new()),
+        );
+        let cycles = core.run_until_committed(&mut m, 10_000);
+        let ipc = core.committed_uops() as f64 / cycles as f64;
+        assert!(ipc < 0.5, "dependent DRAM misses should crawl, got {ipc}");
+        assert!(core.topdown().sb_stall_ratio() < 0.01);
+        assert!(core.topdown().l1d_miss_pending_stalls() > cycles / 4);
+    }
+
+    #[test]
+    fn drained_core_stops() {
+        let mut m = mem();
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            compute_trace(100),
+            Box::new(NoPolicy),
+        );
+        let _ = core.run_until_committed(&mut m, 10_000);
+        assert!(core.is_drained());
+        assert_eq!(core.committed_uops(), 100);
+    }
+
+    #[test]
+    fn reset_stats_clears_measurements_midstream() {
+        let mut m = mem();
+        let workload = PhasedWorkload::new(
+            vec![PhaseSpec::Memset {
+                bytes: 4096,
+                region: CodeRegion::Memset,
+                footprint_pages: 1 << 12,
+            }],
+            1,
+        );
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            Box::new(workload),
+            Box::new(NoPolicy),
+        );
+        let _ = core.run_until_committed(&mut m, 5_000);
+        core.reset_stats();
+        assert_eq!(core.committed_uops(), 0);
+        assert_eq!(core.topdown().cycles(), 0);
+    }
+}
+
+#[cfg(test)]
+mod forwarding_tests {
+    use super::*;
+    use crate::policy::NoPolicy;
+    use spb_mem::MemoryConfig;
+    use spb_trace::generators::{ComputeGen, ComputeParams};
+
+    /// A hand-built trace: store to an address, then load it back while
+    /// the store is still in the SB — the load must forward.
+    struct StoreThenLoad {
+        emitted: usize,
+    }
+
+    impl TraceSource for StoreThenLoad {
+        fn next_op(&mut self) -> Option<MicroOp> {
+            self.emitted += 1;
+            match self.emitted {
+                1 => Some(MicroOp::new(
+                    OpKind::Store {
+                        addr: 0xBEEF00,
+                        size: 8,
+                    },
+                    0x1,
+                )),
+                2 => Some(MicroOp::new(
+                    OpKind::Load {
+                        addr: 0xBEEF00,
+                        size: 8,
+                    },
+                    0x2,
+                )),
+                3..=50 => Some(MicroOp::new(OpKind::IntAlu { latency: 1 }, 0x3)),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn load_forwards_from_pending_store() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            Box::new(StoreThenLoad { emitted: 0 }),
+            Box::new(NoPolicy::new()),
+        );
+        let _ = core.run_until_committed(&mut mem, 50);
+        assert_eq!(core.stats().store_forwards, 1);
+        // The forwarded load never touched the L1.
+        assert_eq!(mem.stats().loads, 0);
+    }
+
+    #[test]
+    fn unrelated_loads_do_not_forward() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let trace = ComputeGen::new(
+            ComputeParams {
+                count: 200,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            Box::new(trace),
+            Box::new(NoPolicy::new()),
+        );
+        let _ = core.run_until_committed(&mut mem, 200);
+        assert_eq!(core.stats().store_forwards, 0);
+    }
+}
+
+#[cfg(test)]
+mod coalescing_tests {
+    use super::*;
+    use crate::policy::AtCommitPolicy;
+    use spb_mem::MemoryConfig;
+    use spb_trace::generators::MemsetGen;
+
+    fn run_memset(coalescing: bool, sb: usize) -> (u64, u64, u64) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let cfg = if coalescing {
+            CoreConfig::skylake().with_sb_entries(sb).with_coalescing()
+        } else {
+            CoreConfig::skylake().with_sb_entries(sb)
+        };
+        let trace = MemsetGen::new(0x100_0000, 128 * 1024, CodeRegion::Memset, 1);
+        let mut core = Core::new(0, cfg, Box::new(trace), Box::new(AtCommitPolicy::new()));
+        let cycles = core.run_until_committed(&mut mem, 20_000);
+        (
+            cycles,
+            core.stats().coalesced_stores,
+            core.stats().committed_stores,
+        )
+    }
+
+    #[test]
+    fn coalescing_merges_seven_of_eight_burst_stores() {
+        let (_, merged, committed) = run_memset(true, 14);
+        let ratio = merged as f64 / committed as f64;
+        assert!(
+            (0.80..=0.90).contains(&ratio),
+            "8-byte stores into 64-byte blocks must merge ~7/8, got {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn coalescing_speeds_up_bursts_at_small_sb() {
+        let (plain, _, _) = run_memset(false, 14);
+        let (merged, _, _) = run_memset(true, 14);
+        assert!(
+            merged < plain,
+            "coalescing must relieve SB pressure: {merged} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn coalescing_is_off_by_default_and_inert() {
+        let (_, merged, _) = run_memset(false, 14);
+        assert_eq!(merged, 0);
+    }
+}

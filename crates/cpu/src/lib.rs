@@ -1,0 +1,52 @@
+//! Cycle-level out-of-order core model.
+//!
+//! This crate is the stand-in for gem5's detailed O3 CPU. It models the
+//! structures whose *occupancy* produces the stalls the paper studies:
+//!
+//! - a reorder buffer, issue queue, load queue and — centrally — a
+//!   unified store queue / store buffer whose entries are allocated at
+//!   dispatch and freed only when the store has written to the L1
+//!   (TSO drain, one store per cycle, in order);
+//! - dispatch/commit width limits and per-µop execution latencies
+//!   (Table I / Fog's tables);
+//! - branch mispredictions whose squash cost depends on when the branch
+//!   *resolves* (so long load misses lengthen the wrong path, which is
+//!   how SPB's load-side benefit turns into fewer misspeculated µops);
+//! - Top-Down style stall attribution: every stalled dispatch cycle is
+//!   charged to the oldest blocking resource (store buffer vs "Other"),
+//!   plus the "execution stalls with L1D miss pending" metric.
+//!
+//! The model is trace-driven: µop completion times are computed at
+//! dispatch from operand readiness (an interval-style model), memory
+//! µops call into [`spb_mem::MemorySystem`] for their latency, and the
+//! cycle loop enforces width and occupancy limits exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use spb_cpu::{config::CoreConfig, core::Core, policy::AtCommitPolicy};
+//! use spb_mem::{MemoryConfig, MemorySystem};
+//! use spb_trace::profile::AppProfile;
+//!
+//! let mut mem = MemorySystem::new(MemoryConfig::default());
+//! let trace = AppProfile::by_name("x264").unwrap().build(1);
+//! let mut core = Core::new(0, CoreConfig::skylake(), Box::new(trace),
+//!                          Box::new(AtCommitPolicy::new()));
+//! for now in 0..10_000 {
+//!     mem.tick(now);
+//!     core.cycle(&mut mem, now);
+//! }
+//! assert!(core.committed_uops() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod core;
+pub mod policy;
+pub mod smt;
+
+pub use crate::core::Core;
+pub use config::CoreConfig;
+pub use policy::StorePrefetchPolicy;

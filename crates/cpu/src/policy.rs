@@ -1,0 +1,229 @@
+//! The store-prefetch policy interface and the non-predictive baselines.
+//!
+//! §II of the paper describes the two processor-initiated store
+//! prefetching schemes in the literature:
+//!
+//! - **at-execute** (Gharachorloo et al.): request ownership as soon as
+//!   the store's address is computed — earliest possible, but
+//!   speculative, so wrong-path stores waste energy and pollute caches;
+//! - **at-commit** (Intel's documented behaviour): request ownership
+//!   when the store commits into the SB — never speculative, but later.
+//!
+//! Both are implemented here. The paper's contribution, SPB, lives in
+//! the `spb-core` crate and implements the same [`StorePrefetchPolicy`]
+//! trait on top of at-commit.
+
+use spb_mem::{MemorySystem, RfoOrigin};
+
+/// Hooks a store-prefetch policy receives from the core.
+///
+/// All hooks receive the memory system, the core id, the store's address
+/// and PC, and the current cycle. Policies must be cheap: they run for
+/// every store.
+pub trait StorePrefetchPolicy {
+    /// The store's address became available (execute stage). `speculative`
+    /// hook: the store may still be squashed.
+    fn on_store_execute(
+        &mut self,
+        _mem: &mut MemorySystem,
+        _core: usize,
+        _addr: u64,
+        _size: u8,
+        _pc: u64,
+        _now: u64,
+    ) {
+    }
+
+    /// The store committed and entered the store buffer.
+    fn on_store_commit(
+        &mut self,
+        _mem: &mut MemorySystem,
+        _core: usize,
+        _addr: u64,
+        _size: u8,
+        _pc: u64,
+        _now: u64,
+    ) {
+    }
+
+    /// A branch misprediction squashed roughly `wrong_stores` wrong-path
+    /// stores whose addresses were near `last_addr`. Only speculative
+    /// policies (at-execute) act on this: they had already issued RFOs
+    /// for those stores.
+    fn on_squash(
+        &mut self,
+        _mem: &mut MemorySystem,
+        _core: usize,
+        _last_addr: u64,
+        _wrong_stores: u64,
+        _now: u64,
+    ) {
+    }
+
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// No store prefetching at all: stores serialize on the SB head's miss
+/// latency. This is gem5's out-of-the-box behaviour the paper measures
+/// its "+15% for at-commit" claim against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPolicy;
+
+impl NoPolicy {
+    /// Creates the no-op policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl StorePrefetchPolicy for NoPolicy {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// At-commit store prefetching (the paper's baseline; Intel's policy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AtCommitPolicy;
+
+impl AtCommitPolicy {
+    /// Creates the at-commit policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl StorePrefetchPolicy for AtCommitPolicy {
+    fn on_store_commit(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        pc: u64,
+        now: u64,
+    ) {
+        let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtCommit);
+    }
+
+    fn name(&self) -> &'static str {
+        "at-commit"
+    }
+}
+
+/// At-execute store prefetching (Gharachorloo et al.): RFOs issue as
+/// soon as addresses resolve, including on the wrong path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AtExecutePolicy;
+
+impl AtExecutePolicy {
+    /// Creates the at-execute policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl StorePrefetchPolicy for AtExecutePolicy {
+    fn on_store_execute(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        pc: u64,
+        now: u64,
+    ) {
+        let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtExecute);
+    }
+
+    fn on_squash(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        last_addr: u64,
+        wrong_stores: u64,
+        now: u64,
+    ) {
+        // Wrong-path stores had already issued their RFOs. Model them as
+        // plausible-but-useless ownership requests past the last correct
+        // store: they cost tag checks, traffic and possibly pollution.
+        for i in 0..wrong_stores.min(8) {
+            let addr = last_addr.wrapping_add(4096 + i * 64);
+            let _ = mem.store_prefetch(core, addr, 0, now, RfoOrigin::AtExecute);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "at-execute"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spb_mem::MemoryConfig;
+
+    #[test]
+    fn at_commit_issues_rfo_on_commit_only() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut p = AtCommitPolicy::new();
+        p.on_store_execute(&mut mem, 0, 0x1000, 8, 0x4, 0);
+        assert_eq!(
+            mem.stats().prefetch_requests[RfoOrigin::AtCommit.index()],
+            0
+        );
+        p.on_store_commit(&mut mem, 0, 0x1000, 8, 0x4, 5);
+        assert_eq!(
+            mem.stats().prefetch_requests[RfoOrigin::AtCommit.index()],
+            1
+        );
+    }
+
+    #[test]
+    fn at_execute_issues_rfo_on_execute() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut p = AtExecutePolicy::new();
+        p.on_store_execute(&mut mem, 0, 0x2000, 8, 0x4, 0);
+        assert_eq!(
+            mem.stats().prefetch_requests[RfoOrigin::AtExecute.index()],
+            1
+        );
+        p.on_store_commit(&mut mem, 0, 0x2000, 8, 0x4, 5);
+        assert_eq!(
+            mem.stats().prefetch_requests[RfoOrigin::AtExecute.index()],
+            1
+        );
+    }
+
+    #[test]
+    fn at_execute_wastes_requests_on_squash() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut p = AtExecutePolicy::new();
+        p.on_squash(&mut mem, 0, 0x3000, 5, 10);
+        assert_eq!(
+            mem.stats().prefetch_requests[RfoOrigin::AtExecute.index()],
+            5
+        );
+    }
+
+    #[test]
+    fn no_policy_does_nothing() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut p = NoPolicy::new();
+        p.on_store_commit(&mut mem, 0, 0x4000, 8, 0x4, 0);
+        p.on_squash(&mut mem, 0, 0x4000, 10, 0);
+        assert_eq!(mem.stats().total_prefetch_requests(), 0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            NoPolicy.name(),
+            AtCommitPolicy.name(),
+            AtExecutePolicy.name(),
+        ];
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

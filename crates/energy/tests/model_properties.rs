@@ -1,0 +1,80 @@
+//! Property tests for the energy model: linearity and monotonicity.
+
+use proptest::prelude::*;
+use spb_energy::{EnergyEvents, EnergyModel};
+
+fn arb_events() -> impl Strategy<Value = EnergyEvents> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..100_000,
+        0u64..500_000,
+        0u64..500_000,
+        0u64..100_000,
+        0u64..50_000,
+        0u64..20_000,
+    )
+        .prop_map(
+            |(cycles, uops, wrong, l1, tags, l2, l3, dram)| EnergyEvents {
+                cycles,
+                committed_uops: uops,
+                wrong_path_uops: wrong,
+                l1_accesses: l1,
+                l1_tag_checks: tags,
+                l2_accesses: l2,
+                l3_accesses: l3,
+                dram_accesses: dram,
+            },
+        )
+}
+
+proptest! {
+    /// Energy is monotone in every event count.
+    #[test]
+    fn energy_is_monotone(e in arb_events()) {
+        let m = EnergyModel::default();
+        let base = m.evaluate(&e).total_nj();
+        let bump = |f: fn(&mut EnergyEvents)| {
+            let mut e2 = e;
+            f(&mut e2);
+            m.evaluate(&e2).total_nj()
+        };
+        prop_assert!(bump(|e| e.cycles += 1000) >= base);
+        prop_assert!(bump(|e| e.committed_uops += 1000) >= base);
+        prop_assert!(bump(|e| e.wrong_path_uops += 1000) >= base);
+        prop_assert!(bump(|e| e.l1_accesses += 1000) >= base);
+        prop_assert!(bump(|e| e.dram_accesses += 1000) >= base);
+    }
+
+    /// The model is linear: evaluating doubled events doubles every
+    /// component exactly.
+    #[test]
+    fn energy_is_linear(e in arb_events()) {
+        let m = EnergyModel::default();
+        let single = m.evaluate(&e);
+        let doubled = EnergyEvents {
+            cycles: e.cycles * 2,
+            committed_uops: e.committed_uops * 2,
+            wrong_path_uops: e.wrong_path_uops * 2,
+            l1_accesses: e.l1_accesses * 2,
+            l1_tag_checks: e.l1_tag_checks * 2,
+            l2_accesses: e.l2_accesses * 2,
+            l3_accesses: e.l3_accesses * 2,
+            dram_accesses: e.dram_accesses * 2,
+        };
+        let twice = m.evaluate(&doubled);
+        prop_assert!((twice.total_nj() - 2.0 * single.total_nj()).abs() < 1e-6 * (1.0 + single.total_nj()));
+        prop_assert!((twice.cache_dynamic_nj - 2.0 * single.cache_dynamic_nj).abs() < 1e-6 * (1.0 + single.cache_dynamic_nj));
+        prop_assert!((twice.static_nj - 2.0 * single.static_nj).abs() < 1e-6 * (1.0 + single.static_nj));
+    }
+
+    /// Components are non-negative for any input.
+    #[test]
+    fn components_non_negative(e in arb_events()) {
+        let b = EnergyModel::default().evaluate(&e);
+        prop_assert!(b.cache_dynamic_nj >= 0.0);
+        prop_assert!(b.core_dynamic_nj >= 0.0);
+        prop_assert!(b.dram_dynamic_nj >= 0.0);
+        prop_assert!(b.static_nj >= 0.0);
+    }
+}

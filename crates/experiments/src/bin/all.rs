@@ -1,0 +1,40 @@
+//! Regenerates the entire evaluation: every table and figure, in paper
+//! order. Pass --quick for a smoke run.
+use spb_experiments as exp;
+
+type Section = (&'static str, fn(exp::Budget) -> Vec<spb_stats::Table>);
+
+fn main() {
+    let budget = exp::Budget::from_args();
+    let sections: Vec<Section> = vec![
+        ("Table I", exp::tab1::run),
+        ("Figure 1", exp::fig01::run),
+        ("Figure 3", exp::fig03::run),
+        ("Figure 5", exp::fig05::run),
+        ("Figure 6", exp::fig06::run),
+        ("Figure 7", exp::fig07::run),
+        ("Figure 8", exp::fig08::run),
+        ("Figure 9", exp::fig09::run),
+        ("Figure 10", exp::fig10::run),
+        ("Figure 11", exp::fig11::run),
+        ("Figure 12", exp::fig12::run),
+        ("Figure 13", exp::fig13::run),
+        ("Figure 14", exp::fig14::run),
+        ("Figure 15", exp::fig15::run),
+        ("Figure 16", exp::fig16::run),
+        ("Figure 17", exp::fig17::run),
+        ("Figure 18", exp::fig18::run),
+        ("Sensitivity to N", exp::sens_n::run),
+        ("SB-shrink claim", exp::sb20::run),
+        ("Ablations", exp::ablations::run),
+        ("SMT validation", exp::smt_validation::run),
+        ("Spatial prefetching (SectionVII-A)", exp::spatial::run),
+        ("Store coalescing (SectionVII-B)", exp::coalescing::run),
+        ("Seed robustness", exp::variance::run),
+    ];
+    for (name, f) in sections {
+        eprintln!("[all] running {name}…");
+        println!("############ {name} ############");
+        exp::print_tables(&f(budget));
+    }
+}

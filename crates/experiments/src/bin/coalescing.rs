@@ -1,0 +1,5 @@
+//! Regenerates the coalescing-SB comparison (pass --quick for a smoke run).
+fn main() {
+    let budget = spb_experiments::Budget::from_args();
+    spb_experiments::print_tables(&spb_experiments::coalescing::run(budget));
+}

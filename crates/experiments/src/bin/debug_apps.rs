@@ -1,0 +1,36 @@
+//! Debug: per-app normalized perf and stall ratios.
+use spb_experiments::Budget;
+use spb_sim::config::PolicyKind;
+use spb_sim::run_app;
+use spb_trace::profile::AppProfile;
+
+fn main() {
+    let budget = Budget::from_args();
+    let base = budget.sim_config();
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "ideal", "ac56", "ac14", "spb14", "sbst56", "sbst14"
+    );
+    for app in AppProfile::spec2017() {
+        let ideal = run_app(&app, &base.clone().with_policy(PolicyKind::IdealSb));
+        let ac56 = run_app(&app, &base.clone().with_sb(56));
+        let ac14 = run_app(&app, &base.clone().with_sb(14));
+        let spb14 = run_app(
+            &app,
+            &base
+                .clone()
+                .with_sb(14)
+                .with_policy(PolicyKind::spb_default()),
+        );
+        println!(
+            "{:<12} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>6.1}% {:>6.1}%",
+            app.name(),
+            ideal.cycles,
+            ideal.cycles as f64 / ac56.cycles as f64,
+            ideal.cycles as f64 / ac14.cycles as f64,
+            ideal.cycles as f64 / spb14.cycles as f64,
+            ac56.sb_stall_ratio() * 100.0,
+            ac14.sb_stall_ratio() * 100.0,
+        );
+    }
+}

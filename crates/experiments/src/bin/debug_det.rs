@@ -1,0 +1,24 @@
+//! Debug: run the SPB detector over an app's committed-store stream.
+use spb_core::detector::{SpbConfig, SpbDetector};
+use spb_trace::{profile::AppProfile, OpKind, TraceSource};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or("roms".into());
+    let app = AppProfile::by_name(&name).unwrap();
+    let mut src = app.build(42);
+    let mut det = SpbDetector::new(SpbConfig::default());
+    let mut stores = 0u64;
+    for _ in 0..2_000_000 {
+        if let Some(op) = src.next_op() {
+            if let OpKind::Store { addr, .. } = op.kind() {
+                stores += 1;
+                let _ = det.observe_store(addr);
+            }
+        }
+    }
+    println!(
+        "{name}: stores={stores} checks={} triggers={}",
+        det.checks(),
+        det.triggers()
+    );
+}

@@ -1,0 +1,31 @@
+//! Debug: sample SB occupancy over time.
+use spb_cpu::{config::CoreConfig, core::Core};
+use spb_mem::{MemoryConfig, MemorySystem};
+use spb_trace::profile::AppProfile;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or("exchange2".into());
+    let app = AppProfile::by_name(&name).unwrap();
+    let mut mem = MemorySystem::new(MemoryConfig::default());
+    let cfg = CoreConfig::skylake().with_sb_entries(14);
+    let mut core = Core::new(
+        0,
+        cfg,
+        Box::new(app.build(42)),
+        Box::new(spb_cpu::policy::AtCommitPolicy::new()),
+    );
+    let mut max_occ = 0usize;
+    for now in 0..200_000u64 {
+        mem.tick(now);
+        core.cycle(&mut mem, now);
+        max_occ = max_occ.max(core.sb_occupancy());
+        if now % 20_000 == 0 {
+            println!(
+                "cycle {now}: occ={} max={} committed={}",
+                core.sb_occupancy(),
+                max_occ,
+                core.committed_uops()
+            );
+        }
+    }
+}

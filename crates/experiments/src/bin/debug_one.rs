@@ -1,0 +1,50 @@
+//! Debug one app's stall anatomy.
+use spb_experiments::Budget;
+use spb_sim::config::PolicyKind;
+use spb_sim::run_app;
+use spb_stats::StallCause;
+use spb_trace::profile::AppProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(|s| s.as_str()).unwrap_or("exchange2");
+    let sb: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let app = AppProfile::by_name(name).unwrap();
+    let base = Budget::Paper.sim_config();
+    for (label, cfg) in [
+        ("at-commit", base.clone().with_sb(sb)),
+        (
+            "spb",
+            base.clone()
+                .with_sb(sb)
+                .with_policy(PolicyKind::spb_default()),
+        ),
+        ("ideal", base.clone().with_policy(PolicyKind::IdealSb)),
+    ] {
+        let r = run_app(&app, &cfg);
+        println!("{name} {label}: cycles={} ipc={:.3}", r.cycles, r.ipc());
+        for c in StallCause::ALL {
+            println!(
+                "   {c}: {} ({:.1}%)",
+                r.topdown.stall_cycles(c),
+                100.0 * r.topdown.stall_cycles(c) as f64 / r.topdown.cycles() as f64
+            );
+        }
+        println!(
+            "   l1d-miss-pending: {}",
+            r.topdown.l1d_miss_pending_stalls()
+        );
+        println!(
+            "   stores={} loads={} st_misses={} st_retries={} wrongpath={}",
+            r.cpu.committed_stores,
+            r.cpu.committed_loads,
+            r.mem.demand_store_misses,
+            r.mem.store_retries,
+            r.cpu.wrong_path_uops
+        );
+        println!(
+            "   pf_req={:?} succ={:?} late={:?}",
+            r.mem.prefetch_requests, r.mem.prefetch_successful, r.mem.prefetch_late
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Debug: generic prefetcher activity per kind.
+use spb_experiments::Budget;
+use spb_mem::prefetch::PrefetcherKind;
+use spb_mem::RfoOrigin;
+use spb_sim::run_app;
+use spb_trace::profile::AppProfile;
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or("bwaves".into());
+    let app = AppProfile::by_name(&app_name).unwrap();
+    for pk in [
+        PrefetcherKind::None,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Aggressive,
+        PrefetcherKind::Adaptive,
+    ] {
+        let mut cfg = Budget::Quick.sim_config().with_sb(14);
+        cfg.mem.prefetcher = pk;
+        let r = run_app(&app, &cfg);
+        let i = RfoOrigin::CachePrefetcher.index();
+        println!(
+            "{pk:?}: cycles={} pf_req={} pf_down={} succ={} late={} never={} load_l1_hits={} load_dram={}",
+            r.cycles,
+            r.mem.prefetch_requests[i],
+            r.mem.prefetch_downstream[i],
+            r.mem.prefetch_successful[i],
+            r.mem.prefetch_late[i],
+            r.mem.prefetch_never_used[i],
+            r.mem.load_l1_hits,
+            r.mem.load_dram
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5.
+fn main() {
+    let budget = spb_experiments::Budget::from_args();
+    spb_experiments::print_tables(&spb_experiments::fig05::run(budget));
+}

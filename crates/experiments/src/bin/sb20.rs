@@ -1,0 +1,5 @@
+//! Regenerates sb20 (pass --quick for a smoke run).
+fn main() {
+    let budget = spb_experiments::Budget::from_args();
+    spb_experiments::print_tables(&spb_experiments::sb20::run(budget));
+}

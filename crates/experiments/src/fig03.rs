@@ -1,0 +1,41 @@
+//! Figure 3: where the stores causing SB-induced stalls live.
+//!
+//! For each SB-bound application, the fraction of SB-stall cycles whose
+//! blocking store belongs to `memcpy`, `memset`, `calloc`, the kernel's
+//! `clear_page`, or the application itself. Library/OS code dominates
+//! for most applications; `deepsjeng` and `roms` stall on their own
+//! hand-written copy loops.
+
+use crate::Budget;
+use spb_stats::Table;
+use spb_trace::profile::AppProfile;
+use spb_trace::CodeRegion;
+
+/// Runs the experiment at `budget` (at-commit, 56-entry SB).
+pub fn run(budget: Budget) -> Vec<Table> {
+    let cfg = budget.sim_config();
+    let columns: Vec<String> = CodeRegion::ALL.iter().map(|r| r.to_string()).collect();
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Fig. 3 — SB-stall cycles by code region of the blocking store (at-commit, SB56)",
+        &col_refs,
+    );
+    for app in AppProfile::spec2017_sb_bound() {
+        let r = spb_sim::run_app(&app, &cfg);
+        let total: u64 = r.cpu.sb_stall_by_region.iter().sum();
+        let fractions: Vec<f64> = r
+            .cpu
+            .sb_stall_by_region
+            .iter()
+            .map(|&c| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                }
+            })
+            .collect();
+        t.push_row(app.name(), &fractions);
+    }
+    vec![t]
+}

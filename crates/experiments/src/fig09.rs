@@ -1,0 +1,41 @@
+//! Figure 9: per-application SB stalls normalized to at-commit, for the
+//! SB-bound applications at each SB size.
+
+use crate::grid::{Grid, SB_SIZES};
+use crate::Budget;
+use spb_stats::{StallCause, Table};
+
+/// Builds the three per-SB-size tables from a grid run over the
+//  SB-bound subset.
+pub fn tables_from_grid(grid: &Grid) -> Vec<Table> {
+    SB_SIZES
+        .iter()
+        .enumerate()
+        .map(|(s, &sb)| {
+            let mut t = Table::new(
+                format!("Fig. 9 — per-app SB stalls normalized to at-commit (SB{sb})"),
+                &["at-execute", "spb", "ideal"],
+            );
+            let base = grid.at(1, s);
+            for (a, app) in grid.apps.iter().enumerate() {
+                let b = base.runs[a]
+                    .topdown
+                    .stall_cycles(StallCause::StoreBuffer)
+                    .max(1) as f64;
+                let row: Vec<f64> = [grid.at(0, s), grid.at(2, s), &grid.ideal]
+                    .iter()
+                    .map(|suite| {
+                        suite.runs[a].topdown.stall_cycles(StallCause::StoreBuffer) as f64 / b
+                    })
+                    .collect();
+                t.push_row(app.name(), &row);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Runs the experiment at `budget`.
+pub fn run(budget: Budget) -> Vec<Table> {
+    tables_from_grid(&Grid::spec_sb_bound(budget))
+}

@@ -1,0 +1,74 @@
+//! Figure 16: SPB on top of aggressive cache prefetchers.
+//!
+//! Each configuration is normalized to the *ideal SB running the same
+//! generic prefetcher*, so the table shows how much SB-induced headroom
+//! remains per prefetcher. Paper headline: aggressive/adaptive cache
+//! prefetchers do not close the SB gap (their window is still anchored
+//! to the SB's demand stream); SPB is needed — and orthogonal — on top.
+
+use crate::Budget;
+use spb_mem::prefetch::PrefetcherKind;
+use spb_sim::config::PolicyKind;
+use spb_sim::suite::SuiteResult;
+use spb_stats::summary::geomean;
+use spb_stats::Table;
+use spb_trace::profile::AppProfile;
+
+fn norm_perf(suite: &SuiteResult, ideal: &SuiteResult, sb_bound_only: bool) -> f64 {
+    let vals: Vec<f64> = suite
+        .runs
+        .iter()
+        .zip(&ideal.runs)
+        .zip(&suite.sb_bound)
+        .filter(|(_, b)| !sb_bound_only || **b)
+        .map(|((r, i), _)| i.cycles as f64 / r.cycles as f64)
+        .collect();
+    geomean(&vals)
+}
+
+/// Runs the experiment at `budget` (SB56 and SB14).
+pub fn run(budget: Budget) -> Vec<Table> {
+    let apps = AppProfile::spec2017();
+    let prefetchers = [
+        ("stream", PrefetcherKind::Stride),
+        ("aggressive", PrefetcherKind::Aggressive),
+        ("adaptive", PrefetcherKind::Adaptive),
+    ];
+    let mut tables = Vec::new();
+    for (scope, bound_only) in [("ALL", false), ("SB-BOUND", true)] {
+        let mut t = Table::new(
+            format!("Fig. 16 — perf normalized to Ideal + same prefetcher ({scope})"),
+            &["at-commit SB56", "spb SB56", "at-commit SB14", "spb SB14"],
+        );
+        for (name, pk) in prefetchers {
+            let mut cfg = budget.sim_config();
+            cfg.mem.prefetcher = pk;
+            let ideal = SuiteResult::run(&apps, &cfg.clone().with_policy(PolicyKind::IdealSb));
+            let ac56 = SuiteResult::run(&apps, &cfg.clone().with_sb(56));
+            let spb56 = SuiteResult::run(
+                &apps,
+                &cfg.clone()
+                    .with_sb(56)
+                    .with_policy(PolicyKind::spb_default()),
+            );
+            let ac14 = SuiteResult::run(&apps, &cfg.clone().with_sb(14));
+            let spb14 = SuiteResult::run(
+                &apps,
+                &cfg.clone()
+                    .with_sb(14)
+                    .with_policy(PolicyKind::spb_default()),
+            );
+            t.push_row(
+                name,
+                &[
+                    norm_perf(&ac56, &ideal, bound_only),
+                    norm_perf(&spb56, &ideal, bound_only),
+                    norm_perf(&ac14, &ideal, bound_only),
+                    norm_perf(&spb14, &ideal, bound_only),
+                ],
+            );
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,79 @@
+//! Figure 18: PARSEC with 8 threads.
+//!
+//! Multi-threaded runs over the shared-L3 MESI hierarchy. Two things the
+//! paper checks: (i) multi-threaded applications also contain store
+//! bursts that SPB captures, and (ii) SPB is coherence-friendly — no
+//! application regresses, because bursts target uncontended (private)
+//! pages.
+
+use crate::Budget;
+use spb_sim::config::PolicyKind;
+use spb_sim::suite::SuiteResult;
+use spb_stats::summary::geomean;
+use spb_stats::Table;
+use spb_trace::profile::AppProfile;
+
+fn norm(suite: &SuiteResult, ideal: &SuiteResult, a: usize) -> f64 {
+    ideal.runs[a].cycles as f64 / suite.runs[a].cycles as f64
+}
+
+/// Runs the experiment at `budget`.
+pub fn run(budget: Budget) -> Vec<Table> {
+    let apps = AppProfile::parsec();
+    let cfg = budget.parsec_sim_config();
+    let ideal = SuiteResult::run(&apps, &cfg.clone().with_policy(PolicyKind::IdealSb));
+    let ac56 = SuiteResult::run(&apps, &cfg.clone().with_sb(56));
+    let spb56 = SuiteResult::run(
+        &apps,
+        &cfg.clone()
+            .with_sb(56)
+            .with_policy(PolicyKind::spb_default()),
+    );
+    let ac14 = SuiteResult::run(&apps, &cfg.clone().with_sb(14));
+    let spb14 = SuiteResult::run(
+        &apps,
+        &cfg.clone()
+            .with_sb(14)
+            .with_policy(PolicyKind::spb_default()),
+    );
+
+    let mut t = Table::new(
+        "Fig. 18 — PARSEC (8 threads) normalized to Ideal",
+        &["at-commit SB56", "spb SB56", "at-commit SB14", "spb SB14"],
+    );
+    let mut rows_all: Vec<[f64; 4]> = Vec::new();
+    let mut rows_bound: Vec<[f64; 4]> = Vec::new();
+    for (a, app) in apps.iter().enumerate() {
+        let row = [
+            norm(&ac56, &ideal, a),
+            norm(&spb56, &ideal, a),
+            norm(&ac14, &ideal, a),
+            norm(&spb14, &ideal, a),
+        ];
+        if app.is_sb_bound() {
+            t.push_row(app.name(), &row);
+            rows_bound.push(row);
+        }
+        rows_all.push(row);
+    }
+    let gm = |rows: &[[f64; 4]], i: usize| geomean(&rows.iter().map(|r| r[i]).collect::<Vec<_>>());
+    t.push_row(
+        "SB-BOUND",
+        &[
+            gm(&rows_bound, 0),
+            gm(&rows_bound, 1),
+            gm(&rows_bound, 2),
+            gm(&rows_bound, 3),
+        ],
+    );
+    t.push_row(
+        "ALL",
+        &[
+            gm(&rows_all, 0),
+            gm(&rows_all, 1),
+            gm(&rows_all, 2),
+            gm(&rows_all, 3),
+        ],
+    );
+    vec![t]
+}

@@ -1,0 +1,121 @@
+//! The shared run grid most figures are views of.
+//!
+//! Figures 5, 6, 8, 9, 10, 14 and 15 all slice the same experiment
+//! space: {at-execute, at-commit, SPB} × {SB14, SB28, SB56} plus the
+//! ideal SB, over SPEC CPU 2017. [`Grid::compute`] runs it once; the
+//! figure modules extract their views.
+
+use crate::Budget;
+use spb_sim::config::PolicyKind;
+use spb_sim::suite::SuiteResult;
+use spb_trace::profile::AppProfile;
+
+/// The SB sizes the paper evaluates.
+pub const SB_SIZES: [usize; 3] = [14, 28, 56];
+
+/// The non-ideal policies of the main comparison, in figure order.
+pub fn policies() -> [PolicyKind; 3] {
+    [
+        PolicyKind::AtExecute,
+        PolicyKind::AtCommit,
+        PolicyKind::spb_default(),
+    ]
+}
+
+/// All runs of the main comparison.
+pub struct Grid {
+    /// The applications, in suite order.
+    pub apps: Vec<AppProfile>,
+    /// Ideal-SB results (SB-size independent).
+    pub ideal: SuiteResult,
+    /// `results[p][s]` = policy `policies()[p]` at SB size `SB_SIZES[s]`.
+    pub results: Vec<Vec<SuiteResult>>,
+}
+
+impl Grid {
+    /// Runs the full grid over `apps` at `budget`.
+    pub fn compute(apps: Vec<AppProfile>, budget: Budget) -> Self {
+        let base = budget.sim_config();
+        let ideal = SuiteResult::run(&apps, &base.clone().with_policy(PolicyKind::IdealSb));
+        let results = policies()
+            .iter()
+            .map(|p| {
+                SB_SIZES
+                    .iter()
+                    .map(|&sb| SuiteResult::run(&apps, &base.clone().with_sb(sb).with_policy(*p)))
+                    .collect()
+            })
+            .collect();
+        Self {
+            apps,
+            ideal,
+            results,
+        }
+    }
+
+    /// The full SPEC CPU 2017 grid.
+    pub fn spec(budget: Budget) -> Self {
+        Self::compute(AppProfile::spec2017(), budget)
+    }
+
+    /// Only the SB-bound subset (for per-application figures).
+    pub fn spec_sb_bound(budget: Budget) -> Self {
+        Self::compute(AppProfile::spec2017_sb_bound(), budget)
+    }
+
+    /// The result set for (policy index, SB index).
+    pub fn at(&self, policy_idx: usize, sb_idx: usize) -> &SuiteResult {
+        &self.results[policy_idx][sb_idx]
+    }
+
+    /// Per-application performance of `suite` normalized to the ideal SB
+    /// (`ideal_cycles / cycles`; 1.0 = matches ideal).
+    pub fn norm_perf_vs_ideal(&self, suite: &SuiteResult) -> Vec<f64> {
+        suite
+            .runs
+            .iter()
+            .zip(&self.ideal.runs)
+            .map(|(r, i)| i.cycles as f64 / r.cycles as f64)
+            .collect()
+    }
+
+    /// Geometric-mean normalized performance over all applications.
+    pub fn geomean_norm_perf_all(&self, suite: &SuiteResult) -> f64 {
+        spb_stats::summary::geomean(&self.norm_perf_vs_ideal(suite))
+    }
+
+    /// Geometric-mean normalized performance over the SB-bound subset.
+    pub fn geomean_norm_perf_sb_bound(&self, suite: &SuiteResult) -> f64 {
+        let vals: Vec<f64> = self
+            .norm_perf_vs_ideal(suite)
+            .into_iter()
+            .zip(&suite.sb_bound)
+            .filter(|(_, sb)| **sb)
+            .map(|(v, _)| v)
+            .collect();
+        spb_stats::summary::geomean(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_has_expected_shape() {
+        let apps: Vec<AppProfile> = ["x264", "povray"]
+            .iter()
+            .map(|n| AppProfile::by_name(n).unwrap())
+            .collect();
+        let grid = Grid::compute(apps, Budget::Quick);
+        assert_eq!(grid.results.len(), 3);
+        assert_eq!(grid.results[0].len(), 3);
+        assert_eq!(grid.ideal.runs.len(), 2);
+        let norm = grid.norm_perf_vs_ideal(grid.at(1, 2));
+        assert_eq!(norm.len(), 2);
+        // Nothing should beat the ideal SB by much.
+        for v in norm {
+            assert!(v < 1.15, "normalized perf {v} suspiciously above ideal");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The SB-shrinking claim: a 20-entry SB with SPB matches a standard
+//! 56-entry SB with at-commit prefetching (§I / §VI-A), making SPB an
+//! enabler for smaller, more energy-efficient store buffers.
+
+use crate::Budget;
+use spb_sim::config::PolicyKind;
+use spb_sim::suite::SuiteResult;
+use spb_stats::Table;
+use spb_trace::profile::AppProfile;
+
+/// Runs the experiment at `budget`: SB ∈ {14, 20, 28, 56} for both
+/// policies, normalized to the 56-entry at-commit baseline (>1.0 means
+/// faster than the Skylake default).
+pub fn run(budget: Budget) -> Vec<Table> {
+    let apps = AppProfile::spec2017();
+    let base_cfg = budget.sim_config().with_sb(56);
+    let baseline = SuiteResult::run(&apps, &base_cfg);
+    let mut t = Table::new(
+        "SB-shrink claim — geomean speedup vs 56-entry at-commit",
+        &["at-commit", "spb"],
+    );
+    for sb in [14usize, 20, 28, 56] {
+        let ac = SuiteResult::run(&apps, &budget.sim_config().with_sb(sb));
+        let spb = SuiteResult::run(
+            &apps,
+            &budget
+                .sim_config()
+                .with_sb(sb)
+                .with_policy(PolicyKind::spb_default()),
+        );
+        t.push_row(
+            format!("SB{sb}"),
+            &[
+                ac.geomean_speedup_all(&baseline),
+                spb.geomean_speedup_all(&baseline),
+            ],
+        );
+    }
+    vec![t]
+}

@@ -1,0 +1,361 @@
+//! Set-associative cache arrays with LRU replacement.
+
+use crate::line::{CacheLine, CoherenceState, RfoOrigin};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Block size in bytes (64 throughout the paper).
+    pub block_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry, validating divisibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not an exact multiple of `ways * block_bytes`.
+    pub fn new(size_bytes: u64, ways: usize) -> Self {
+        let g = Self {
+            size_bytes,
+            ways,
+            block_bytes: 64,
+        };
+        assert!(
+            g.sets() > 0 && size_bytes.is_multiple_of(ways as u64 * g.block_bytes),
+            "cache size must be a multiple of ways * block size"
+        );
+        g
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.block_bytes)) as usize
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.sets() * self.ways
+    }
+
+    /// The set a block maps into.
+    pub fn set_of(&self, block: u64) -> usize {
+        (block % self.sets() as u64) as usize
+    }
+}
+
+/// What `insert` evicted, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The block that was evicted.
+    pub block: u64,
+    /// Whether it held dirty data (needs write-back).
+    pub dirty: bool,
+    /// The prefetch origin if the victim was prefetched and never used.
+    pub unused_prefetch: Option<RfoOrigin>,
+}
+
+/// One set-associative cache array (tags + metadata only; the simulator
+/// does not model data values).
+///
+/// # Examples
+///
+/// ```
+/// use spb_mem::cache::{CacheArray, CacheGeometry};
+/// use spb_mem::line::CoherenceState;
+///
+/// let mut l1 = CacheArray::new(CacheGeometry::new(32 * 1024, 8));
+/// assert!(l1.lookup(42).is_none());
+/// l1.insert(42, CoherenceState::Exclusive, 10, None);
+/// assert!(l1.lookup(42).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    geometry: CacheGeometry,
+    lines: Vec<CacheLine>,
+    lru_clock: u64,
+    tag_checks: u64,
+}
+
+impl CacheArray {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Self {
+            geometry,
+            lines: vec![CacheLine::invalid(); geometry.lines()],
+            lru_clock: 0,
+            tag_checks: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of tag-array checks performed so far (Figure 13's metric).
+    pub fn tag_checks(&self) -> u64 {
+        self.tag_checks
+    }
+
+    /// Resets the tag-check counter (end of warm-up).
+    pub fn reset_tag_checks(&mut self) {
+        self.tag_checks = 0;
+    }
+
+    fn set_range(&self, block: u64) -> std::ops::Range<usize> {
+        let set = self.geometry.set_of(block);
+        let start = set * self.geometry.ways;
+        start..start + self.geometry.ways
+    }
+
+    /// Looks up `block`, counting one tag check. Does **not** update LRU;
+    /// use [`CacheArray::touch`] on a demand access.
+    pub fn lookup(&mut self, block: u64) -> Option<&mut CacheLine> {
+        self.tag_checks += 1;
+        let range = self.set_range(block);
+        self.lines[range]
+            .iter_mut()
+            .find(|l| l.is_valid() && l.block == block)
+    }
+
+    /// Peeks at `block` without counting a tag check or taking `&mut`.
+    pub fn peek(&self, block: u64) -> Option<&CacheLine> {
+        let range = self.set_range(block);
+        self.lines[range]
+            .iter()
+            .find(|l| l.is_valid() && l.block == block)
+    }
+
+    /// Marks `block` as most recently used and demanded.
+    pub fn touch(&mut self, block: u64) {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let range = self.set_range(block);
+        if let Some(l) = self.lines[range]
+            .iter_mut()
+            .find(|l| l.is_valid() && l.block == block)
+        {
+            l.lru = clock;
+            l.used = true;
+        }
+    }
+
+    /// Inserts `block` with `state`, ready at cycle `ready`, evicting the
+    /// LRU way if the set is full. Prefetched fills carry their origin.
+    ///
+    /// Returns the eviction, if a valid line was displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already present (callers must `lookup`
+    /// first; double-insertion would duplicate a tag, which real
+    /// hardware cannot represent).
+    pub fn insert(
+        &mut self,
+        block: u64,
+        state: CoherenceState,
+        ready: u64,
+        prefetch: Option<RfoOrigin>,
+    ) -> Option<Eviction> {
+        assert!(
+            self.peek(block).is_none(),
+            "block {block:#x} inserted twice"
+        );
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let range = self.set_range(block);
+        let set = &mut self.lines[range];
+        // Prefer an invalid way; otherwise evict the LRU way.
+        let victim_idx = set.iter().position(|l| !l.is_valid()).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("sets are never empty")
+        });
+        let victim = set[victim_idx];
+        let eviction = victim.is_valid().then(|| Eviction {
+            block: victim.block,
+            dirty: victim.dirty,
+            unused_prefetch: victim.prefetch.filter(|_| !victim.used),
+        });
+        set[victim_idx] = CacheLine {
+            block,
+            state,
+            ready,
+            dirty: state == CoherenceState::Modified,
+            prefetch,
+            used: false,
+            lru: clock,
+        };
+        eviction
+    }
+
+    /// Invalidates `block` (coherence invalidation or recall), returning
+    /// the line it held.
+    pub fn invalidate(&mut self, block: u64) -> Option<CacheLine> {
+        let range = self.set_range(block);
+        let line = self.lines[range]
+            .iter_mut()
+            .find(|l| l.is_valid() && l.block == block)?;
+        let old = *line;
+        *line = CacheLine::invalid();
+        Some(old)
+    }
+
+    /// Downgrades `block` to `Shared` (remote read of an owned line),
+    /// returning whether it was dirty.
+    pub fn downgrade(&mut self, block: u64) -> Option<bool> {
+        let range = self.set_range(block);
+        let line = self.lines[range]
+            .iter_mut()
+            .find(|l| l.is_valid() && l.block == block)?;
+        let was_dirty = line.dirty;
+        line.state = CoherenceState::Shared;
+        line.dirty = false;
+        Some(was_dirty)
+    }
+
+    /// Number of valid lines (test/debug helper).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_valid()).count()
+    }
+
+    /// Iterates over all valid lines.
+    pub fn iter_valid(&self) -> impl Iterator<Item = &CacheLine> {
+        self.lines.iter().filter(|l| l.is_valid())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 2 sets x 2 ways.
+        CacheArray::new(CacheGeometry::new(256, 2))
+    }
+
+    #[test]
+    fn geometry_derives_sets_and_lines() {
+        let g = CacheGeometry::new(32 * 1024, 8);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.lines(), 512);
+        assert_eq!(g.set_of(64), 0);
+        assert_eq!(g.set_of(65), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_geometry_panics() {
+        let _ = CacheGeometry::new(100, 3);
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let mut c = tiny();
+        c.insert(4, CoherenceState::Modified, 0, None);
+        let l = c.lookup(4).unwrap();
+        assert_eq!(l.state, CoherenceState::Modified);
+        assert!(l.dirty);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Blocks 0, 2, 4 all map to set 0 (2 sets).
+        c.insert(0, CoherenceState::Exclusive, 0, None);
+        c.insert(2, CoherenceState::Exclusive, 0, None);
+        c.touch(0); // 0 is now MRU; 2 is LRU
+        let ev = c.insert(4, CoherenceState::Exclusive, 0, None).unwrap();
+        assert_eq!(ev.block, 2);
+        assert!(c.peek(0).is_some());
+        assert!(c.peek(2).is_none());
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness() {
+        let mut c = tiny();
+        c.insert(0, CoherenceState::Modified, 0, None);
+        c.insert(2, CoherenceState::Exclusive, 0, None);
+        c.insert(4, CoherenceState::Exclusive, 0, None);
+        // LRU is block 0 (inserted first, never touched): dirty.
+        let hit0 = c.peek(0);
+        assert!(hit0.is_none());
+    }
+
+    #[test]
+    fn eviction_flags_unused_prefetch() {
+        let mut c = tiny();
+        c.insert(0, CoherenceState::Modified, 0, Some(RfoOrigin::SpbBurst));
+        c.insert(2, CoherenceState::Exclusive, 0, None);
+        let ev = c.insert(4, CoherenceState::Exclusive, 0, None).unwrap();
+        assert_eq!(ev.block, 0);
+        assert_eq!(ev.unused_prefetch, Some(RfoOrigin::SpbBurst));
+    }
+
+    #[test]
+    fn touched_prefetch_is_not_flagged_on_eviction() {
+        let mut c = tiny();
+        c.insert(0, CoherenceState::Modified, 0, Some(RfoOrigin::AtCommit));
+        c.touch(0);
+        c.insert(2, CoherenceState::Exclusive, 0, None);
+        c.touch(2);
+        let ev = c.insert(4, CoherenceState::Exclusive, 0, None).unwrap();
+        assert_eq!(ev.block, 0);
+        assert_eq!(ev.unused_prefetch, None);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.insert(8, CoherenceState::Shared, 0, None);
+        let old = c.invalidate(8).unwrap();
+        assert_eq!(old.block, 8);
+        assert!(c.peek(8).is_none());
+        assert!(c.invalidate(8).is_none());
+    }
+
+    #[test]
+    fn downgrade_clears_dirty_and_reports_it() {
+        let mut c = tiny();
+        c.insert(8, CoherenceState::Modified, 0, None);
+        assert_eq!(c.downgrade(8), Some(true));
+        let l = c.peek(8).unwrap();
+        assert_eq!(l.state, CoherenceState::Shared);
+        assert!(!l.dirty);
+    }
+
+    #[test]
+    fn tag_checks_count_lookups() {
+        let mut c = tiny();
+        let _ = c.lookup(1);
+        let _ = c.lookup(2);
+        assert_eq!(c.tag_checks(), 2);
+        c.reset_tag_checks();
+        assert_eq!(c.tag_checks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut c = tiny();
+        c.insert(4, CoherenceState::Exclusive, 0, None);
+        c.insert(4, CoherenceState::Exclusive, 0, None);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for b in 0..100u64 {
+            let _ = c.insert(b, CoherenceState::Exclusive, 0, None);
+        }
+        assert!(c.valid_lines() <= c.geometry().lines());
+    }
+}

@@ -1,0 +1,216 @@
+//! Miss-status holding registers.
+//!
+//! MSHRs bound the number of outstanding misses a cache level can track
+//! (64 per cache in Table I). Requests to a block that already has an
+//! entry *merge* into it; when the file is full, new misses must wait
+//! for the earliest completing entry — this is what ultimately limits
+//! how aggressive a prefetch burst can be.
+
+use crate::line::RfoOrigin;
+
+/// One outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// The missing block.
+    pub block: u64,
+    /// Cycle at which the fill completes.
+    pub ready: u64,
+    /// Whether the request asked for ownership (RFO) rather than a read.
+    pub exclusive: bool,
+    /// Prefetch origin, if this miss was initiated by a prefetch.
+    pub prefetch: Option<RfoOrigin>,
+}
+
+/// A bounded file of [`MshrEntry`]s.
+///
+/// # Examples
+///
+/// ```
+/// use spb_mem::mshr::MshrFile;
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert!(mshrs.allocate(0x10, 100, true, None, 0).is_ok());
+/// assert!(mshrs.lookup(0x10).is_some());
+/// // Completed entries are reclaimed lazily.
+/// mshrs.retire_completed(100);
+/// assert!(mshrs.lookup(0x10).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<MshrEntry>,
+    allocations: u64,
+    merges: u64,
+    full_events: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with room for `capacity` outstanding misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            allocations: 0,
+            merges: 0,
+            full_events: 0,
+        }
+    }
+
+    /// Maximum number of outstanding entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total allocations (for stats).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total merged (secondary) requests.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Times a request found the file full.
+    pub fn full_events(&self) -> u64 {
+        self.full_events
+    }
+
+    /// Drops entries whose fills have completed by `now`.
+    pub fn retire_completed(&mut self, now: u64) {
+        self.entries.retain(|e| e.ready > now);
+    }
+
+    /// Finds the outstanding entry for `block`, if any.
+    pub fn lookup(&self, block: u64) -> Option<&MshrEntry> {
+        self.entries.iter().find(|e| e.block == block)
+    }
+
+    /// Upgrades an in-flight read entry to exclusive (a store merged into
+    /// a load miss); returns the entry's ready time if present.
+    pub fn upgrade_to_exclusive(&mut self, block: u64) -> Option<u64> {
+        let e = self.entries.iter_mut().find(|e| e.block == block)?;
+        e.exclusive = true;
+        Some(e.ready)
+    }
+
+    /// Records a merged (secondary) request against an existing entry.
+    pub fn record_merge(&mut self) {
+        self.merges += 1;
+    }
+
+    /// Allocates an entry for `block` completing at `ready`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(earliest_ready)` when the file is full, where
+    /// `earliest_ready` is the soonest cycle at which an entry frees up
+    /// (callers retry then). Completed entries are reclaimed first.
+    pub fn allocate(
+        &mut self,
+        block: u64,
+        ready: u64,
+        exclusive: bool,
+        prefetch: Option<RfoOrigin>,
+        now: u64,
+    ) -> Result<(), u64> {
+        self.retire_completed(now);
+        debug_assert!(
+            self.lookup(block).is_none(),
+            "duplicate MSHR for block {block:#x}"
+        );
+        if self.entries.len() >= self.capacity {
+            self.full_events += 1;
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.ready)
+                .min()
+                .expect("full file is non-empty");
+            return Err(earliest);
+        }
+        self.entries.push(MshrEntry {
+            block,
+            ready,
+            exclusive,
+            prefetch,
+        });
+        self.allocations += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_lookup() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1, 50, true, None, 0).unwrap();
+        let e = m.lookup(1).unwrap();
+        assert_eq!(e.ready, 50);
+        assert!(e.exclusive);
+        assert_eq!(m.allocations(), 1);
+    }
+
+    #[test]
+    fn full_file_reports_earliest_completion() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 100, false, None, 0).unwrap();
+        m.allocate(2, 60, false, None, 0).unwrap();
+        let err = m.allocate(3, 120, false, None, 10).unwrap_err();
+        assert_eq!(err, 60);
+        assert_eq!(m.full_events(), 1);
+    }
+
+    #[test]
+    fn completed_entries_are_reclaimed_on_allocate() {
+        let mut m = MshrFile::new(1);
+        m.allocate(1, 10, false, None, 0).unwrap();
+        // At cycle 11 the old entry has completed, so this succeeds.
+        m.allocate(2, 50, false, None, 11).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(m.lookup(1).is_none());
+    }
+
+    #[test]
+    fn upgrade_marks_exclusive_and_returns_ready() {
+        let mut m = MshrFile::new(2);
+        m.allocate(7, 42, false, None, 0).unwrap();
+        assert_eq!(m.upgrade_to_exclusive(7), Some(42));
+        assert!(m.lookup(7).unwrap().exclusive);
+        assert_eq!(m.upgrade_to_exclusive(9), None);
+    }
+
+    #[test]
+    fn retire_is_strict_about_boundary() {
+        let mut m = MshrFile::new(2);
+        m.allocate(7, 42, false, None, 0).unwrap();
+        m.retire_completed(41);
+        assert_eq!(m.len(), 1, "not complete before its ready cycle");
+        m.retire_completed(42);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,1180 @@
+//! The assembled memory hierarchy.
+//!
+//! [`MemorySystem`] wires together per-core private L1D and L2 caches, a
+//! shared L3, a full-map MESI directory, a bandwidth-limited DRAM port,
+//! the generic L1 prefetcher, and — central to the paper — the
+//! **L1-controller prefetch-burst queue** that SPB pushes page-sized RFO
+//! bursts into.
+//!
+//! The timing model is "fill at issue": a miss inserts its line
+//! immediately with a `ready` cycle computed from the level that
+//! services it (plus directory actions and DRAM queueing); accesses that
+//! find a line whose `ready` is in the future are *hits under fill*,
+//! which is exactly the paper's transient `IM`/`PF_IM` situation.
+
+use crate::cache::{CacheArray, CacheGeometry, Eviction};
+use crate::directory::Directory;
+use crate::dram::{DramConfig, DramPort};
+use crate::line::{CoherenceState, RfoOrigin};
+use crate::mshr::MshrFile;
+use crate::prefetch::{Prefetcher, PrefetcherKind};
+use spb_stats::Histogram;
+use std::collections::{HashMap, VecDeque};
+
+/// Structural and timing parameters of the hierarchy (Table I defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryConfig {
+    /// Number of cores (1 for SPEC runs, 8 for PARSEC runs).
+    pub cores: usize,
+    /// L1D capacity in bytes.
+    pub l1_size: u64,
+    /// L1D associativity.
+    pub l1_ways: usize,
+    /// L1D hit latency in cycles.
+    pub l1_latency: u64,
+    /// Private L2 capacity in bytes.
+    pub l2_size: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// Shared L3 capacity in bytes.
+    pub l3_size: u64,
+    /// L3 associativity.
+    pub l3_ways: usize,
+    /// L3 hit latency in cycles.
+    pub l3_latency: u64,
+    /// MSHR entries per core (per-cache in Table I).
+    pub mshrs_per_core: usize,
+    /// DRAM port parameters.
+    pub dram: DramConfig,
+    /// Generic L1 prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// RFO prefetches the L1 controller issues from the burst queue per
+    /// cycle (SPB's drain rate).
+    pub burst_issue_per_cycle: u32,
+    /// Extra latency for 3-hop coherence (remote cache involvement).
+    pub remote_penalty: u64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self {
+            cores: 1,
+            l1_size: 32 * 1024,
+            l1_ways: 8,
+            l1_latency: 4,
+            l2_size: 1024 * 1024,
+            l2_ways: 16,
+            l2_latency: 14,
+            l3_size: 16 * 1024 * 1024,
+            l3_ways: 16,
+            l3_latency: 36,
+            mshrs_per_core: 64,
+            dram: DramConfig::default(),
+            prefetcher: PrefetcherKind::Stride,
+            burst_issue_per_cycle: 4,
+            remote_penalty: 40,
+        }
+    }
+}
+
+/// The cache level (or remote cache) that serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Serviced by the local L1D.
+    L1,
+    /// Serviced by the private L2.
+    L2,
+    /// Serviced by the shared L3.
+    L3,
+    /// Serviced by another core's cache (3-hop).
+    Remote,
+    /// Serviced by memory.
+    Dram,
+}
+
+/// Outcome of a demand load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle the data is available to the core.
+    pub ready: u64,
+    /// Whether the access hit a ready line in L1.
+    pub l1_hit: bool,
+    /// Which level ultimately serviced it.
+    pub level: Level,
+}
+
+/// Whether an access needs read or write permission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Want {
+    /// A readable copy suffices.
+    Read,
+    /// Ownership (write permission) is required.
+    Own,
+}
+
+/// Outcome of the head-of-SB store trying to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreDrainOutcome {
+    /// The store wrote to L1 this cycle; the SB entry can be freed.
+    Performed {
+        /// Whether it hit a ready, writable line (vs having waited).
+        l1_hit: bool,
+    },
+    /// The line is not writable/ready yet; retry at the given cycle.
+    Retry {
+        /// Earliest cycle at which retrying can succeed.
+        at: u64,
+    },
+}
+
+/// Outcome of a store-prefetch (RFO) request at the L1 controller,
+/// mirroring the messages in the paper's Figure 4 running example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfoResponse {
+    /// The block is already owned (or being fetched with ownership); the
+    /// request is discarded — the paper's `PopReq`.
+    Discarded,
+    /// The request merged into (and upgraded) an in-flight miss.
+    Merged,
+    /// A new ownership request was issued — `GetX`/`GetPFx`.
+    Issued,
+    /// The MSHR file was full; the request waits in the L1 controller's
+    /// prefetch queue and will be re-issued.
+    Queued,
+}
+
+/// Aggregate counters exposed by the memory system.
+///
+/// Per-[`RfoOrigin`] arrays are indexed by [`RfoOrigin::index`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand loads observed.
+    pub loads: u64,
+    /// Loads hitting a ready L1 line.
+    pub load_l1_hits: u64,
+    /// Loads serviced by L2.
+    pub load_l2_hits: u64,
+    /// Loads serviced by L3.
+    pub load_l3_hits: u64,
+    /// Loads serviced by a remote cache.
+    pub load_remote_hits: u64,
+    /// Loads serviced by DRAM.
+    pub load_dram: u64,
+    /// Stores that performed (drained from an SB).
+    pub stores_performed: u64,
+    /// Stores that performed on their first L1 attempt.
+    pub store_l1_ready_hits: u64,
+    /// Store drain attempts that had to retry.
+    pub store_retries: u64,
+    /// Demand store misses (no line, no in-flight request).
+    pub demand_store_misses: u64,
+    /// RFO/prefetch requests sent by the CPU to the L1 controller.
+    pub prefetch_requests: [u64; 4],
+    /// Of those, requests that missed L1 and generated downstream
+    /// traffic (Figure 12's MISS series).
+    pub prefetch_downstream: [u64; 4],
+    /// Prefetched blocks whose first demand use found them ready and
+    /// owned (Figure 11 "successful").
+    pub prefetch_successful: [u64; 4],
+    /// Prefetched blocks demanded while still in flight ("late").
+    pub prefetch_late: [u64; 4],
+    /// Prefetched blocks evicted/invalidated unused but demanded later
+    /// ("early").
+    pub prefetch_early: [u64; 4],
+    /// Prefetched blocks never demanded (finalized at end of run).
+    pub prefetch_never_used: [u64; 4],
+    /// Dirty evictions written back.
+    pub writebacks: u64,
+    /// Coherence invalidations delivered to private caches.
+    pub invalidations: u64,
+    /// L1 conflict/capacity misses on blocks that were recently evicted
+    /// (re-reference misses — the `roms` pollution signal).
+    pub l1_rereference_misses: u64,
+    /// L1D tag-array checks (demand + prefetch + drain attempts).
+    pub l1_tag_checks: u64,
+    /// L1D accesses (loads + performed stores), for the energy model.
+    pub l1_data_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// DRAM accesses (fills; write-backs counted separately).
+    pub dram_accesses: u64,
+}
+
+impl MemStats {
+    /// Total prefetch requests across all origins.
+    pub fn total_prefetch_requests(&self) -> u64 {
+        self.prefetch_requests.iter().sum()
+    }
+
+    /// Success rate of store prefetches for `origin` over all issued.
+    pub fn success_rate(&self, origin: RfoOrigin) -> f64 {
+        let i = origin.index();
+        let issued = self.prefetch_requests[i];
+        if issued == 0 {
+            0.0
+        } else {
+            self.prefetch_successful[i] as f64 / issued as f64
+        }
+    }
+}
+
+struct CoreMem {
+    l1: CacheArray,
+    l2: CacheArray,
+    mshr: MshrFile,
+    prefetcher: Prefetcher,
+    burst_queue: VecDeque<(u64, RfoOrigin)>,
+    /// Latest completion time among outstanding demand misses.
+    demand_miss_until: u64,
+}
+
+/// The assembled memory hierarchy. See the [module docs](self).
+pub struct MemorySystem {
+    config: MemoryConfig,
+    cores: Vec<CoreMem>,
+    l3: CacheArray,
+    directory: Directory,
+    dram: DramPort,
+    /// Blocks brought by a prefetch and evicted unused; a later demand
+    /// makes the prefetch "early", otherwise it ends "never used".
+    evicted_unused: HashMap<u64, RfoOrigin>,
+    /// Recently evicted (any) L1 blocks, for re-reference miss counting.
+    recently_evicted_l1: HashMap<u64, u64>,
+    /// Distribution of SPB burst lengths (blocks per enqueued burst).
+    burst_lengths: Histogram,
+    stats: MemStats,
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("cores", &self.cores.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemorySystem {
+    /// Builds an empty hierarchy from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cores` is zero or exceeds
+    /// [`crate::directory::MAX_CORES`], or if a cache geometry is invalid.
+    pub fn new(config: MemoryConfig) -> Self {
+        let cores = (0..config.cores)
+            .map(|_| CoreMem {
+                l1: CacheArray::new(CacheGeometry::new(config.l1_size, config.l1_ways)),
+                l2: CacheArray::new(CacheGeometry::new(config.l2_size, config.l2_ways)),
+                mshr: MshrFile::new(config.mshrs_per_core),
+                prefetcher: Prefetcher::new(config.prefetcher),
+                burst_queue: VecDeque::new(),
+                demand_miss_until: 0,
+            })
+            .collect();
+        Self {
+            l3: CacheArray::new(CacheGeometry::new(config.l3_size, config.l3_ways)),
+            directory: Directory::new(config.cores),
+            dram: DramPort::new(config.dram),
+            cores,
+            evicted_unused: HashMap::new(),
+            recently_evicted_l1: HashMap::new(),
+            burst_lengths: Histogram::new("burst_len_blocks", 8, 9),
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Read access to the counters.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Whether `core` has a demand L1D miss outstanding at `now`.
+    pub fn has_pending_demand_miss(&self, core: usize, now: u64) -> bool {
+        self.cores[core].demand_miss_until > now
+    }
+
+    /// Number of blocks waiting in `core`'s SPB burst queue.
+    pub fn burst_queue_len(&self, core: usize) -> usize {
+        self.cores[core].burst_queue.len()
+    }
+
+    /// Distribution of SPB burst lengths observed at the L1 controller.
+    pub fn burst_lengths(&self) -> &Histogram {
+        &self.burst_lengths
+    }
+
+    /// Clears all counters (end of warm-up) without touching cache or
+    /// timing state.
+    pub fn reset_stats(&mut self) {
+        self.burst_lengths.reset();
+        self.stats = MemStats::default();
+        for c in &mut self.cores {
+            c.l1.reset_tag_checks();
+            c.l2.reset_tag_checks();
+        }
+        self.l3.reset_tag_checks();
+        self.dram.reset_counters();
+        self.evicted_unused.clear();
+    }
+
+    /// Folds "never used" prefetches into the stats: blocks still sitting
+    /// unused in caches plus evicted-unused blocks that were never
+    /// re-demanded. Call once at the end of a measured run.
+    pub fn finalize_stats(&mut self) {
+        for (_, origin) in self.evicted_unused.drain() {
+            self.stats.prefetch_never_used[origin.index()] += 1;
+        }
+        for core in &self.cores {
+            for line in core.l1.iter_valid() {
+                if let Some(origin) = line.prefetch {
+                    if !line.used {
+                        self.stats.prefetch_never_used[origin.index()] += 1;
+                    }
+                }
+            }
+        }
+        // Mirror tag checks into the snapshot.
+        self.stats.l1_tag_checks = self.cores.iter().map(|c| c.l1.tag_checks()).sum();
+    }
+
+    // -- internal helpers ---------------------------------------------------
+
+    fn handle_l1_eviction(&mut self, core: usize, ev: Eviction, now: u64) {
+        if let Some(origin) = ev.unused_prefetch {
+            self.evicted_unused.insert(ev.block, origin);
+        }
+        self.recently_evicted_l1.insert(ev.block, now);
+        if self.recently_evicted_l1.len() > 1 << 16 {
+            // Bound the map: forget ancient evictions.
+            let horizon = now.saturating_sub(200_000);
+            self.recently_evicted_l1.retain(|_, t| *t >= horizon);
+        }
+        if ev.dirty {
+            // Write back into L2 (present by inclusion in the common
+            // case; otherwise push further down).
+            if let Some(l2line) = self.cores[core].l2.lookup(ev.block) {
+                l2line.dirty = true;
+                return;
+            }
+            self.push_writeback_below_l2(core, ev.block, now);
+        }
+        // If the block is gone from both private levels, tell the home.
+        if self.cores[core].l2.peek(ev.block).is_none() {
+            self.directory.evicted(core as u8, ev.block);
+        }
+    }
+
+    fn handle_l2_eviction(&mut self, core: usize, ev: Eviction, now: u64) {
+        // Inclusive-ish bookkeeping: L1 may still hold it; only notify
+        // the directory when neither level has it.
+        if ev.dirty {
+            self.push_writeback_below_l2(core, ev.block, now);
+        }
+        if self.cores[core].l1.peek(ev.block).is_none() {
+            self.directory.evicted(core as u8, ev.block);
+        }
+    }
+
+    fn push_writeback_below_l2(&mut self, _core: usize, block: u64, now: u64) {
+        self.stats.writebacks += 1;
+        if let Some(l3line) = self.l3.lookup(block) {
+            l3line.dirty = true;
+        } else {
+            self.dram.writeback(now, block);
+        }
+    }
+
+    fn handle_l3_eviction(&mut self, ev: Eviction, now: u64) {
+        if ev.dirty {
+            self.stats.writebacks += 1;
+            self.dram.writeback(now, ev.block);
+        }
+    }
+
+    /// Services a miss below L1: L2 → directory/L3 → DRAM.
+    ///
+    /// Returns `(ready, level)` and fills L2 (and L3) as needed. Does
+    /// *not* touch L1 — callers insert the L1 line so they can set the
+    /// right state and prefetch origin.
+    fn fill_below_l1(
+        &mut self,
+        core: usize,
+        block: u64,
+        now: u64,
+        want: Want,
+        prefetch: Option<RfoOrigin>,
+    ) -> (u64, Level) {
+        let exclusive = want == Want::Own;
+        self.stats.l2_accesses += 1;
+
+        // L2 hit with sufficient permission.
+        let l2_state = self.cores[core]
+            .l2
+            .lookup(block)
+            .map(|l| (l.state, l.ready));
+        if let Some((state, line_ready)) = l2_state {
+            if !exclusive || state.writable() {
+                let ready = line_ready.max(now) + self.config.l2_latency;
+                self.cores[core].l2.touch(block);
+                if exclusive {
+                    if let Some(l) = self.cores[core].l2.lookup(block) {
+                        l.state = CoherenceState::Modified;
+                    }
+                }
+                return (ready, Level::L2);
+            }
+        }
+
+        // Home node: directory + L3.
+        self.stats.l3_accesses += 1;
+        let actions = if exclusive {
+            self.directory.request_exclusive(core as u8, block)
+        } else {
+            self.directory.request_shared(core as u8, block)
+        };
+        let mut remote = 0u64;
+        let mut remote_dirty = false;
+        for victim in actions.invalidate.iter().copied() {
+            let v = victim as usize;
+            self.stats.invalidations += 1;
+            remote = self.config.remote_penalty;
+            if let Some(old) = self.cores[v].l1.invalidate(block) {
+                remote_dirty |= old.dirty;
+                if let Some(origin) = old.prefetch.filter(|_| !old.used) {
+                    self.evicted_unused.insert(block, origin);
+                }
+            }
+            if let Some(old) = self.cores[v].l2.invalidate(block) {
+                remote_dirty |= old.dirty;
+            }
+        }
+        if let Some(owner) = actions.downgrade {
+            let o = owner as usize;
+            remote = self.config.remote_penalty;
+            if let Some(d) = self.cores[o].l1.downgrade(block) {
+                remote_dirty |= d;
+            }
+            if let Some(d) = self.cores[o].l2.downgrade(block) {
+                remote_dirty |= d;
+            }
+        }
+
+        // Upgrade-in-place: L2 had the data in S; the directory round
+        // trip is the cost, no data fetch needed.
+        if let Some((state, _)) = l2_state {
+            debug_assert!(exclusive && !state.writable());
+            let ready = now + self.config.l3_latency + remote;
+            if let Some(l) = self.cores[core].l2.lookup(block) {
+                l.state = CoherenceState::Modified;
+                l.ready = ready;
+            }
+            self.cores[core].l2.touch(block);
+            return (ready, if remote > 0 { Level::Remote } else { Level::L3 });
+        }
+
+        let grant_state = if exclusive {
+            CoherenceState::Modified
+        } else {
+            match self.directory.entry(block) {
+                Some(crate::directory::DirEntry::Shared { .. }) => CoherenceState::Shared,
+                _ => CoherenceState::Exclusive,
+            }
+        };
+
+        let (mut ready, mut level) = if let Some(l3line) = self.l3.lookup(block) {
+            let r = l3line.ready.max(now) + self.config.l3_latency;
+            if remote_dirty {
+                l3line.dirty = true;
+            }
+            self.l3.touch(block);
+            (r, Level::L3)
+        } else {
+            // Miss in L3: fetch from memory and fill L3.
+            self.stats.dram_accesses += 1;
+            let r = self.dram.access(now + self.config.l3_latency, block);
+            if let Some(ev) = self.l3.insert(block, CoherenceState::Exclusive, r, None) {
+                self.handle_l3_eviction(ev, now);
+            }
+            (r, Level::Dram)
+        };
+        if remote > 0 {
+            ready += remote;
+            level = Level::Remote;
+        }
+
+        // Fill L2.
+        if self.cores[core].l2.peek(block).is_none() {
+            if let Some(ev) = self.cores[core]
+                .l2
+                .insert(block, grant_state, ready, prefetch)
+            {
+                self.handle_l2_eviction(core, ev, now);
+            }
+        }
+        (ready, level)
+    }
+
+    /// Allocates an L1 MSHR, waiting (by advancing the effective request
+    /// time) if the file is full. Returns the possibly delayed `now`.
+    fn mshr_admit(&mut self, core: usize, now: u64) -> u64 {
+        let mshr = &mut self.cores[core].mshr;
+        mshr.retire_completed(now);
+        if mshr.len() < mshr.capacity() {
+            return now;
+        }
+        // Full: the request stalls until the earliest entry completes.
+        let earliest = match mshr.allocate(u64::MAX, 0, false, None, now) {
+            Err(e) => e,
+            Ok(_) => unreachable!("file was full"),
+        };
+        let delayed = earliest.max(now);
+        self.cores[core].mshr.retire_completed(delayed);
+        delayed
+    }
+
+    /// Issues the generic-prefetcher candidates produced by training.
+    fn issue_cache_prefetches(&mut self, core: usize, candidates: &[u64], now: u64, want: Want) {
+        for &block in candidates {
+            // Respect MSHR capacity: generic prefetches are dropped when
+            // the file is nearly full (demand gets priority).
+            let mshr = &mut self.cores[core].mshr;
+            mshr.retire_completed(now);
+            if mshr.len() + 1 >= mshr.capacity() {
+                return;
+            }
+            if self.cores[core].l1.peek(block).is_some()
+                || self.cores[core].mshr.lookup(block).is_some()
+            {
+                continue;
+            }
+            self.stats.prefetch_requests[RfoOrigin::CachePrefetcher.index()] += 1;
+            self.stats.prefetch_downstream[RfoOrigin::CachePrefetcher.index()] += 1;
+            let (ready, _level) =
+                self.fill_below_l1(core, block, now, want, Some(RfoOrigin::CachePrefetcher));
+            let state = if want == Want::Own {
+                CoherenceState::Exclusive
+            } else {
+                match self.directory.entry(block) {
+                    Some(crate::directory::DirEntry::Shared { .. }) => CoherenceState::Shared,
+                    _ => CoherenceState::Exclusive,
+                }
+            };
+            let _ = self.cores[core].mshr.allocate(
+                block,
+                ready,
+                want == Want::Own,
+                Some(RfoOrigin::CachePrefetcher),
+                now,
+            );
+            if let Some(ev) =
+                self.cores[core]
+                    .l1
+                    .insert(block, state, ready, Some(RfoOrigin::CachePrefetcher))
+            {
+                self.handle_l1_eviction(core, ev, now);
+            }
+        }
+    }
+
+    // -- public access paths ------------------------------------------------
+
+    /// A demand load of the block containing `addr` by `core` at `now`.
+    ///
+    /// Trains the generic prefetcher and returns when the data is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn load(&mut self, core: usize, addr: u64, now: u64) -> AccessResult {
+        self.load_with_pc(core, addr, addr >> 2, now)
+    }
+
+    /// [`MemorySystem::load`] with an explicit training PC.
+    pub fn load_with_pc(&mut self, core: usize, addr: u64, pc: u64, now: u64) -> AccessResult {
+        let block = addr / 64;
+        self.stats.loads += 1;
+        self.stats.l1_data_accesses += 1;
+
+        let mut candidates = Vec::new();
+        self.cores[core]
+            .prefetcher
+            .train(pc, block, &mut candidates);
+
+        let line_info = self.cores[core]
+            .l1
+            .lookup(block)
+            .map(|l| (l.state, l.ready, l.prefetch, l.used));
+        let result = if let Some((state, line_ready, prefetch, used)) = line_info {
+            debug_assert!(state.readable());
+            if prefetch.is_some() && !used {
+                self.cores[core].prefetcher.feedback_useful();
+            }
+            self.cores[core].l1.touch(block);
+            if line_ready <= now {
+                self.stats.load_l1_hits += 1;
+                AccessResult {
+                    ready: now + self.config.l1_latency,
+                    l1_hit: true,
+                    level: Level::L1,
+                }
+            } else {
+                // Hit under fill: wait for the in-flight line.
+                self.cores[core].demand_miss_until =
+                    self.cores[core].demand_miss_until.max(line_ready);
+                AccessResult {
+                    ready: line_ready,
+                    l1_hit: false,
+                    level: Level::L1,
+                }
+            }
+        } else {
+            // True L1 miss.
+            self.cores[core].mshr.retire_completed(now);
+            if let Some(entry) = self.cores[core].mshr.lookup(block).copied() {
+                // The line was evicted while its fill was in flight;
+                // merge and reinstate it.
+                self.cores[core].mshr.record_merge();
+                let state = if entry.exclusive {
+                    CoherenceState::Modified
+                } else {
+                    CoherenceState::Exclusive
+                };
+                if let Some(ev) = self.cores[core].l1.insert(block, state, entry.ready, None) {
+                    self.handle_l1_eviction(core, ev, now);
+                }
+                self.cores[core].demand_miss_until =
+                    self.cores[core].demand_miss_until.max(entry.ready);
+                return AccessResult {
+                    ready: entry.ready,
+                    l1_hit: false,
+                    level: Level::L2,
+                };
+            }
+            if self.recently_evicted_l1.remove(&block).is_some() {
+                self.stats.l1_rereference_misses += 1;
+            }
+            if let Some(origin) = self.evicted_unused.remove(&block) {
+                self.stats.prefetch_early[origin.index()] += 1;
+            }
+            let now_adm = self.mshr_admit(core, now);
+            let (ready, level) = self.fill_below_l1(core, block, now_adm, Want::Read, None);
+            match level {
+                Level::L2 => self.stats.load_l2_hits += 1,
+                Level::L3 => self.stats.load_l3_hits += 1,
+                Level::Remote => self.stats.load_remote_hits += 1,
+                Level::Dram => self.stats.load_dram += 1,
+                Level::L1 => unreachable!(),
+            }
+            let state = match self.directory.entry(block) {
+                Some(crate::directory::DirEntry::Shared { .. }) => CoherenceState::Shared,
+                _ => CoherenceState::Exclusive,
+            };
+            let _ = self.cores[core]
+                .mshr
+                .allocate(block, ready, false, None, now_adm);
+            if let Some(ev) = self.cores[core].l1.insert(block, state, ready, None) {
+                self.handle_l1_eviction(core, ev, now_adm);
+            }
+            self.cores[core].l1.touch(block);
+            self.cores[core].demand_miss_until = self.cores[core].demand_miss_until.max(ready);
+            AccessResult {
+                ready,
+                l1_hit: false,
+                level,
+            }
+        };
+
+        if !candidates.is_empty() {
+            self.issue_cache_prefetches(core, &candidates, now, Want::Read);
+        }
+        result
+    }
+
+    /// The head store of `core`'s SB tries to write the block containing
+    /// `addr`. TSO allows at most one drain attempt per cycle per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn store_drain(&mut self, core: usize, addr: u64, now: u64) -> StoreDrainOutcome {
+        self.store_drain_with_pc(core, addr, addr >> 2, now)
+    }
+
+    /// [`MemorySystem::store_drain`] with an explicit PC for prefetcher
+    /// training (the generic L1 prefetcher trains on demand accesses:
+    /// loads and performed stores, as in gem5).
+    pub fn store_drain_with_pc(
+        &mut self,
+        core: usize,
+        addr: u64,
+        pc: u64,
+        now: u64,
+    ) -> StoreDrainOutcome {
+        let block = addr / 64;
+        self.cores[core].mshr.retire_completed(now);
+        let line_info = self.cores[core]
+            .l1
+            .lookup(block)
+            .map(|l| (l.state, l.ready, l.prefetch, l.used));
+        match line_info {
+            Some((state, line_ready, prefetch, used)) if state.writable() => {
+                if line_ready <= now {
+                    if let Some(origin) = prefetch.filter(|_| !used) {
+                        self.stats.prefetch_successful[origin.index()] += 1;
+                        self.cores[core].prefetcher.feedback_useful();
+                    }
+                    self.cores[core].l1.touch(block);
+                    if let Some(l) = self.cores[core].l1.lookup(block) {
+                        l.state = CoherenceState::Modified;
+                        l.dirty = true;
+                    }
+                    self.stats.stores_performed += 1;
+                    self.stats.store_l1_ready_hits += 1;
+                    self.stats.l1_data_accesses += 1;
+                    // Demand training of the generic L1 prefetcher: this
+                    // is the "store in entry 0 performs → prefetch B1"
+                    // behaviour of §III-A.
+                    let mut candidates = Vec::new();
+                    self.cores[core]
+                        .prefetcher
+                        .train(pc, block, &mut candidates);
+                    if !candidates.is_empty() {
+                        self.issue_cache_prefetches(core, &candidates, now, Want::Own);
+                    }
+                    StoreDrainOutcome::Performed { l1_hit: true }
+                } else {
+                    // In flight (IM / PF_IM): classify lateness once.
+                    if let Some(origin) = prefetch.filter(|_| !used) {
+                        self.stats.prefetch_late[origin.index()] += 1;
+                        self.cores[core].l1.touch(block); // marks used
+                    }
+                    self.stats.store_retries += 1;
+                    self.cores[core].demand_miss_until =
+                        self.cores[core].demand_miss_until.max(line_ready);
+                    StoreDrainOutcome::Retry { at: line_ready }
+                }
+            }
+            Some((_, _, _, _)) => {
+                // Readable but not writable: upgrade.
+                self.stats.store_retries += 1;
+                let now_adm = self.mshr_admit(core, now);
+                let (ready, _level) = self.fill_below_l1(core, block, now_adm, Want::Own, None);
+                if let Some(l) = self.cores[core].l1.lookup(block) {
+                    l.state = CoherenceState::Modified;
+                    l.ready = ready;
+                }
+                let _ = self.cores[core]
+                    .mshr
+                    .allocate(block, ready, true, None, now_adm);
+                self.cores[core].demand_miss_until = self.cores[core].demand_miss_until.max(ready);
+                StoreDrainOutcome::Retry { at: ready }
+            }
+            None => {
+                // Miss. Merge into an in-flight request if one exists.
+                if let Some(ready) = self.cores[core].mshr.upgrade_to_exclusive(block) {
+                    self.cores[core].mshr.record_merge();
+                    self.stats.store_retries += 1;
+                    self.cores[core].demand_miss_until =
+                        self.cores[core].demand_miss_until.max(ready);
+                    // Reinstate the L1 line if it was evicted mid-flight.
+                    if self.cores[core].l1.peek(block).is_none() {
+                        if let Some(ev) =
+                            self.cores[core]
+                                .l1
+                                .insert(block, CoherenceState::Modified, ready, None)
+                        {
+                            self.handle_l1_eviction(core, ev, now);
+                        }
+                    } else if let Some(l) = self.cores[core].l1.lookup(block) {
+                        l.state = CoherenceState::Modified;
+                    }
+                    return StoreDrainOutcome::Retry { at: ready };
+                }
+                // Demand RFO: the `Getx` of Figure 4's T0.
+                self.stats.demand_store_misses += 1;
+                self.stats.store_retries += 1;
+                if self.recently_evicted_l1.remove(&block).is_some() {
+                    self.stats.l1_rereference_misses += 1;
+                }
+                if let Some(origin) = self.evicted_unused.remove(&block) {
+                    self.stats.prefetch_early[origin.index()] += 1;
+                }
+                let now_adm = self.mshr_admit(core, now);
+                let (ready, _level) = self.fill_below_l1(core, block, now_adm, Want::Own, None);
+                let _ = self.cores[core]
+                    .mshr
+                    .allocate(block, ready, true, None, now_adm);
+                if let Some(ev) =
+                    self.cores[core]
+                        .l1
+                        .insert(block, CoherenceState::Modified, ready, None)
+                {
+                    self.handle_l1_eviction(core, ev, now_adm);
+                }
+                self.cores[core].demand_miss_until = self.cores[core].demand_miss_until.max(ready);
+                StoreDrainOutcome::Retry { at: ready }
+            }
+        }
+    }
+
+    /// A store-prefetch (write-permission) request from `origin` for the
+    /// block containing `addr` — the at-execute/at-commit per-store RFO,
+    /// or one block of an SPB burst.
+    ///
+    /// Also trains the generic L1 prefetcher (store prefetches are how
+    /// the store stream reaches it, per §III-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn store_prefetch(
+        &mut self,
+        core: usize,
+        addr: u64,
+        pc: u64,
+        now: u64,
+        origin: RfoOrigin,
+    ) -> RfoResponse {
+        let _ = pc; // prefetcher training happens on demand accesses only
+        let block = addr / 64;
+        self.cores[core].mshr.retire_completed(now);
+        self.stats.prefetch_requests[origin.index()] += 1;
+
+        let line_state = self.cores[core].l1.lookup(block).map(|l| l.state);
+        let response = match line_state {
+            Some(state) if state.writable() => RfoResponse::Discarded, // PopReq
+            Some(_) => {
+                // Shared: upgrade in place.
+                self.stats.prefetch_downstream[origin.index()] += 1;
+                let now_adm = self.mshr_admit(core, now);
+                let (ready, _) = self.fill_below_l1(core, block, now_adm, Want::Own, Some(origin));
+                if let Some(l) = self.cores[core].l1.lookup(block) {
+                    l.state = CoherenceState::Modified;
+                    l.ready = ready;
+                }
+                let _ = self.cores[core]
+                    .mshr
+                    .allocate(block, ready, true, Some(origin), now_adm);
+                RfoResponse::Issued
+            }
+            None => {
+                if let Some(ready) = self.cores[core].mshr.upgrade_to_exclusive(block) {
+                    self.cores[core].mshr.record_merge();
+                    if self.cores[core].l1.peek(block).is_some() {
+                        if let Some(l) = self.cores[core].l1.lookup(block) {
+                            l.state = CoherenceState::Modified;
+                        }
+                    }
+                    let _ = ready;
+                    return RfoResponse::Merged;
+                }
+                // When the MSHR file is full the request waits in the L1
+                // controller's prefetch queue (an SB entry in real
+                // hardware holds its RFO until a fill buffer frees) and
+                // is re-issued by `tick`.
+                {
+                    let mshr = &mut self.cores[core].mshr;
+                    mshr.retire_completed(now);
+                    if mshr.len() >= mshr.capacity() {
+                        self.stats.prefetch_requests[origin.index()] -= 1; // re-counted on reissue
+                        self.cores[core].burst_queue.push_back((block, origin));
+                        return RfoResponse::Queued;
+                    }
+                }
+                // `GetPFx`: a fresh ownership prefetch (PF_IM).
+                self.stats.prefetch_downstream[origin.index()] += 1;
+                let (ready, _) = self.fill_below_l1(core, block, now, Want::Own, Some(origin));
+                let _ = self.cores[core]
+                    .mshr
+                    .allocate(block, ready, true, Some(origin), now);
+                if let Some(ev) = self.cores[core].l1.insert(
+                    block,
+                    CoherenceState::Exclusive,
+                    ready,
+                    Some(origin),
+                ) {
+                    self.handle_l1_eviction(core, ev, now);
+                }
+                RfoResponse::Issued
+            }
+        };
+        response
+    }
+
+    /// Queues a page burst: RFO prefetches for `blocks`, drained at
+    /// [`MemoryConfig::burst_issue_per_cycle`] by [`MemorySystem::tick`].
+    pub fn enqueue_burst(&mut self, core: usize, blocks: impl IntoIterator<Item = u64>) {
+        let q = &mut self.cores[core].burst_queue;
+        let before = q.len();
+        for b in blocks {
+            q.push_back((b, RfoOrigin::SpbBurst));
+        }
+        let pushed = (q.len() - before) as u64;
+        if pushed > 0 {
+            self.burst_lengths.record(pushed);
+        }
+    }
+
+    /// One cycle of L1-controller work: drains the burst queues.
+    pub fn tick(&mut self, now: u64) {
+        for core in 0..self.cores.len() {
+            for _ in 0..self.config.burst_issue_per_cycle {
+                // Leave headroom in the MSHR file for demand requests.
+                let mshr = &mut self.cores[core].mshr;
+                mshr.retire_completed(now);
+                if mshr.len() + 4 >= mshr.capacity() {
+                    break;
+                }
+                let Some((block, origin)) = self.cores[core].burst_queue.pop_front() else {
+                    break;
+                };
+                let _ = self.store_prefetch(core, block * 64, 0, now, origin);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_core() -> MemorySystem {
+        MemorySystem::new(MemoryConfig::default())
+    }
+
+    #[test]
+    fn cold_load_misses_to_dram_then_hits() {
+        let mut m = single_core();
+        let r1 = m.load(0, 0x10000, 0);
+        assert_eq!(r1.level, Level::Dram);
+        assert!(!r1.l1_hit);
+        assert!(r1.ready > 150);
+        let r2 = m.load(0, 0x10008, r1.ready + 1);
+        assert!(r2.l1_hit);
+        assert_eq!(r2.ready, r1.ready + 1 + m.config().l1_latency);
+        assert_eq!(m.stats().load_l1_hits, 1);
+        assert_eq!(m.stats().load_dram, 1);
+    }
+
+    #[test]
+    fn load_hit_under_fill_waits_for_line() {
+        let mut m = single_core();
+        let r1 = m.load(0, 0x20000, 0);
+        let r2 = m.load(0, 0x20008, 5);
+        assert!(!r2.l1_hit);
+        assert_eq!(r2.ready, r1.ready, "second load waits for the same fill");
+    }
+
+    #[test]
+    fn store_drain_miss_issues_demand_rfo_and_retries() {
+        let mut m = single_core();
+        match m.store_drain(0, 0x30000, 0) {
+            StoreDrainOutcome::Retry { at } => {
+                assert!(at > 100);
+                // Retrying at the ready time performs.
+                match m.store_drain(0, 0x30000, at) {
+                    StoreDrainOutcome::Performed { l1_hit } => assert!(l1_hit),
+                    other => panic!("expected perform, got {other:?}"),
+                }
+            }
+            other => panic!("expected retry, got {other:?}"),
+        }
+        assert_eq!(m.stats().demand_store_misses, 1);
+        assert_eq!(m.stats().stores_performed, 1);
+    }
+
+    #[test]
+    fn at_commit_prefetch_turns_miss_into_hit() {
+        let mut m = single_core();
+        let resp = m.store_prefetch(0, 0x40000, 0x99, 0, RfoOrigin::AtCommit);
+        assert_eq!(resp, RfoResponse::Issued);
+        // Wait out the fill, then the drain succeeds immediately.
+        let outcome = m.store_drain(0, 0x40000, 1000);
+        assert_eq!(outcome, StoreDrainOutcome::Performed { l1_hit: true });
+        assert_eq!(
+            m.stats().prefetch_successful[RfoOrigin::AtCommit.index()],
+            1
+        );
+    }
+
+    #[test]
+    fn prefetch_to_owned_block_is_discarded_popreq() {
+        let mut m = single_core();
+        let _ = m.store_prefetch(0, 0x50000, 0x99, 0, RfoOrigin::AtCommit);
+        let resp = m.store_prefetch(0, 0x50000, 0x99, 1, RfoOrigin::AtCommit);
+        assert_eq!(resp, RfoResponse::Discarded);
+    }
+
+    #[test]
+    fn late_prefetch_is_classified_once() {
+        let mut m = single_core();
+        let _ = m.store_prefetch(0, 0x60000, 0x99, 0, RfoOrigin::AtCommit);
+        // Demand store arrives while the RFO is still in flight.
+        let o = m.store_drain(0, 0x60000, 2);
+        assert!(matches!(o, StoreDrainOutcome::Retry { .. }));
+        let _ = m.store_drain(0, 0x60000, 3);
+        assert_eq!(m.stats().prefetch_late[RfoOrigin::AtCommit.index()], 1);
+        assert_eq!(
+            m.stats().prefetch_successful[RfoOrigin::AtCommit.index()],
+            0
+        );
+    }
+
+    #[test]
+    fn burst_queue_drains_at_configured_rate() {
+        let mut m = single_core();
+        m.enqueue_burst(0, (0..10u64).map(|i| 0x1000 + i));
+        assert_eq!(m.burst_queue_len(0), 10);
+        m.tick(0);
+        assert_eq!(
+            m.burst_queue_len(0),
+            10 - m.config().burst_issue_per_cycle as usize
+        );
+        for now in 1..10 {
+            m.tick(now);
+        }
+        assert_eq!(m.burst_queue_len(0), 0);
+        assert_eq!(m.stats().prefetch_requests[RfoOrigin::SpbBurst.index()], 10);
+    }
+
+    #[test]
+    fn demand_miss_tracking_reflects_outstanding_fill() {
+        let mut m = single_core();
+        assert!(!m.has_pending_demand_miss(0, 0));
+        let r = m.load(0, 0x70000, 0);
+        assert!(m.has_pending_demand_miss(0, 1));
+        assert!(!m.has_pending_demand_miss(0, r.ready + 1));
+    }
+
+    #[test]
+    fn multicore_store_invalidates_remote_copy() {
+        let cfg = MemoryConfig {
+            cores: 2,
+            ..Default::default()
+        };
+        let mut m = MemorySystem::new(cfg);
+        // Core 1 reads the block, then core 0 stores to it.
+        let r = m.load(1, 0x80000, 0);
+        let _ = m.store_drain(0, 0x80000, r.ready + 1);
+        assert_eq!(m.stats().invalidations, 1);
+        // Core 1's copy is gone: next read misses.
+        let r2 = m.load(1, 0x80000, r.ready + 500);
+        assert!(!r2.l1_hit);
+    }
+
+    #[test]
+    fn remote_dirty_read_pays_remote_penalty() {
+        let cfg = MemoryConfig {
+            cores: 2,
+            ..Default::default()
+        };
+        let mut m = MemorySystem::new(cfg);
+        // Core 0 owns and writes the block.
+        let StoreDrainOutcome::Retry { at } = m.store_drain(0, 0x90000, 0) else {
+            panic!("expected retry");
+        };
+        let _ = m.store_drain(0, 0x90000, at);
+        // Core 1 loads it: 3-hop.
+        let r = m.load(1, 0x90000, at + 1);
+        assert_eq!(r.level, Level::Remote);
+    }
+
+    #[test]
+    fn evicted_unused_prefetch_becomes_early_on_demand() {
+        // Tiny L1 to force evictions quickly: 2 sets x 2 ways.
+        let cfg = MemoryConfig {
+            l1_size: 256,
+            l1_ways: 2,
+            ..Default::default()
+        };
+        let mut m = MemorySystem::new(cfg);
+        // Prefetch 8 blocks into a 4-line cache: some evict unused.
+        for b in 0..8u64 {
+            let _ = m.store_prefetch(0, b * 64, 0x9, 0, RfoOrigin::SpbBurst);
+        }
+        // Demand-store one of the early blocks (now evicted).
+        let _ = m.store_drain(0, 0, 1000);
+        assert!(m.stats().prefetch_early[RfoOrigin::SpbBurst.index()] >= 1);
+    }
+
+    #[test]
+    fn finalize_counts_never_used_prefetches() {
+        let mut m = single_core();
+        let _ = m.store_prefetch(0, 0xA0000, 0x9, 0, RfoOrigin::SpbBurst);
+        let _ = m.store_prefetch(0, 0xA0040, 0x9, 0, RfoOrigin::SpbBurst);
+        // Use one of the two.
+        let _ = m.store_drain(0, 0xA0000, 5000);
+        m.finalize_stats();
+        assert_eq!(
+            m.stats().prefetch_never_used[RfoOrigin::SpbBurst.index()],
+            1
+        );
+        assert_eq!(
+            m.stats().prefetch_successful[RfoOrigin::SpbBurst.index()],
+            1
+        );
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_but_keeps_cache_contents() {
+        let mut m = single_core();
+        let r = m.load(0, 0xB0000, 0);
+        m.reset_stats();
+        assert_eq!(m.stats().loads, 0);
+        let r2 = m.load(0, 0xB0000, r.ready + 1);
+        assert!(r2.l1_hit, "warm line survives the stats reset");
+    }
+
+    #[test]
+    fn store_merge_into_load_miss_upgrades() {
+        let mut m = single_core();
+        let r = m.load(0, 0xC0000, 0);
+        // While the load is in flight, a store to the same block merges.
+        let o = m.store_drain(0, 0xC0000, 1);
+        match o {
+            StoreDrainOutcome::Retry { at } => assert!(at >= r.ready),
+            other => panic!("expected retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dram_bandwidth_spreads_a_burst() {
+        let mut m = single_core();
+        // 32 parallel RFOs: later ones must queue behind channel slots.
+        let mut readies = Vec::new();
+        for b in 0..32u64 {
+            let _ = m.store_prefetch(0, 0xD0000 + b * 64, 0x9, 0, RfoOrigin::SpbBurst);
+            if let Some(l) = m.cores[0].l1.peek(0xD0000 / 64 + b) {
+                readies.push(l.ready);
+            }
+        }
+        let first = readies.iter().min().unwrap();
+        let last = readies.iter().max().unwrap();
+        assert!(last > first, "bursts are bandwidth-limited, not instant");
+    }
+
+    #[test]
+    fn stride_prefetcher_issues_for_a_load_stream() {
+        let mut m = single_core();
+        let mut now = 0u64;
+        for b in 0..40u64 {
+            let r = m.load_with_pc(0, 0xE00000 + b * 64, 0x1234, now);
+            now = r.ready + 1;
+        }
+        assert!(
+            m.stats().prefetch_requests[RfoOrigin::CachePrefetcher.index()] > 0,
+            "the stride prefetcher must have trained and issued"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Multicore coherence-path tests: upgrades, downgrades, and the
+//! classification of remote involvement.
+
+use spb_mem::system::{Level, MemoryConfig, MemorySystem, RfoResponse, StoreDrainOutcome};
+use spb_mem::RfoOrigin;
+
+fn two_cores() -> MemorySystem {
+    MemorySystem::new(MemoryConfig {
+        cores: 2,
+        ..Default::default()
+    })
+}
+
+fn drain_until_done(mem: &mut MemorySystem, core: usize, addr: u64, mut now: u64) -> u64 {
+    loop {
+        match mem.store_drain(core, addr, now) {
+            StoreDrainOutcome::Performed { .. } => return now,
+            StoreDrainOutcome::Retry { at } => now = at,
+        }
+    }
+}
+
+#[test]
+fn store_to_shared_line_upgrades_in_place() {
+    let mut mem = two_cores();
+    // Both cores read the block: it ends Shared.
+    let r0 = mem.load(0, 0x5000, 0);
+    let _r1 = mem.load(1, 0x5000, r0.ready + 1);
+    // Core 0 stores: its S copy upgrades; core 1 gets invalidated.
+    let done = drain_until_done(&mut mem, 0, 0x5000, r0.ready + 500);
+    assert!(done > 0);
+    assert!(mem.stats().invalidations >= 1);
+    // Core 1's next read is a miss serviced remotely or below.
+    let r1b = mem.load(1, 0x5000, done + 1);
+    assert!(!r1b.l1_hit);
+}
+
+#[test]
+fn remote_dirty_line_downgrades_on_read() {
+    let mut mem = two_cores();
+    let done = drain_until_done(&mut mem, 0, 0x6000, 0);
+    // Core 1 reads the dirty line: 3-hop service, owner downgraded.
+    let r = mem.load(1, 0x6000, done + 1);
+    assert_eq!(r.level, Level::Remote);
+    // Both can now read locally.
+    let r0 = mem.load(0, 0x6000, r.ready + 1);
+    assert!(r0.l1_hit, "owner keeps a (downgraded) copy");
+}
+
+#[test]
+fn write_ping_pong_invalidate_each_round() {
+    let mut mem = two_cores();
+    let mut now = 0;
+    for round in 0..6 {
+        let core = round % 2;
+        now = drain_until_done(&mut mem, core, 0x7000, now) + 1;
+    }
+    // Five ownership transfers after the first.
+    assert!(
+        mem.stats().invalidations >= 5,
+        "got {} invalidations",
+        mem.stats().invalidations
+    );
+}
+
+#[test]
+fn prefetch_to_remote_owned_block_is_a_remote_rfo() {
+    let mut mem = two_cores();
+    let done = drain_until_done(&mut mem, 0, 0x8000, 0);
+    // Core 1 RFO-prefetches the same block: must invalidate core 0.
+    let resp = mem.store_prefetch(1, 0x8000, 0x9, done + 1, RfoOrigin::AtCommit);
+    assert_eq!(resp, RfoResponse::Issued);
+    assert!(mem.stats().invalidations >= 1);
+    // Core 0's re-read misses now.
+    let r0 = mem.load(0, 0x8000, done + 500);
+    assert!(!r0.l1_hit);
+}
+
+#[test]
+fn burst_to_private_pages_causes_no_invalidations() {
+    // The paper's coherence-friendliness claim in miniature: bursts to
+    // uncontended pages never generate coherence traffic.
+    let mut mem = two_cores();
+    mem.enqueue_burst(0, 0x100..0x140); // one page of blocks
+    mem.enqueue_burst(1, 0x200..0x240); // a different page
+    for now in 0..200 {
+        mem.tick(now);
+    }
+    assert_eq!(mem.stats().invalidations, 0);
+}
+
+#[test]
+fn l2_hit_after_l1_eviction() {
+    // Fill enough distinct blocks to evict an early one from L1 (512
+    // lines) while it stays in the 16k-line L2.
+    let mut mem = MemorySystem::new(MemoryConfig::default());
+    let mut now = 0;
+    let first = 0xA0000u64;
+    let r = mem.load(0, first, now);
+    now = r.ready + 1;
+    for i in 1..1500u64 {
+        let r = mem.load(0, first + i * 64, now);
+        now = r.ready + 1;
+    }
+    let again = mem.load(0, first, now);
+    assert!(!again.l1_hit, "block must have been evicted from L1");
+    assert_eq!(again.level, Level::L2, "and must be served by the L2");
+}

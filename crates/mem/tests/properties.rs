@@ -1,0 +1,151 @@
+//! Property-based tests for the memory substrate.
+
+use proptest::prelude::*;
+use spb_mem::cache::{CacheArray, CacheGeometry};
+use spb_mem::directory::Directory;
+use spb_mem::line::CoherenceState;
+use spb_mem::mshr::MshrFile;
+use spb_mem::system::{MemoryConfig, MemorySystem, StoreDrainOutcome};
+use std::collections::HashSet;
+
+proptest! {
+    /// A cache never holds more lines than its geometry allows, never
+    /// holds a block twice, and a lookup after insert (without
+    /// intervening conflict pressure) hits.
+    #[test]
+    fn cache_capacity_and_uniqueness(blocks in proptest::collection::vec(0u64..512, 1..300)) {
+        let mut cache = CacheArray::new(CacheGeometry::new(4096, 4)); // 16 sets x 4 ways
+        for &b in &blocks {
+            if cache.peek(b).is_none() {
+                cache.insert(b, CoherenceState::Exclusive, 0, None);
+            }
+            cache.touch(b);
+            prop_assert!(cache.valid_lines() <= cache.geometry().lines());
+            // Uniqueness: counting valid lines per block address.
+            let mut seen = HashSet::new();
+            for line in cache.iter_valid() {
+                prop_assert!(seen.insert(line.block), "duplicate tag for {:#x}", line.block);
+            }
+            // The just-touched block must be present.
+            prop_assert!(cache.peek(b).is_some());
+        }
+    }
+
+    /// LRU: after touching a block, inserting conflicting blocks evicts
+    /// others in the set before it (with fewer conflicts than ways).
+    #[test]
+    fn cache_touch_protects_mru(extra in 1u64..3) {
+        let mut cache = CacheArray::new(CacheGeometry::new(1024, 4)); // 4 sets x 4 ways
+        let sets = 4u64;
+        // Fill set 0 with 4 blocks; block 0 is touched last (MRU).
+        for b in [0u64, sets, 2 * sets, 3 * sets] {
+            cache.insert(b, CoherenceState::Exclusive, 0, None);
+        }
+        cache.touch(0);
+        // Insert up to 3 more conflicting blocks: block 0 must survive.
+        for i in 0..extra {
+            cache.insert((4 + i) * sets, CoherenceState::Exclusive, 0, None);
+        }
+        prop_assert!(cache.peek(0).is_some(), "MRU block was evicted");
+    }
+
+    /// MSHR files never exceed capacity, and the error path reports a
+    /// ready time of some live entry.
+    #[test]
+    fn mshr_capacity_respected(ops in proptest::collection::vec((0u64..64, 1u64..500), 1..200)) {
+        let mut m = MshrFile::new(8);
+        let mut now = 0;
+        for (block, dur) in ops {
+            now += 1;
+            if m.lookup(block).is_none() {
+                match m.allocate(block, now + dur, false, None, now) {
+                    Ok(()) => {}
+                    Err(earliest) => prop_assert!(earliest > now),
+                }
+            }
+            prop_assert!(m.len() <= m.capacity());
+        }
+    }
+
+    /// Directory single-writer invariant under arbitrary traffic, plus
+    /// internal mask consistency.
+    #[test]
+    fn directory_single_writer(ops in proptest::collection::vec((0u8..4, 0u64..16, 0u8..3), 1..500)) {
+        let mut d = Directory::new(4);
+        for (core, block, op) in ops {
+            match op {
+                0 => { let _ = d.request_shared(core, block); }
+                1 => { let _ = d.request_exclusive(core, block); }
+                _ => d.evicted(core, block),
+            }
+            prop_assert!(d.check_invariants());
+        }
+    }
+
+    /// In a single-core system, every store eventually performs: a
+    /// `Retry` outcome always carries a time after which the drain
+    /// succeeds, regardless of address pattern.
+    #[test]
+    fn store_drain_always_converges(addrs in proptest::collection::vec(0u64..(1 << 20), 1..60)) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut now = 0;
+        for addr in addrs {
+            let mut attempts = 0;
+            loop {
+                match mem.store_drain(0, addr, now) {
+                    StoreDrainOutcome::Performed { .. } => break,
+                    StoreDrainOutcome::Retry { at } => {
+                        prop_assert!(at > now, "retry must advance time");
+                        now = at;
+                        attempts += 1;
+                        prop_assert!(attempts < 64, "drain livelock for {addr:#x}");
+                    }
+                }
+            }
+            now += 1;
+        }
+    }
+
+    /// Loads are monotone: a second load of the same block at a later
+    /// time is never slower than the L1 hit latency.
+    #[test]
+    fn warm_loads_hit(addr in 0u64..(1 << 24)) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let first = mem.load(0, addr, 0);
+        let second = mem.load(0, addr, first.ready + 1);
+        prop_assert!(second.l1_hit);
+        prop_assert_eq!(second.ready, first.ready + 1 + mem.config().l1_latency);
+    }
+
+    /// The classification identity: for any traffic, each prefetched
+    /// block is classified at most once (successful + late + early +
+    /// never-used never exceeds downstream-issued prefetches).
+    #[test]
+    fn prefetch_classification_bounded(
+        blocks in proptest::collection::vec(0u64..256, 1..100),
+        drains in proptest::collection::vec(0u64..256, 0..100),
+    ) {
+        use spb_mem::RfoOrigin;
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut now = 0;
+        for b in blocks {
+            let _ = mem.store_prefetch(0, b * 64, 0x9, now, RfoOrigin::SpbBurst);
+            now += 1;
+        }
+        for b in drains {
+            let _ = mem.store_drain(0, b * 64, now + 1000);
+            now += 1;
+        }
+        mem.finalize_stats();
+        let s = mem.stats();
+        let i = RfoOrigin::SpbBurst.index();
+        let classified = s.prefetch_successful[i] + s.prefetch_late[i]
+            + s.prefetch_early[i] + s.prefetch_never_used[i];
+        prop_assert!(
+            classified <= s.prefetch_downstream[i],
+            "classified {} > issued {}",
+            classified,
+            s.prefetch_downstream[i]
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Run configuration: policy selection and simulation budgets.
+
+use serde::{Deserialize, Serialize};
+use spb_core::detector::SpbConfig;
+use spb_core::policy::{SpbDynamicPolicy, SpbPolicy};
+use spb_cpu::policy::{AtCommitPolicy, AtExecutePolicy, NoPolicy};
+use spb_cpu::{CoreConfig, StorePrefetchPolicy};
+use spb_mem::MemoryConfig;
+
+/// The SB entry count used for the "ideal" configuration (the paper
+/// normalizes to a 1024-entry SB).
+pub const IDEAL_SB_ENTRIES: usize = 1024;
+
+/// Which store-prefetch strategy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No store prefetching (gem5 out of the box).
+    None,
+    /// At-execute (Gharachorloo et al.).
+    AtExecute,
+    /// At-commit (Intel's documented policy; the paper's baseline).
+    AtCommit,
+    /// Store-Prefetch Bursts with window `n`.
+    Spb {
+        /// Detector window (paper default 48).
+        n: u32,
+        /// Suppress duplicate bursts per page.
+        dedupe: bool,
+    },
+    /// The §IV-C dynamic-store-size variant.
+    SpbDynamic {
+        /// Detector window.
+        n: u32,
+    },
+    /// The ideal SB: a 1024-entry SB with at-commit prefetching; no
+    /// SB-capacity stalls in practice.
+    IdealSb,
+}
+
+impl PolicyKind {
+    /// The paper's SPB configuration.
+    pub fn spb_default() -> Self {
+        PolicyKind::Spb {
+            n: 48,
+            dedupe: true,
+        }
+    }
+
+    /// Builds a fresh policy instance for one core.
+    pub fn build(&self) -> Box<dyn StorePrefetchPolicy + Send> {
+        match *self {
+            PolicyKind::None => Box::new(NoPolicy::new()),
+            PolicyKind::AtExecute => Box::new(AtExecutePolicy::new()),
+            PolicyKind::AtCommit | PolicyKind::IdealSb => Box::new(AtCommitPolicy::new()),
+            PolicyKind::Spb { n, dedupe } => Box::new(SpbPolicy::new(SpbConfig { n, dedupe })),
+            PolicyKind::SpbDynamic { n } => {
+                Box::new(SpbDynamicPolicy::new(SpbConfig { n, dedupe: true }))
+            }
+        }
+    }
+
+    /// SB size this policy forces, if any (the ideal SB overrides the
+    /// configured size).
+    pub fn sb_override(&self) -> Option<usize> {
+        matches!(self, PolicyKind::IdealSb).then_some(IDEAL_SB_ENTRIES)
+    }
+
+    /// Display label used in experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            PolicyKind::None => "none".into(),
+            PolicyKind::AtExecute => "at-execute".into(),
+            PolicyKind::AtCommit => "at-commit".into(),
+            PolicyKind::Spb {
+                n: 48,
+                dedupe: true,
+            } => "spb".into(),
+            PolicyKind::Spb { n, dedupe } => format!("spb(n={n},dedupe={dedupe})"),
+            PolicyKind::SpbDynamic { n } => format!("spb-dynamic(n={n})"),
+            PolicyKind::IdealSb => "ideal".into(),
+        }
+    }
+}
+
+/// Everything one run needs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Core microarchitecture (Table I / II).
+    pub core: CoreConfig,
+    /// Memory hierarchy (Table I).
+    pub mem: MemoryConfig,
+    /// Store-prefetch strategy.
+    pub policy: PolicyKind,
+    /// µops per core to run before measurement starts (cache warm-up,
+    /// the paper's "100 million cycles within the ROI" in miniature).
+    pub warmup_uops: u64,
+    /// µops per core measured (the paper's 2 billion in miniature).
+    pub measure_uops: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's default configuration: Skylake core, Table I
+    /// hierarchy, at-commit prefetching.
+    pub fn paper_default() -> Self {
+        Self {
+            core: CoreConfig::skylake(),
+            mem: MemoryConfig::default(),
+            policy: PolicyKind::AtCommit,
+            warmup_uops: 150_000,
+            measure_uops: 600_000,
+            seed: 42,
+        }
+    }
+
+    /// A faster configuration for tests and smoke runs.
+    ///
+    /// Still covers multiple full iterations of every application's
+    /// phase list (the longest iteration is ~120k µops).
+    pub fn quick() -> Self {
+        Self {
+            warmup_uops: 40_000,
+            measure_uops: 300_000,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Returns a copy with a different SB size.
+    #[must_use]
+    pub fn with_sb(mut self, sb_entries: usize) -> Self {
+        self.core.sb_entries = sb_entries;
+        self
+    }
+
+    /// Returns a copy with a different policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The effective SB size after any policy override.
+    pub fn effective_sb(&self) -> usize {
+        self.policy.sb_override().unwrap_or(self.core.sb_entries)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_overrides_sb_size() {
+        let cfg = SimConfig::paper_default()
+            .with_sb(14)
+            .with_policy(PolicyKind::IdealSb);
+        assert_eq!(cfg.effective_sb(), IDEAL_SB_ENTRIES);
+        let cfg2 = SimConfig::paper_default().with_sb(14);
+        assert_eq!(cfg2.effective_sb(), 14);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PolicyKind::spb_default().label(), "spb");
+        assert_eq!(PolicyKind::AtCommit.label(), "at-commit");
+        assert_eq!(
+            PolicyKind::Spb {
+                n: 24,
+                dedupe: true
+            }
+            .label(),
+            "spb(n=24,dedupe=true)"
+        );
+    }
+
+    #[test]
+    fn build_produces_matching_policy_names() {
+        assert_eq!(PolicyKind::None.build().name(), "none");
+        assert_eq!(PolicyKind::AtExecute.build().name(), "at-execute");
+        assert_eq!(PolicyKind::AtCommit.build().name(), "at-commit");
+        assert_eq!(PolicyKind::spb_default().build().name(), "spb");
+        assert_eq!(
+            PolicyKind::SpbDynamic { n: 48 }.build().name(),
+            "spb-dynamic"
+        );
+        assert_eq!(PolicyKind::IdealSb.build().name(), "at-commit");
+    }
+
+    #[test]
+    fn quick_is_smaller_than_paper_default() {
+        assert!(SimConfig::quick().measure_uops < SimConfig::paper_default().measure_uops);
+    }
+}

@@ -1,0 +1,42 @@
+//! Full-system assembly and experiment driver.
+//!
+//! This crate wires the substrates together the way the paper's gem5
+//! setup does: one [`spb_cpu::Core`] per thread (Table I widths and
+//! queues), a shared [`spb_mem::MemorySystem`] (private L1/L2, shared
+//! L3, MESI directory), a store-prefetch policy per core, and the
+//! [`spb_energy::EnergyModel`].
+//!
+//! - [`config::SimConfig`] / [`config::PolicyKind`] describe a run: the
+//!   core microarchitecture, the SB size under study, and which of
+//!   {none, at-execute, at-commit, SPB, SPB-dynamic, ideal-SB} drives
+//!   store prefetching.
+//! - [`runner::run_app`] executes an application profile with warm-up
+//!   and a fixed measured µop budget (the paper's ROI methodology in
+//!   miniature) and returns a [`runner::RunResult`] with all the
+//!   counters the figures need.
+//! - [`suite`] runs whole benchmark suites and aggregates the "ALL" and
+//!   "SB-BOUND" geometric means the paper reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use spb_sim::{config::{PolicyKind, SimConfig}, runner::run_app};
+//! use spb_trace::profile::AppProfile;
+//!
+//! let app = AppProfile::by_name("x264").unwrap();
+//! let mut cfg = SimConfig::quick();
+//! cfg.policy = PolicyKind::Spb { n: 48, dedupe: true };
+//! let result = run_app(&app, &cfg);
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod runner;
+pub mod suite;
+
+pub use config::{PolicyKind, SimConfig};
+pub use runner::{run_app, RunResult};

@@ -1,0 +1,179 @@
+//! Human-readable run reports.
+//!
+//! Renders a [`RunResult`] the way a performance engineer would want to
+//! read it: headline numbers, the Top-Down stall tree, the memory
+//! hierarchy's behaviour, the store-prefetch outcome breakdown, and the
+//! energy split — everything the paper's figures are built from, for a
+//! single run.
+
+use crate::runner::RunResult;
+use spb_mem::RfoOrigin;
+use spb_stats::StallCause;
+use std::fmt::Write as _;
+
+/// Renders a full text report for one run.
+pub fn render(r: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {} | policy {} | SB{} ===",
+        r.app, r.policy, r.sb_entries
+    );
+    let _ = writeln!(
+        out,
+        "cycles {:>12}   µops {:>12}   IPC {:.3}",
+        r.cycles,
+        r.uops,
+        r.ipc()
+    );
+
+    let _ = writeln!(out, "\n-- Top-Down (stall cycles, % of core cycles) --");
+    let cycles = r.topdown.cycles().max(1) as f64;
+    for cause in StallCause::ALL {
+        let c = r.topdown.stall_cycles(cause);
+        if c > 0 {
+            let _ = writeln!(
+                out,
+                "  {cause:<14} {c:>12}  {:>6.2}%",
+                100.0 * c as f64 / cycles
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>12}  {:>6.2}%",
+        "l1d-miss-pend",
+        r.topdown.l1d_miss_pending_stalls(),
+        100.0 * r.topdown.l1d_miss_pending_stalls() as f64 / cycles
+    );
+
+    let _ = writeln!(out, "\n-- Instruction mix --");
+    let _ = writeln!(
+        out,
+        "  loads {} | stores {} | branches {} (mispredicted {})",
+        r.cpu.committed_loads, r.cpu.committed_stores, r.cpu.committed_branches, r.cpu.mispredicts
+    );
+    let _ = writeln!(
+        out,
+        "  wrong-path µops {} | store-to-load forwards {}",
+        r.cpu.wrong_path_uops, r.cpu.store_forwards
+    );
+
+    let _ = writeln!(out, "\n-- Memory hierarchy --");
+    let m = &r.mem;
+    let _ = writeln!(
+        out,
+        "  loads: {} (L1 {:.1}% | L2 {} | L3 {} | remote {} | DRAM {})",
+        m.loads,
+        100.0 * m.load_l1_hits as f64 / m.loads.max(1) as f64,
+        m.load_l2_hits,
+        m.load_l3_hits,
+        m.load_remote_hits,
+        m.load_dram
+    );
+    let _ = writeln!(
+        out,
+        "  stores performed: {} (first-try hits {:.1}%, demand misses {})",
+        m.stores_performed,
+        100.0 * m.store_l1_ready_hits as f64 / m.stores_performed.max(1) as f64,
+        m.demand_store_misses
+    );
+    let _ = writeln!(
+        out,
+        "  L1 tag checks {} | L2 accesses {} | L3 accesses {} | DRAM {} (+{} writebacks)",
+        m.l1_tag_checks, m.l2_accesses, m.l3_accesses, m.dram_accesses, m.writebacks
+    );
+    if m.invalidations > 0 {
+        let _ = writeln!(out, "  coherence invalidations: {}", m.invalidations);
+    }
+
+    let _ = writeln!(out, "\n-- Store-prefetch outcomes (per origin) --");
+    for origin in RfoOrigin::ALL {
+        let i = origin.index();
+        let issued = m.prefetch_requests[i];
+        if issued == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<16} issued {:>9} | downstream {:>9} | ok {:>8} | late {:>7} | early {:>6} | unused {:>6}",
+            origin.to_string(),
+            issued,
+            m.prefetch_downstream[i],
+            m.prefetch_successful[i],
+            m.prefetch_late[i],
+            m.prefetch_early[i],
+            m.prefetch_never_used[i],
+        );
+    }
+
+    if r.sb_residency.count() > 0 {
+        let _ = writeln!(out, "\n-- SB residency (commit → drain, cycles) --");
+        let _ = writeln!(
+            out,
+            "  mean {:.1} | p50 ≤ {} | p95 ≤ {} | max {}",
+            r.sb_residency.mean(),
+            r.sb_residency.quantile(0.5),
+            r.sb_residency.quantile(0.95),
+            r.sb_residency.max()
+        );
+    }
+    if r.burst_lengths.count() > 0 {
+        let _ = writeln!(out, "\n-- SPB bursts --");
+        let _ = writeln!(
+            out,
+            "  {} bursts | mean {:.1} blocks | max {}",
+            r.burst_lengths.count(),
+            r.burst_lengths.mean(),
+            r.burst_lengths.max()
+        );
+    }
+
+    let _ = writeln!(out, "\n-- Energy --");
+    let _ = writeln!(out, "  {}", r.energy);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PolicyKind, SimConfig};
+    use crate::runner::run_app;
+    use spb_trace::profile::AppProfile;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let app = AppProfile::by_name("x264").unwrap();
+        let r = run_app(
+            &app,
+            &SimConfig::quick()
+                .with_sb(14)
+                .with_policy(PolicyKind::spb_default()),
+        );
+        let text = render(&r);
+        for section in [
+            "Top-Down",
+            "Instruction mix",
+            "Memory hierarchy",
+            "Store-prefetch outcomes",
+            "Energy",
+            "spb-burst",
+            "at-commit",
+        ] {
+            assert!(
+                text.contains(section),
+                "missing {section:?} in report:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_quiet_about_absent_counters() {
+        let app = AppProfile::by_name("povray").unwrap();
+        let r = run_app(&app, &SimConfig::quick());
+        let text = render(&r);
+        // povray has no store-prefetch traffic and no invalidations.
+        assert!(!text.contains("invalidations"));
+        assert!(!text.contains("at-execute"));
+    }
+}

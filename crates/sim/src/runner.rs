@@ -1,0 +1,241 @@
+//! Executing one application under one configuration.
+
+use crate::config::SimConfig;
+use spb_cpu::core::{Core, CpuStats};
+use spb_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
+use spb_mem::system::MemStats;
+use spb_mem::MemorySystem;
+use spb_stats::{Histogram, TopDown};
+use spb_trace::profile::AppProfile;
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Application name.
+    pub app: String,
+    /// Policy label.
+    pub policy: String,
+    /// Effective SB entries.
+    pub sb_entries: usize,
+    /// Measured cycles (shared clock; all cores run in lock-step).
+    pub cycles: u64,
+    /// Total µops committed across cores during measurement.
+    pub uops: u64,
+    /// Aggregated Top-Down accounting (per-core records merged).
+    pub topdown: TopDown,
+    /// Aggregated core counters.
+    pub cpu: CpuStats,
+    /// Memory-system counters (finalized).
+    pub mem: MemStats,
+    /// Post-commit SB residency distribution, merged over cores.
+    pub sb_residency: Histogram,
+    /// SPB burst-length distribution at the L1 controller.
+    pub burst_lengths: Histogram,
+    /// Energy breakdown for the measured window.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunResult {
+    /// Committed µops per cycle across all cores.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of (core-)cycles stalled on a full SB.
+    pub fn sb_stall_ratio(&self) -> f64 {
+        self.topdown.sb_stall_ratio()
+    }
+
+    /// Execution time proxy: measured cycles (lower is better).
+    pub fn time(&self) -> f64 {
+        self.cycles as f64
+    }
+}
+
+fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
+    into.committed_stores += from.committed_stores;
+    into.committed_loads += from.committed_loads;
+    into.committed_branches += from.committed_branches;
+    into.mispredicts += from.mispredicts;
+    into.wrong_path_uops += from.wrong_path_uops;
+    into.wrong_path_l1_accesses += from.wrong_path_l1_accesses;
+    into.store_forwards += from.store_forwards;
+    into.coalesced_stores += from.coalesced_stores;
+    for i in 0..into.sb_stall_by_region.len() {
+        into.sb_stall_by_region[i] += from.sb_stall_by_region[i];
+    }
+}
+
+/// Runs `profile` under `cfg`: builds one core per thread over a shared
+/// memory hierarchy, warms up, measures a fixed per-core µop budget,
+/// and returns the collected counters.
+///
+/// # Panics
+///
+/// Panics if the configuration is structurally invalid (zero queues).
+pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
+    let threads = profile.threads() as usize;
+    let mut mem_cfg = cfg.mem.clone();
+    mem_cfg.cores = threads;
+    let mut mem = MemorySystem::new(mem_cfg);
+
+    let mut core_cfg = cfg.core;
+    if let Some(sb) = cfg.policy.sb_override() {
+        core_cfg.sb_entries = sb;
+    }
+
+    let traces = profile.build_threads(cfg.seed);
+    let mut cores: Vec<Core> = traces
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| Core::new(i, core_cfg, Box::new(t), cfg.policy.build()))
+        .collect();
+
+    let mut now: u64 = 0;
+    // Warm-up: run until the slowest core has committed the budget.
+    let warm_target = cfg.warmup_uops;
+    while cores.iter().map(|c| c.committed_uops()).min().unwrap() < warm_target {
+        mem.tick(now);
+        for core in &mut cores {
+            core.cycle(&mut mem, now);
+        }
+        now += 1;
+    }
+    for core in &mut cores {
+        core.reset_stats();
+    }
+    mem.reset_stats();
+    let measure_start = now;
+
+    let measure_target = cfg.measure_uops;
+    while cores.iter().map(|c| c.committed_uops()).min().unwrap() < measure_target {
+        mem.tick(now);
+        for core in &mut cores {
+            core.cycle(&mut mem, now);
+        }
+        now += 1;
+    }
+    mem.finalize_stats();
+
+    let cycles = now - measure_start;
+    let mut topdown = TopDown::new();
+    let mut cpu = CpuStats::default();
+    let mut uops = 0;
+    let mut sb_residency = Histogram::new("sb_residency_cycles", 16, 64);
+    for core in &cores {
+        topdown.merge(core.topdown());
+        merge_cpu_stats(&mut cpu, core.stats());
+        sb_residency.merge(core.sb_residency());
+        uops += core.committed_uops();
+    }
+
+    let mem_stats = mem.stats().clone();
+    let events = EnergyEvents {
+        cycles: cycles * threads as u64,
+        committed_uops: uops,
+        wrong_path_uops: cpu.wrong_path_uops,
+        l1_accesses: mem_stats.l1_data_accesses + cpu.wrong_path_l1_accesses,
+        l1_tag_checks: mem_stats.l1_tag_checks,
+        l2_accesses: mem_stats.l2_accesses,
+        l3_accesses: mem_stats.l3_accesses,
+        dram_accesses: mem_stats.dram_accesses + mem_stats.writebacks,
+    };
+    let energy = EnergyModel::default().evaluate(&events);
+
+    RunResult {
+        app: profile.name().to_string(),
+        policy: cfg.policy.label(),
+        sb_entries: cfg.effective_sb(),
+        cycles,
+        uops,
+        topdown,
+        cpu,
+        mem: mem_stats,
+        sb_residency,
+        burst_lengths: mem.burst_lengths().clone(),
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyKind;
+
+    #[test]
+    fn quick_run_produces_sane_numbers() {
+        let app = AppProfile::by_name("gcc").unwrap();
+        let r = run_app(&app, &SimConfig::quick());
+        assert!(r.cycles > 0);
+        assert!(r.uops >= SimConfig::quick().measure_uops);
+        assert!(r.ipc() > 0.05 && r.ipc() < 4.0, "ipc {}", r.ipc());
+        assert!(r.energy.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let app = AppProfile::by_name("x264").unwrap();
+        let a = run_app(&app, &SimConfig::quick());
+        let b = run_app(&app, &SimConfig::quick());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.uops, b.uops);
+        assert_eq!(a.mem.loads, b.mem.loads);
+    }
+
+    #[test]
+    fn sb_bound_app_shows_sb_stalls_at_small_sb() {
+        let app = AppProfile::by_name("bwaves").unwrap();
+        let cfg = SimConfig::quick().with_sb(14);
+        let r = run_app(&app, &cfg);
+        assert!(
+            r.sb_stall_ratio() > 0.02,
+            "bwaves at SB14 must be SB-bound, got {}",
+            r.sb_stall_ratio()
+        );
+    }
+
+    #[test]
+    fn spb_beats_at_commit_on_sb_bound_app_with_small_sb() {
+        let app = AppProfile::by_name("x264").unwrap();
+        let base = run_app(&app, &SimConfig::quick().with_sb(14));
+        let spb = run_app(
+            &app,
+            &SimConfig::quick()
+                .with_sb(14)
+                .with_policy(PolicyKind::spb_default()),
+        );
+        assert!(
+            spb.cycles < base.cycles,
+            "SPB {} vs at-commit {}",
+            spb.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn parsec_app_runs_eight_cores() {
+        let app = AppProfile::by_name("dedup").unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.warmup_uops = 3_000;
+        cfg.measure_uops = 30_000;
+        let r = run_app(&app, &cfg);
+        // Eight cores, each committing at least the measure budget.
+        assert!(r.uops >= 8 * cfg.measure_uops);
+    }
+
+    #[test]
+    fn ideal_policy_reports_1024_entries() {
+        let app = AppProfile::by_name("gcc").unwrap();
+        let r = run_app(
+            &app,
+            &SimConfig::quick()
+                .with_sb(14)
+                .with_policy(PolicyKind::IdealSb),
+        );
+        assert_eq!(r.sb_entries, 1024);
+    }
+}

@@ -1,0 +1,123 @@
+//! Terminal bar charts for result tables.
+//!
+//! The experiment binaries print [`Table`]s; this module renders a
+//! table column as a horizontal ASCII bar chart so shapes (the thing
+//! this reproduction is judged on) are visible at a glance in a
+//! terminal, without any plotting dependency.
+
+use crate::table::Table;
+use std::fmt::Write as _;
+
+/// Width of the bar area in characters.
+const BAR_WIDTH: usize = 40;
+
+/// Renders one column of `table` as a horizontal bar chart.
+///
+/// Bars scale to the column's maximum. A reference line can be drawn at
+/// `reference` (e.g. 1.0 for normalized metrics), marked with `┊` where
+/// it falls inside a bar's range.
+///
+/// Returns `None` if the column does not exist or the table is empty.
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::{chart, Table};
+///
+/// let mut t = Table::new("Fig. 5", &["spb"]);
+/// t.push_row("SB56", &[0.983]);
+/// t.push_row("SB14", &[0.951]);
+/// let art = chart::render_column(&t, "spb", Some(1.0)).unwrap();
+/// assert!(art.contains("SB56"));
+/// ```
+pub fn render_column(table: &Table, column: &str, reference: Option<f64>) -> Option<String> {
+    let values = table.column_values(column)?;
+    if values.is_empty() {
+        return None;
+    }
+    let max = values
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(reference.unwrap_or(f64::NEG_INFINITY))
+        .max(1e-12);
+    let label_w = table.row_labels().map(str::len).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {column}", table.title());
+    let ref_col = reference.map(|r| ((r / max) * BAR_WIDTH as f64).round() as usize);
+    for (label, v) in table.row_labels().zip(&values) {
+        let filled = ((v / max) * BAR_WIDTH as f64).round() as usize;
+        let mut bar: Vec<char> = (0..BAR_WIDTH)
+            .map(|i| if i < filled { '█' } else { ' ' })
+            .collect();
+        if let Some(rc) = ref_col {
+            let rc = rc.min(BAR_WIDTH - 1);
+            if bar[rc] == ' ' {
+                bar[rc] = '┊';
+            }
+        }
+        let bar: String = bar.into_iter().collect();
+        let _ = writeln!(out, "{label:label_w$} |{bar}| {v:.3}");
+    }
+    Some(out)
+}
+
+/// Renders every column of the table, stacked.
+pub fn render_all(table: &Table, reference: Option<f64>) -> String {
+    let mut out = String::new();
+    let columns: Vec<String> = table.columns().map(str::to_string).collect();
+    for c in columns {
+        if let Some(chart) = render_column(table, &c, reference) {
+            out.push_str(&chart);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row("one", &[1.0, 0.5]);
+        t.push_row("two", &[2.0, 0.25]);
+        t
+    }
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let art = render_column(&sample(), "a", None).unwrap();
+        let lines: Vec<&str> = art.lines().collect();
+        let count = |s: &str| s.matches('█').count();
+        assert_eq!(count(lines[2]), BAR_WIDTH, "max value fills the bar");
+        assert_eq!(count(lines[1]), BAR_WIDTH / 2);
+    }
+
+    #[test]
+    fn reference_line_appears_in_short_bars() {
+        let art = render_column(&sample(), "b", Some(0.5)).unwrap();
+        // The 0.25 row is below the 0.5 reference: the marker shows.
+        let two_line = art.lines().find(|l| l.starts_with("two")).unwrap();
+        assert!(two_line.contains('┊'), "{two_line}");
+    }
+
+    #[test]
+    fn missing_column_returns_none() {
+        assert!(render_column(&sample(), "zzz", None).is_none());
+    }
+
+    #[test]
+    fn render_all_covers_every_column() {
+        let art = render_all(&sample(), None);
+        assert!(art.contains("— a"));
+        assert!(art.contains("— b"));
+    }
+
+    #[test]
+    fn empty_table_is_handled() {
+        let t = Table::new("empty", &["x"]);
+        assert!(render_column(&t, "x", None).is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Named event counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, monotonically increasing event counter.
+///
+/// Counters are the simulator's basic instrument: every cache hit, MSHR
+/// allocation, SB-induced stall cycle and prefetch outcome ends up in one.
+/// They are deliberately plain `u64`s with a name so collections of them
+/// serialize naturally into result files.
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::Counter;
+///
+/// let mut c = Counter::new("sb_stall_cycles");
+/// c.inc();
+/// c.add(9);
+/// assert_eq!(c.value(), 10);
+/// assert_eq!(c.name(), "sb_stall_cycles");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter with the given name, starting at zero.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current count.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` events to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Resets the counter to zero, e.g. at the end of a warm-up phase.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// This counter's value as a fraction of `denom`'s value.
+    ///
+    /// Returns 0.0 when the denominator is zero, which is the convention
+    /// used throughout the experiment reports (an application that never
+    /// stalls has a 0% stall ratio, not an undefined one).
+    pub fn ratio_of(&self, denom: &Counter) -> f64 {
+        if denom.value == 0 {
+            0.0
+        } else {
+            self.value as f64 / denom.value as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new("counter")
+    }
+}
+
+/// A pair of counters tracking occurrences out of opportunities,
+/// e.g. mispredicted branches out of all branches.
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::counter::Ratio;
+///
+/// let mut mpki = Ratio::new("branch_mispredicts");
+/// mpki.record(true);
+/// mpki.record(false);
+/// mpki.record(false);
+/// assert!((mpki.rate() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    name: String,
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates a named ratio starting at 0 / 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            hits: 0,
+            total: 0,
+        }
+    }
+
+    /// The ratio's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one opportunity; `hit` marks whether the event occurred.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Number of recorded occurrences.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of recorded opportunities.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Occurrences per opportunity in `[0, 1]`; 0.0 when nothing was
+    /// recorded.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Resets both sides of the ratio.
+    pub fn reset(&mut self) {
+        self.hits = 0;
+        self.total = 0;
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {}/{} ({:.2}%)",
+            self.name,
+            self.hits,
+            self.total,
+            self.rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_starts_at_zero_and_accumulates() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn counter_reset_clears_value_but_keeps_name() {
+        let mut c = Counter::new("warmup");
+        c.add(100);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.name(), "warmup");
+    }
+
+    #[test]
+    fn ratio_of_zero_denominator_is_zero() {
+        let a = Counter::new("a");
+        let b = Counter::new("b");
+        assert_eq!(a.ratio_of(&b), 0.0);
+    }
+
+    #[test]
+    fn ratio_of_computes_fraction() {
+        let mut a = Counter::new("a");
+        let mut b = Counter::new("b");
+        a.add(1);
+        b.add(4);
+        assert!((a.ratio_of(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_rate_and_reset() {
+        let mut r = Ratio::new("r");
+        assert_eq!(r.rate(), 0.0);
+        r.record(true);
+        r.record(true);
+        r.record(false);
+        assert_eq!(r.hits(), 2);
+        assert_eq!(r.total(), 3);
+        r.reset();
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        let c = Counter::new("c");
+        let r = Ratio::new("r");
+        assert!(!format!("{c}").is_empty());
+        assert!(!format!("{r}").is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! Fixed-width bucketed histograms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A histogram with fixed-width buckets over `[0, bucket_width * buckets)`
+/// and an overflow bucket for everything beyond.
+///
+/// Used for distributions the paper discusses qualitatively — store-burst
+/// lengths, SB residency times, miss latencies — so experiments can print
+/// them and tests can assert on their shape.
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::Histogram;
+///
+/// let mut h = Histogram::new("sb_residency", 10, 8);
+/// h.record(0);
+/// h.record(25);
+/// h.record(1_000_000); // lands in the overflow bucket
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(2), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    name: String,
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram named `name` with `buckets` buckets of width
+    /// `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is zero.
+    pub fn new(name: impl Into<String>, bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            name: name.into(),
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// An upper bound on the `q`-quantile (`q` in `[0, 1]`) using bucket
+    /// upper edges; samples in the overflow bucket report the observed
+    /// maximum.
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return (i as u64 + 1) * self.bucket_width - 1;
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram's samples into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries (bucket width/count) differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples (e.g. after warm-up).
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: n={} mean={:.2} max={}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.max
+        )?;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b > 0 {
+                writeln!(
+                    f,
+                    "  [{:>8}, {:>8}): {}",
+                    i as u64 * self.bucket_width,
+                    (i as u64 + 1) * self.bucket_width,
+                    b
+                )?;
+            }
+        }
+        if self.overflow > 0 {
+            writeln!(f, "  overflow: {}", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_buckets() {
+        let mut h = Histogram::new("h", 4, 4);
+        h.record(0);
+        h.record(3);
+        h.record(4);
+        h.record(15);
+        h.record(16);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn mean_and_max_track_samples() {
+        let mut h = Histogram::new("h", 10, 2);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::new("h", 1, 1);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_edge() {
+        let mut h = Histogram::new("h", 10, 10);
+        for v in [1u64, 2, 3, 50] {
+            h.record(v);
+        }
+        // Three of four samples are below 10, so p75 is in bucket 0.
+        assert_eq!(h.quantile(0.75), 9);
+        // The max sample defines p100's bucket.
+        assert_eq!(h.quantile(1.0), 59);
+    }
+
+    #[test]
+    fn overflow_quantile_returns_observed_max() {
+        let mut h = Histogram::new("h", 1, 1);
+        h.record(100);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = Histogram::new("h", 2, 2);
+        h.record(1);
+        h.record(10);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new("a", 4, 4);
+        let mut b = Histogram::new("b", 4, 4);
+        a.record(1);
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_count(0), 1);
+        assert_eq!(a.bucket_count(1), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new("a", 4, 4);
+        let b = Histogram::new("b", 8, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_panics() {
+        let _ = Histogram::new("h", 0, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Statistics substrate for the SPB simulator.
+//!
+//! The simulator in this workspace is measured the way the paper measures
+//! gem5: with event counters, stall-cycle attribution in the style of
+//! Intel's Top-Down model, and normalized geometric-mean summaries.
+//! This crate provides those building blocks:
+//!
+//! - [`Counter`]: a named event counter.
+//! - [`Histogram`]: fixed-width bucketed histogram with percentile queries.
+//! - [`topdown`]: issue-stall attribution ([`topdown::StallCause`],
+//!   [`topdown::TopDown`]) and the "execution stalls with L1D miss
+//!   pending" metric used by Figures 10, 14 and 15 of the paper.
+//! - [`table`]: a small table type ([`table::Table`]) that renders the
+//!   rows/series the paper reports as aligned text, Markdown or CSV.
+//! - [`summary`]: normalization and geometric-mean helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use spb_stats::{Counter, summary::geomean};
+//!
+//! let mut hits = Counter::new("l1d_hits");
+//! hits.add(3);
+//! hits.inc();
+//! assert_eq!(hits.value(), 4);
+//! assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod counter;
+pub mod histogram;
+pub mod summary;
+pub mod table;
+pub mod topdown;
+
+pub use counter::Counter;
+pub use histogram::Histogram;
+pub use table::Table;
+pub use topdown::{StallCause, TopDown};

@@ -1,0 +1,163 @@
+//! Normalization and aggregation helpers used by every experiment.
+//!
+//! The paper reports almost everything as a value *normalized to a
+//! baseline* (the ideal SB, or the at-commit policy) and aggregates
+//! applications with the *geometric mean* ("ALL" and "SB-BOUND" bars).
+//! These helpers implement exactly those operations.
+
+/// Geometric mean of a slice of positive values.
+///
+/// Returns 0.0 for an empty slice. Non-positive entries are clamped to a
+/// tiny positive value so a single degenerate measurement cannot produce
+/// NaNs in a report.
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::summary::geomean;
+/// assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum_logs: f64 = values.iter().map(|&v| v.max(1e-300).ln()).sum();
+    (sum_logs / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::summary::mean;
+/// assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Normalizes `value` to `baseline` (i.e. `value / baseline`).
+///
+/// Returns 0.0 when the baseline is zero; reports treat a zero baseline
+/// as "metric absent".
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::summary::normalize;
+/// assert_eq!(normalize(50.0, 100.0), 0.5);
+/// assert_eq!(normalize(1.0, 0.0), 0.0);
+/// ```
+pub fn normalize(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        value / baseline
+    }
+}
+
+/// Normalizes each element of `values` to the matching element of
+/// `baselines`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn normalize_all(values: &[f64], baselines: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        values.len(),
+        baselines.len(),
+        "normalize_all: slice length mismatch"
+    );
+    values
+        .iter()
+        .zip(baselines)
+        .map(|(&v, &b)| normalize(v, b))
+        .collect()
+}
+
+/// Speedup of `time` relative to `baseline_time`: `baseline / time`.
+///
+/// This is the inverse of [`normalize`] and is what "performance
+/// normalized to Ideal" means in Figures 5, 6, 16 and 17 when the
+/// underlying measurement is execution time.
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::summary::speedup;
+/// assert_eq!(speedup(50.0, 100.0), 2.0);
+/// ```
+pub fn speedup(time: f64, baseline_time: f64) -> f64 {
+    if time == 0.0 {
+        0.0
+    } else {
+        baseline_time / time
+    }
+}
+
+/// Relative change of `value` versus `baseline` in percent
+/// (`+10.0` means 10% above the baseline).
+///
+/// # Examples
+///
+/// ```
+/// use spb_stats::summary::percent_change;
+/// assert!((percent_change(110.0, 100.0) - 10.0).abs() < 1e-12);
+/// ```
+pub fn percent_change(value: f64, baseline: f64) -> f64 {
+    (normalize(value, baseline) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_identical_values_is_that_value() {
+        let v = geomean(&[3.5, 3.5, 3.5]);
+        assert!((v - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_is_below_arithmetic_mean_for_spread_data() {
+        let data = [1.0, 100.0];
+        assert!(geomean(&data) < mean(&data));
+    }
+
+    #[test]
+    fn geomean_tolerates_zero_without_nan() {
+        let v = geomean(&[0.0, 1.0]);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn normalize_all_matches_elementwise() {
+        let v = normalize_all(&[2.0, 4.0], &[4.0, 4.0]);
+        assert_eq!(v, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn normalize_all_rejects_mismatched_lengths() {
+        let _ = normalize_all(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn speedup_of_zero_time_is_zero() {
+        assert_eq!(speedup(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn percent_change_is_symmetric_around_baseline() {
+        assert!((percent_change(90.0, 100.0) + 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Trace IR and synthetic workload generation for the SPB simulator.
+//!
+//! The paper evaluates on SPEC CPU 2017 and PARSEC running under gem5
+//! full-system simulation. Neither benchmark suite can ship with this
+//! repository, so this crate provides the substitution required by the
+//! reproduction plan: a µop-level trace IR ([`MicroOp`]) plus synthetic
+//! generators that produce exactly the access patterns the paper itself
+//! identifies as the source of SB-induced stalls (§III-B, Figure 3):
+//!
+//! - `memcpy`/`memset`/`calloc` style contiguous 8-byte store bursts in
+//!   library code ([`generators::MemcpyGen`], [`generators::MemsetGen`]);
+//! - kernel `clear_page` bursts ([`generators::ClearPageGen`]);
+//! - manual data-movement loops in application code, optionally shuffled
+//!   by loop unrolling (the `roms` pathology);
+//! - plus the surrounding "everything else": compute chains, strided
+//!   loads, pointer chasing, sparse stores and branches.
+//!
+//! Each SPEC/PARSEC application is modelled by an [`profile::AppProfile`]
+//! that mixes those primitives in proportions chosen so the application
+//! lands in the paper's SB-bound or non-SB-bound class.
+//!
+//! Everything is deterministic under a fixed seed (ChaCha8 RNG).
+//!
+//! # Examples
+//!
+//! ```
+//! use spb_trace::{profile::AppProfile, TraceSource};
+//!
+//! let bwaves = AppProfile::spec2017()
+//!     .into_iter()
+//!     .find(|p| p.name() == "bwaves")
+//!     .unwrap();
+//! let mut source = bwaves.build(42);
+//! let op = source.next_op().expect("profiles generate unbounded traces");
+//! println!("first µop: {op:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod generators;
+pub mod op;
+pub mod phased;
+pub mod profile;
+pub mod region;
+
+pub use op::{MicroOp, OpKind};
+pub use phased::PhasedWorkload;
+pub use region::CodeRegion;
+
+/// A source of µops to feed a simulated core.
+///
+/// Implementations are either finite (one phase of a workload) or
+/// unbounded (a whole application profile, which loops its region of
+/// interest forever — the simulator decides when to stop).
+pub trait TraceSource {
+    /// Produces the next µop, or `None` when the source is exhausted.
+    fn next_op(&mut self) -> Option<MicroOp>;
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        (**self).next_op()
+    }
+}

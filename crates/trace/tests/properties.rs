@@ -1,0 +1,106 @@
+//! Property-based tests for trace generation.
+
+use proptest::prelude::*;
+use spb_trace::generators::{ComputeGen, ComputeParams, MemcpyGen, MemsetGen};
+use spb_trace::phased::{PhaseSpec, PhasedWorkload};
+use spb_trace::profile::AppProfile;
+use spb_trace::{CodeRegion, OpKind, TraceSource};
+
+fn drain(mut g: impl TraceSource, cap: usize) -> Vec<spb_trace::MicroOp> {
+    let mut out = Vec::new();
+    while let Some(op) = g.next_op() {
+        out.push(op);
+        if out.len() >= cap {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Memset covers exactly `bytes / 8` stores, each 8 bytes, strictly
+    /// increasing addresses with stride 8, regardless of seed/base.
+    #[test]
+    fn memset_exact_coverage(base in (0u64..(1 << 30)).prop_map(|b| b * 8), kb in 1u64..16, seed in any::<u64>()) {
+        let bytes = kb * 1024;
+        let ops = drain(MemsetGen::new(base, bytes, CodeRegion::Memset, seed), 1 << 20);
+        let mut stores: Vec<u64> = Vec::new();
+        for o in &ops {
+            if let OpKind::Store { addr, size } = o.kind() {
+                prop_assert_eq!(size, 8);
+                stores.push(addr);
+            }
+        }
+        prop_assert_eq!(stores.len() as u64, bytes / 8);
+        for (i, &a) in stores.iter().enumerate() {
+            prop_assert_eq!(a, base + i as u64 * 8);
+        }
+    }
+
+    /// Memcpy emits exactly one load per store and every store's first
+    /// dependency is its load.
+    #[test]
+    fn memcpy_load_store_pairing(kb in 1u64..8, seed in any::<u64>()) {
+        let bytes = kb * 1024;
+        let ops = drain(
+            MemcpyGen::new(0x10_0000, 0x20_0000, bytes, CodeRegion::Memcpy, seed),
+            1 << 20,
+        );
+        let loads = ops.iter().filter(|o| o.kind().is_load()).count();
+        let stores: Vec<_> = ops.iter().filter(|o| o.kind().is_store()).collect();
+        prop_assert_eq!(loads, stores.len());
+        for s in stores {
+            prop_assert_eq!(s.deps()[0], 1);
+        }
+    }
+
+    /// ComputeGen emits exactly `count` µops and is seed-deterministic.
+    #[test]
+    fn compute_deterministic(count in 1u64..5000, seed in any::<u64>()) {
+        let params = ComputeParams { count, ..Default::default() };
+        let a = drain(ComputeGen::new(params, seed), 1 << 20);
+        let b = drain(ComputeGen::new(params, seed), 1 << 20);
+        prop_assert_eq!(a.len() as u64, count);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Phased workloads never terminate and never emit ops with
+    /// dependencies that point before the start of the stream.
+    #[test]
+    fn phased_workload_wellformed(seed in any::<u64>(), take in 100usize..5000) {
+        let mut w = PhasedWorkload::new(
+            vec![
+                PhaseSpec::Memset { bytes: 1024, region: CodeRegion::Memset, footprint_pages: 64 },
+                PhaseSpec::Compute(ComputeParams { count: 200, ..Default::default() }),
+            ],
+            seed,
+        );
+        for i in 0..take {
+            let op = w.next_op();
+            prop_assert!(op.is_some(), "workload ended at op {i}");
+            let op = op.unwrap();
+            for d in op.deps() {
+                prop_assert!((d as usize) <= i + 1, "dep distance {d} at position {i}");
+            }
+        }
+    }
+
+    /// Thread separation: two threads of the same profile never touch
+    /// the same private data page.
+    #[test]
+    fn threads_never_share_private_pages(seed in any::<u64>()) {
+        let p = AppProfile::by_name("dedup").unwrap();
+        let mut sources = p.build_threads(seed);
+        let mut pages: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 2];
+        for (t, src) in sources.iter_mut().take(2).enumerate() {
+            for _ in 0..20_000 {
+                if let Some(op) = src.next_op() {
+                    if let Some(page) = op.page() {
+                        pages[t].insert(page);
+                    }
+                }
+            }
+        }
+        prop_assert!(pages[0].is_disjoint(&pages[1]));
+    }
+}

@@ -1,0 +1,79 @@
+//! Authoring a custom workload from scratch.
+//!
+//! Shows the full user-facing path: compose phases into an
+//! [`AppProfile`], run it under two policies, and inspect the counters —
+//! the workflow for studying a store pattern the built-in suites don't
+//! cover (here: a database-style log writer that alternates hash-table
+//! updates with sequential WAL appends).
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
+use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::trace::generators::ComputeParams;
+use store_prefetch_burst::trace::phased::PhaseSpec;
+use store_prefetch_burst::trace::profile::{AppProfile, Suite};
+use store_prefetch_burst::trace::CodeRegion;
+
+fn main() {
+    // A synthetic "log-structured store": point updates into a large
+    // hash table (sparse stores, un-prefetchable), then a sequential
+    // write-ahead-log append (a store burst SPB can catch), then fsync
+    // bookkeeping (compute + pointer chasing).
+    let profile = AppProfile::new(
+        "logwriter",
+        Suite::Spec2017,
+        true, // we expect it to be SB-bound; the run verifies
+        1,
+        vec![
+            PhaseSpec::Compute(ComputeParams {
+                count: 20_000,
+                fp_ratio: 0.05,
+                mispredict_rate: 0.01,
+                branch_every: 6,
+                dep_density: 0.4,
+            }),
+            PhaseSpec::SparseStores {
+                count: 300,
+                footprint_pages: 4,
+                gap: 8,
+            },
+            PhaseSpec::Memcpy {
+                bytes: 8192, // one WAL segment
+                region: CodeRegion::Memcpy,
+                footprint_pages: 1 << 15,
+                shuffle: false,
+            },
+            PhaseSpec::PointerChase {
+                count: 200,
+                pool_pages: 64,
+            },
+        ],
+    );
+
+    println!("custom 'logwriter' workload, 14-entry SB:\n");
+    for policy in [PolicyKind::AtCommit, PolicyKind::spb_default()] {
+        let cfg = SimConfig::quick().with_sb(14).with_policy(policy);
+        let r = run_app(&profile, &cfg);
+        println!(
+            "{:>10}: {} cycles, IPC {:.3}, SB stalls {:.1}%",
+            r.policy,
+            r.cycles,
+            r.ipc(),
+            r.sb_stall_ratio() * 100.0
+        );
+        println!(
+            "            WAL-append stalls (memcpy region): {} cycles",
+            r.cpu.sb_stalls_in(CodeRegion::Memcpy)
+        );
+        println!(
+            "            hash-update stalls (app region):   {} cycles",
+            r.cpu.sb_stalls_in(CodeRegion::Application)
+        );
+        println!("            {}", r.energy);
+    }
+    println!("\nSPB accelerates the WAL appends (contiguous) while leaving");
+    println!("the hash updates alone (no pattern) — selective by design.");
+}

@@ -1,0 +1,44 @@
+//! Prefetcher showdown: SPB versus (and on top of) the generic cache
+//! prefetchers — stream/stride, fixed-aggressive, and feedback-directed
+//! adaptive (the paper's §VI-D comparison).
+//!
+//! Demonstrates the paper's point that generic prefetchers, however
+//! aggressive, cannot remove SB-induced stalls: their window is anchored
+//! to the demand stream, while SPB predicts a whole page ahead.
+//!
+//! ```sh
+//! cargo run --release --example prefetcher_showdown
+//! ```
+
+use store_prefetch_burst::mem::prefetch::PrefetcherKind;
+use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
+use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::stats::Table;
+use store_prefetch_burst::trace::profile::AppProfile;
+
+fn main() {
+    let app = AppProfile::by_name("bwaves").expect("suite app");
+    println!("bwaves (kernel clear_page store bursts) at a 14-entry SB\n");
+
+    let mut table = Table::new(
+        "cycles by generic prefetcher × store policy (lower is better)",
+        &["at-commit", "spb"],
+    );
+    for (name, pk) in [
+        ("no prefetcher", PrefetcherKind::None),
+        ("stream/stride", PrefetcherKind::Stride),
+        ("aggressive", PrefetcherKind::Aggressive),
+        ("adaptive (FDP)", PrefetcherKind::Adaptive),
+    ] {
+        let mut cfg = SimConfig::quick().with_sb(14);
+        cfg.mem.prefetcher = pk;
+        let ac = run_app(&app, &cfg);
+        let spb = run_app(&app, &cfg.clone().with_policy(PolicyKind::spb_default()));
+        table.push_row(name, &[ac.cycles as f64, spb.cycles as f64]);
+    }
+    table.set_precision(0);
+    println!("{table}");
+    println!("Within each row, SPB wins: generic prefetchers cannot cover");
+    println!("store bursts. Down each column the generic prefetcher helps");
+    println!("the loads — the two mechanisms are orthogonal (paper §VI-D).");
+}

@@ -1,0 +1,59 @@
+//! The SMT partitioning study: what happens to a store-bursty
+//! application when the SB is statically partitioned among hardware
+//! threads (Intel's SMT policy — §I of the paper).
+//!
+//! SB56 is the full Skylake store buffer; SB28 is the per-thread share
+//! under SMT-2; SB14 under SMT-4. SPB recovers most of the loss.
+//!
+//! ```sh
+//! cargo run --release --example smt_partitioning
+//! ```
+
+use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
+use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::stats::{summary::geomean, Table};
+use store_prefetch_burst::trace::profile::AppProfile;
+
+fn main() {
+    let apps = AppProfile::spec2017_sb_bound();
+    println!(
+        "SB-bound SPEC CPU 2017 applications: {:?}\n",
+        apps.iter()
+            .map(|a| a.name().to_string())
+            .collect::<Vec<_>>()
+    );
+
+    let mut table = Table::new(
+        "SMT partitioning — geomean perf of SB-bound apps vs ideal SB",
+        &["at-commit", "spb"],
+    );
+    let quick = SimConfig::quick();
+    let ideal: Vec<u64> = apps
+        .iter()
+        .map(|a| run_app(a, &quick.clone().with_policy(PolicyKind::IdealSb)).cycles)
+        .collect();
+
+    for (smt, sb) in [
+        ("SMT-1 (SB56)", 56usize),
+        ("SMT-2 (SB28)", 28),
+        ("SMT-4 (SB14)", 14),
+    ] {
+        let mut row = Vec::new();
+        for policy in [PolicyKind::AtCommit, PolicyKind::spb_default()] {
+            let normalized: Vec<f64> = apps
+                .iter()
+                .zip(&ideal)
+                .map(|(a, &ideal_cycles)| {
+                    let r = run_app(a, &quick.clone().with_sb(sb).with_policy(policy));
+                    ideal_cycles as f64 / r.cycles as f64
+                })
+                .collect();
+            row.push(geomean(&normalized));
+        }
+        table.push_row(smt, &row);
+    }
+    println!("{table}");
+    println!("Reading: 1.0 = matches an ideal (1024-entry) store buffer.");
+    println!("The at-commit column collapses as the per-thread SB shrinks;");
+    println!("SPB keeps each SMT level near ideal — the paper's headline.");
+}

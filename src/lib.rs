@@ -1,0 +1,54 @@
+//! # store-prefetch-burst
+//!
+//! A from-scratch Rust reproduction of **"Boosting Store Buffer
+//! Efficiency with Store-Prefetch Bursts"** (Cebrián, Kaxiras, Ros —
+//! MICRO 2020): a cycle-level out-of-order CPU and memory-hierarchy
+//! simulator with the paper's 67-bit SPB store prefetcher, the
+//! at-execute / at-commit baselines, and synthetic SPEC CPU 2017 /
+//! PARSEC workload stand-ins.
+//!
+//! This crate is a façade re-exporting the workspace's public API:
+//!
+//! - [`trace`]: µop IR, workload generators, application profiles.
+//! - [`mem`]: caches, MSHRs, MESI directory, DRAM, prefetchers.
+//! - [`cpu`]: the out-of-order core model and baseline store policies.
+//! - [`spb`]: the paper's contribution — detector and SPB policy.
+//! - [`energy`]: the event-based (McPAT-lite) energy model.
+//! - [`sim`]: system assembly, Table I/II configurations, run driver.
+//! - [`stats`]: counters, Top-Down stall attribution, result tables.
+//!
+//! # Quickstart
+//!
+//! Run a store-bursty application at a small SB with and without SPB:
+//!
+//! ```
+//! use store_prefetch_burst::sim::{config::{PolicyKind, SimConfig}, run_app};
+//! use store_prefetch_burst::trace::profile::AppProfile;
+//!
+//! let app = AppProfile::by_name("x264").expect("suite app");
+//! let mut cfg = SimConfig::quick().with_sb(14);
+//! let baseline = run_app(&app, &cfg);
+//! cfg = cfg.with_policy(PolicyKind::spb_default());
+//! let spb = run_app(&app, &cfg);
+//! assert!(spb.cycles < baseline.cycles, "SPB speeds up store bursts");
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the
+//! `spb-experiments` crate for the regenerators of every table and
+//! figure in the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spb_cpu as cpu;
+pub use spb_energy as energy;
+pub use spb_mem as mem;
+pub use spb_sim as sim;
+pub use spb_stats as stats;
+pub use spb_trace as trace;
+
+/// The paper's contribution: the SPB detector and policy
+/// (re-export of the `spb-core` crate).
+pub mod spb {
+    pub use spb_core::*;
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the paper's headline claims, asserted on quick
+//! budgets (the full budgets are exercised by `spb-experiments`).
+
+use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
+use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::stats::summary::geomean;
+use store_prefetch_burst::trace::profile::AppProfile;
+
+fn sb_bound() -> Vec<AppProfile> {
+    // A representative subset keeps the test fast.
+    ["bwaves", "x264", "fotonik3d"]
+        .iter()
+        .map(|n| AppProfile::by_name(n).unwrap())
+        .collect()
+}
+
+/// Policies must order ideal ≥ SPB ≥ at-commit ≥ none on a store-bursty
+/// application with a small SB (Figure 5's vertical ordering).
+#[test]
+fn policy_ordering_at_sb14() {
+    let app = AppProfile::by_name("x264").unwrap();
+    let cfg = SimConfig::quick().with_sb(14);
+    let cycles = |p: PolicyKind| run_app(&app, &cfg.clone().with_policy(p)).cycles;
+    let none = cycles(PolicyKind::None);
+    let at_commit = cycles(PolicyKind::AtCommit);
+    let spb = cycles(PolicyKind::spb_default());
+    let ideal = cycles(PolicyKind::IdealSb);
+    assert!(
+        at_commit < none,
+        "at-commit ({at_commit}) must beat none ({none})"
+    );
+    assert!(
+        spb < at_commit,
+        "SPB ({spb}) must beat at-commit ({at_commit})"
+    );
+    assert!(ideal <= spb, "ideal ({ideal}) bounds SPB ({spb})");
+}
+
+/// SB stalls must be monotone in SB size for the at-commit baseline
+/// (Figure 1's shape).
+#[test]
+fn sb_stalls_monotone_in_sb_size() {
+    for app in sb_bound() {
+        let stall = |sb: usize| run_app(&app, &SimConfig::quick().with_sb(sb)).sb_stall_ratio();
+        let (s14, s28, s56) = (stall(14), stall(28), stall(56));
+        assert!(
+            s14 > s28 && s28 > s56,
+            "{}: stalls must grow as the SB shrinks ({s56:.3} / {s28:.3} / {s14:.3})",
+            app.name()
+        );
+    }
+}
+
+/// The SB-shrinking claim (§I): a 20-entry SB with SPB performs at least
+/// as well as the 56-entry SB with at-commit prefetching.
+#[test]
+fn sb20_with_spb_matches_sb56_at_commit() {
+    let apps = sb_bound();
+    let speedups: Vec<f64> = apps
+        .iter()
+        .map(|app| {
+            let base = run_app(app, &SimConfig::quick().with_sb(56));
+            let spb20 = run_app(
+                app,
+                &SimConfig::quick()
+                    .with_sb(20)
+                    .with_policy(PolicyKind::spb_default()),
+            );
+            base.cycles as f64 / spb20.cycles as f64
+        })
+        .collect();
+    let gm = geomean(&speedups);
+    assert!(
+        gm > 0.97,
+        "SB20+SPB must be within a few percent of SB56 at-commit, got {gm:.3} ({speedups:?})"
+    );
+}
+
+/// SPB must be neutral on applications without store bursts (it is
+/// "highly selective": no pattern, no burst, no cost).
+#[test]
+fn spb_is_neutral_on_non_bursty_apps() {
+    for name in ["mcf", "povray", "leela"] {
+        let app = AppProfile::by_name(name).unwrap();
+        let base = run_app(&app, &SimConfig::quick().with_sb(56));
+        let spb = run_app(
+            &app,
+            &SimConfig::quick()
+                .with_sb(56)
+                .with_policy(PolicyKind::spb_default()),
+        );
+        let ratio = spb.cycles as f64 / base.cycles as f64;
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "{name}: SPB must not perturb a burst-free app, ratio {ratio:.4}"
+        );
+    }
+}
+
+/// SPB's prefetch success rate must clearly exceed at-commit's on
+/// SB-bound applications (Figure 11's headline).
+#[test]
+fn spb_success_rate_beats_at_commit() {
+    use store_prefetch_burst::mem::RfoOrigin;
+    let app = AppProfile::by_name("bwaves").unwrap();
+    let cfg = SimConfig::quick().with_sb(56);
+    let ac = run_app(&app, &cfg);
+    let spb = run_app(&app, &cfg.clone().with_policy(PolicyKind::spb_default()));
+    let rate = |r: &store_prefetch_burst::sim::RunResult, o: RfoOrigin| {
+        let i = o.index();
+        let classified = r.mem.prefetch_successful[i]
+            + r.mem.prefetch_late[i]
+            + r.mem.prefetch_early[i]
+            + r.mem.prefetch_never_used[i];
+        r.mem.prefetch_successful[i] as f64 / classified.max(1) as f64
+    };
+    let ac_rate = rate(&ac, RfoOrigin::AtCommit);
+    let spb_rate = rate(&spb, RfoOrigin::SpbBurst);
+    assert!(
+        spb_rate > ac_rate + 0.2,
+        "SPB bursts must be far more successful: spb {spb_rate:.2} vs at-commit {ac_rate:.2}"
+    );
+}
+
+/// The at-commit baseline itself is worth ~double-digit percent over no
+/// store prefetching (§V: "+15% on average for SPEC CPU 2017").
+#[test]
+fn at_commit_beats_no_prefetching_noticeably() {
+    let apps = sb_bound();
+    let speedups: Vec<f64> = apps
+        .iter()
+        .map(|app| {
+            let none = run_app(app, &SimConfig::quick().with_policy(PolicyKind::None));
+            let ac = run_app(app, &SimConfig::quick());
+            none.cycles as f64 / ac.cycles as f64
+        })
+        .collect();
+    let gm = geomean(&speedups);
+    assert!(
+        gm > 1.05,
+        "at-commit must clearly beat none on SB-bound apps, got {gm:.3}"
+    );
+}
