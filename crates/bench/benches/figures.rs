@@ -5,7 +5,8 @@
 //! minutes while still exercising every figure's code path. The full
 //! regenerators are the `spb-experiments` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::harness::Criterion;
+use spb_bench::{criterion_group, criterion_main};
 use spb_bench::{bench_apps, bench_config, bench_sb_bound_apps};
 use spb_mem::prefetch::PrefetcherKind;
 use spb_sim::config::PolicyKind;

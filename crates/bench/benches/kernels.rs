@@ -5,7 +5,8 @@
 //! stack, raw cache-array and detector operation rates, and the burst
 //! queue's drain cost.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spb_bench::harness::{Criterion, Throughput};
+use spb_bench::{criterion_group, criterion_main};
 use spb_core::detector::{SpbConfig, SpbDetector};
 use spb_cpu::policy::AtCommitPolicy;
 use spb_cpu::{config::CoreConfig, core::Core};

@@ -14,6 +14,8 @@
 //! This library crate provides the shared miniature configurations so
 //! bench code stays declarative.
 
+pub mod harness;
+
 use spb_sim::config::{PolicyKind, SimConfig};
 use spb_trace::profile::AppProfile;
 

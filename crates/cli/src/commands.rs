@@ -1,7 +1,9 @@
 //! Command execution for `spbsim`.
 
 use crate::{find_app, CliError, Command, RunOpts};
+use spb_sim::config::SimConfig;
 use spb_sim::suite::SuiteResult;
+use spb_sim::sweep::{run_cells, SweepReport};
 use spb_stats::{chart, Table};
 use spb_trace::file::{record, TraceReader};
 use spb_trace::profile::AppProfile;
@@ -46,22 +48,37 @@ fn sweep(
     with_chart: bool,
 ) -> Result<(), CliError> {
     let profile = find_app(app)?;
+    // Flatten the sb × policy grid into one cell list (SB-major, policy
+    // minor) so the worker pool covers the whole sweep at once.
+    let configs: Vec<SimConfig> = sbs
+        .iter()
+        .flat_map(|&sb| {
+            policies.iter().map(move |&policy| {
+                let mut cfg = opts.to_sim_config().with_sb(sb);
+                cfg.policy = policy;
+                cfg
+            })
+        })
+        .collect();
+    let cells: Vec<_> = configs.iter().map(|c| (&profile, c.clone())).collect();
+    let runs = run_cells(&cells, &opts.sweep_options().progress(true));
+
     let labels: Vec<String> = policies.iter().map(|p| p.label()).collect();
     let cols: Vec<&str> = labels.iter().map(String::as_str).collect();
     let mut cycles_t = Table::new(format!("{app} — cycles"), &cols);
     let mut stall_t = Table::new(format!("{app} — SB-stall %"), &cols);
-    for &sb in sbs {
-        let mut cycles_row = Vec::new();
-        let mut stall_row = Vec::new();
-        for &policy in policies {
-            let mut cfg = opts.to_sim_config().with_sb(sb);
-            cfg.policy = policy;
-            let r = spb_sim::run_app(&profile, &cfg);
-            cycles_row.push(r.cycles as f64);
-            stall_row.push(r.sb_stall_ratio() * 100.0);
-        }
-        cycles_t.push_row(format!("SB{sb}"), &cycles_row);
-        stall_t.push_row(format!("SB{sb}"), &stall_row);
+    for (i, &sb) in sbs.iter().enumerate() {
+        let row = &runs[i * policies.len()..(i + 1) * policies.len()];
+        cycles_t.push_row(
+            format!("SB{sb}"),
+            &row.iter().map(|r| r.cycles as f64).collect::<Vec<_>>(),
+        );
+        stall_t.push_row(
+            format!("SB{sb}"),
+            &row.iter()
+                .map(|r| r.sb_stall_ratio() * 100.0)
+                .collect::<Vec<_>>(),
+        );
     }
     cycles_t.set_precision(0);
     stall_t.set_precision(1);
@@ -70,7 +87,17 @@ fn sweep(
     if with_chart {
         print!("{}", chart::render_all(&stall_t, None));
     }
+    save_report(&SweepReport::new(format!("sweep-{app}"), &runs));
     Ok(())
+}
+
+/// Writes a sweep report under `results/`, warning (not failing) if the
+/// directory is unwritable.
+fn save_report(report: &SweepReport) {
+    match report.save(std::path::Path::new("results")) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write sweep report: {e}"),
+    }
 }
 
 fn apps() -> Result<(), CliError> {
@@ -124,7 +151,11 @@ fn suite_cmd(suite: &str, opts: &RunOpts) -> Result<(), CliError> {
             )))
         }
     };
-    let results = SuiteResult::run(&apps, &opts.to_sim_config());
+    let results = SuiteResult::run_with(
+        &apps,
+        &opts.to_sim_config(),
+        &opts.sweep_options().progress(true),
+    );
     let mut t = Table::new(
         format!("{suite} suite — {} @ SB{}", opts.policy.label(), opts.sb),
         &["cycles", "IPC", "SB-stall %"],
@@ -142,6 +173,10 @@ fn suite_cmd(suite: &str, opts: &RunOpts) -> Result<(), CliError> {
         results.geomean_all(|r| r.ipc()),
         results.geomean_sb_bound(|r| r.ipc())
     );
+    save_report(&SweepReport::new(
+        format!("suite-{suite}-{}-sb{}", opts.policy.label(), opts.sb),
+        &results.runs,
+    ));
     Ok(())
 }
 

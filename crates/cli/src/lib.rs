@@ -122,6 +122,8 @@ pub struct RunOpts {
     pub warmup: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Worker threads for sweeps (`None` = `SPB_JOBS` or all cores).
+    pub jobs: Option<usize>,
 }
 
 impl Default for RunOpts {
@@ -133,6 +135,7 @@ impl Default for RunOpts {
             uops: d.measure_uops,
             warmup: d.warmup_uops,
             seed: d.seed,
+            jobs: None,
         }
     }
 }
@@ -147,6 +150,14 @@ impl RunOpts {
         cfg.warmup_uops = self.warmup;
         cfg.seed = self.seed;
         cfg
+    }
+
+    /// Sweep options: `--jobs` if given, else `SPB_JOBS`/auto.
+    pub fn sweep_options(&self) -> spb_sim::sweep::SweepOptions {
+        match self.jobs {
+            Some(n) => spb_sim::sweep::SweepOptions::with_jobs(n),
+            None => spb_sim::sweep::SweepOptions::from_env(),
+        }
     }
 }
 
@@ -210,6 +221,14 @@ fn parse_run_opts<'a>(
                 opts.seed = v
                     .parse()
                     .map_err(|_| CliError(format!("--seed expects a number, got {v:?}")))?;
+            }
+            "--jobs" => {
+                args.next();
+                let v = take_value("--jobs", args)?;
+                opts.jobs = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("--jobs expects a number, got {v:?}")))?,
+                );
             }
             _ => {
                 leftovers.push(args.next().unwrap().to_string());
@@ -361,6 +380,13 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                             .parse()
                             .map_err(|_| CliError(format!("bad --seed {v:?}")))?;
                     }
+                    "--jobs" => {
+                        let v = take_value("--jobs", &mut it)?;
+                        opts.jobs = Some(
+                            v.parse()
+                                .map_err(|_| CliError(format!("bad --jobs {v:?}")))?,
+                        );
+                    }
                     other => return Err(CliError(format!("unknown argument {other:?}"))),
                 }
             }
@@ -421,6 +447,12 @@ RUN OPTIONS:
   --uops N        measured µops                   (default 600000)
   --warmup N      warm-up µops                    (default 150000)
   --seed N        workload seed                   (default 42)
+  --jobs N        sweep worker threads            (default $SPB_JOBS or all cores)
+
+Suite and sweep runs fan out over a worker pool (results are identical
+to a serial run) and write a machine-readable JSON report under
+results/ (schema: {name, records: [{app, policy, sb, cycles, uops,
+ipc, wall_ms}]}).
 ";
 
 #[cfg(test)]

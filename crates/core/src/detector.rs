@@ -1,18 +1,22 @@
 //! The SPB burst detector (§IV of the paper).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Cache-block size assumed by the detector (64 B).
-const BLOCK_BYTES: u64 = 64;
-/// Blocks per 4 KiB page.
-const BLOCKS_PER_PAGE: u64 = 64;
+/// Cache-block size assumed by the detector, in bytes.
+pub const BLOCK_BYTES: u64 = 64;
+/// Blocks per page. Note this is *also* 64 — a coincidence of the 64 B
+/// block / 4 KiB page geometry, not a shared constant: dividing a byte
+/// address by [`BLOCK_BYTES`] yields a block, dividing a *block* by
+/// `BLOCKS_PER_PAGE` yields a page.
+pub const BLOCKS_PER_PAGE: u64 = 64;
+/// Page size assumed by the detector, in bytes (4 KiB).
+pub const PAGE_BYTES: u64 = BLOCK_BYTES * BLOCKS_PER_PAGE;
 /// The saturating counter is 4 bits wide (paper, §IV-A).
 const SAT_MAX: u8 = 15;
 
 /// A burst request: a half-open range `[start, end)` of *block*
 /// addresses the L1 controller should request write permission for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Burst {
     /// First block to prefetch.
     pub start: u64,
@@ -38,7 +42,7 @@ impl Burst {
 }
 
 /// Detector parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpbConfig {
     /// Check the saturating counter every `n` stores. The paper's
     /// sensitivity analysis (§IV-C) found 24–48 performs well and uses
@@ -88,7 +92,7 @@ impl Default for SpbConfig {
 /// }
 /// assert!(bursts >= 1, "a long memset must trigger");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpbDetector {
     config: SpbConfig,
     last_block: u64,
@@ -151,6 +155,16 @@ impl SpbDetector {
 
     /// Observes a committed store to byte address `addr`; returns a
     /// [`Burst`] when the contiguous pattern is detected.
+    ///
+    /// # Window cadence
+    ///
+    /// The store counter counts `n` stores and the **next** store
+    /// performs the check (Figure 4: with `n = 8`, T0–T7 count up and
+    /// T8 both checks and fires). The checking store updates the
+    /// saturating counter first, is itself *not* counted, and resets
+    /// both counters — so exactly one check happens per `n + 1`
+    /// observations. The edge case `n = 1` therefore checks on every
+    /// second store, not on every store.
     pub fn observe_store(&mut self, addr: u64) -> Option<Burst> {
         let block = addr / BLOCK_BYTES;
         let delta = block.wrapping_sub(self.last_block);
@@ -224,7 +238,7 @@ impl fmt::Display for SpbDetector {
 /// adaptation hysteresis and lost opportunity"; the model reproduces
 /// that by requiring two consecutive windows to agree on the dominant
 /// size before the threshold moves.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpbDynamicDetector {
     inner: SpbDetector,
     size_sum: u64,
@@ -451,11 +465,40 @@ mod tests {
         let mut max_end_block = 0u64;
         for i in 0..4096u64 {
             if let Some(b) = d.observe_store(0x7000 + i * 8) {
-                assert_eq!((b.end - 1) / 64, b.start / 64, "burst {b:?} crosses a page");
+                assert_eq!(
+                    (b.end - 1) / BLOCKS_PER_PAGE,
+                    b.start / BLOCKS_PER_PAGE,
+                    "burst {b:?} crosses a page"
+                );
                 max_end_block = max_end_block.max(b.end);
             }
         }
         assert!(max_end_block > 0, "something must have triggered");
+    }
+
+    /// Regression for the historical proptest shrink to `n = 1`: the
+    /// smallest window must follow the same check-every-`n + 1` cadence
+    /// and page-bounded burst invariant as every other window size.
+    #[test]
+    fn n1_window_checks_every_second_store() {
+        let mut d = SpbDetector::new(SpbConfig { n: 1, dedupe: false });
+        for i in 0..1000u64 {
+            if let Some(b) = d.observe_store(i * 8) {
+                assert!(!b.is_empty());
+                assert_eq!(b.start / BLOCKS_PER_PAGE, (b.end - 1) / BLOCKS_PER_PAGE);
+                assert_eq!(b.end % BLOCKS_PER_PAGE, 0);
+            }
+        }
+        // 1000 observations = 500 full (count + check) windows.
+        assert_eq!(d.checks(), 500);
+        assert!(d.triggers() <= d.checks());
+        assert!(d.triggers() > 0, "a contiguous stream must trigger at n=1");
+    }
+
+    #[test]
+    fn geometry_constants_are_consistent() {
+        assert_eq!(PAGE_BYTES, 4096);
+        assert_eq!(PAGE_BYTES, BLOCK_BYTES * BLOCKS_PER_PAGE);
     }
 
     #[test]

@@ -19,14 +19,13 @@
 //! base registers (and the base's optional dedupe register).
 
 use crate::detector::{Burst, SpbConfig};
-use serde::{Deserialize, Serialize};
 
 const BLOCK_BYTES: u64 = 64;
 const BLOCKS_PER_PAGE: u64 = 64;
 const SAT_MAX: u8 = 15;
 
 /// Configuration of the extended detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExtSpbConfig {
     /// The base detector parameters.
     pub base: SpbConfig,
@@ -40,7 +39,7 @@ pub struct ExtSpbConfig {
 }
 
 /// The direction of the run the saturating counter is tracking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Direction {
     Forward,
     Backward,
@@ -48,7 +47,7 @@ enum Direction {
 
 /// A burst request with an issue order (backward bursts want the blocks
 /// nearest the current store first).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectedBurst {
     /// Half-open block range `[start, end)` to request ownership for.
     pub range: Burst,
@@ -103,7 +102,7 @@ impl DirectedBurst {
 /// let b = burst.expect("backward pattern detected");
 /// assert!(b.descending);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExtendedSpbDetector {
     config: ExtSpbConfig,
     last_block: u64,

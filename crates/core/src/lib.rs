@@ -43,5 +43,5 @@ pub mod detector;
 pub mod extensions;
 pub mod policy;
 
-pub use detector::{SpbConfig, SpbDetector};
+pub use detector::{SpbConfig, SpbDetector, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
 pub use policy::SpbPolicy;

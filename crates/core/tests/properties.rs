@@ -1,7 +1,7 @@
 //! Property-based tests for the SPB detector.
 
 use proptest::prelude::*;
-use spb_core::detector::{SpbConfig, SpbDetector, SpbDynamicDetector};
+use spb_core::detector::{SpbConfig, SpbDetector, SpbDynamicDetector, BLOCKS_PER_PAGE};
 
 proptest! {
     /// No burst ever crosses a 4 KiB page boundary, and bursts are never
@@ -15,8 +15,13 @@ proptest! {
         for addr in addrs {
             if let Some(b) = d.observe_store(addr) {
                 prop_assert!(!b.is_empty());
-                prop_assert_eq!((b.start) / 64, (b.end - 1) / 64, "burst {:?} crosses a page", b);
-                prop_assert!(b.end % 64 == 0, "burst must end at the page boundary");
+                // start/end are *block* addresses: page = block / BLOCKS_PER_PAGE.
+                prop_assert_eq!(
+                    b.start / BLOCKS_PER_PAGE,
+                    (b.end - 1) / BLOCKS_PER_PAGE,
+                    "burst {:?} crosses a page", b
+                );
+                prop_assert!(b.end % BLOCKS_PER_PAGE == 0, "burst must end at the page boundary");
             }
         }
     }

@@ -1,13 +1,12 @@
 //! Core configurations: Table I's Skylake-X plus the Table II sweep.
 
-use serde::{Deserialize, Serialize};
 
 /// Structural parameters of one out-of-order core.
 ///
 /// Defaults mirror the paper's Table I (Skylake-X-like); the named
 /// constructors provide the Table II sensitivity configurations
 /// (Silvermont, Nehalem, Haswell, Skylake, Sunny Cove).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// µops dispatched (renamed into the ROB) per cycle.
     pub dispatch_width: u32,

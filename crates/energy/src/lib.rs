@@ -28,14 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-event energies in nanojoules and static power in watts.
 ///
 /// Defaults are loose 22 nm-class calibrations (the paper's McPAT
 /// configuration); see the crate docs for why only ratios matter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// One L1D data access (read or write).
     pub l1_access_nj: f64,
@@ -74,7 +73,7 @@ impl Default for EnergyModel {
 }
 
 /// Event counts gathered from one measured run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnergyEvents {
     /// Elapsed cycles (drives leakage).
     pub cycles: u64,
@@ -95,7 +94,7 @@ pub struct EnergyEvents {
 }
 
 /// Energy totals in nanojoules, split the way Figure 7 reports them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyBreakdown {
     /// Dynamic energy of L1+L2+L3 (+ tag checks).
     pub cache_dynamic_nj: f64,

@@ -1,11 +1,16 @@
 //! Regenerates the entire evaluation: every table and figure, in paper
-//! order. Pass --quick for a smoke run.
+//! order, then the machine-readable grid sweep report under `results/`.
+//! Pass --quick for a smoke run; SPB_JOBS controls the worker pool.
 use spb_experiments as exp;
+use spb_sim::sweep::SweepOptions;
+use std::time::Instant;
 
 type Section = (&'static str, fn(exp::Budget) -> Vec<spb_stats::Table>);
 
 fn main() {
     let budget = exp::Budget::from_args();
+    let opts = SweepOptions::from_env();
+    let total_start = Instant::now();
     let sections: Vec<Section> = vec![
         ("Table I", exp::tab1::run),
         ("Figure 1", exp::fig01::run),
@@ -33,8 +38,32 @@ fn main() {
         ("Seed robustness", exp::variance::run),
     ];
     for (name, f) in sections {
-        eprintln!("[all] running {name}…");
+        eprintln!("[all] running {name}… ({} jobs)", opts.jobs);
+        let start = Instant::now();
         println!("############ {name} ############");
         exp::print_tables(&f(budget));
+        eprintln!("[all] {name} done in {:.1}s", start.elapsed().as_secs_f64());
     }
+
+    // One flattened pass over the main grid for the JSON sweep report.
+    let label = match budget {
+        exp::Budget::Quick => "quick",
+        exp::Budget::Paper => "paper",
+    };
+    eprintln!("[all] running grid sweep report…");
+    let grid = exp::grid::Grid::compute_with(
+        spb_trace::profile::AppProfile::spec2017(),
+        budget,
+        &opts.progress(true),
+    );
+    let report = grid.to_report(format!("sweep-grid-{label}"));
+    match report.save(std::path::Path::new("results")) {
+        Ok(path) => eprintln!("[all] wrote {}", path.display()),
+        Err(e) => eprintln!("[all] could not write sweep report: {e}"),
+    }
+    eprintln!(
+        "[all] total wall time {:.1}s with {} jobs",
+        total_start.elapsed().as_secs_f64(),
+        opts.jobs
+    );
 }

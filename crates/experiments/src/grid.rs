@@ -6,8 +6,9 @@
 //! figure modules extract their views.
 
 use crate::Budget;
-use spb_sim::config::PolicyKind;
+use spb_sim::config::{PolicyKind, SimConfig};
 use spb_sim::suite::SuiteResult;
+use spb_sim::sweep::{run_cells, SweepOptions, SweepReport};
 use spb_trace::profile::AppProfile;
 
 /// The SB sizes the paper evaluates.
@@ -33,24 +34,55 @@ pub struct Grid {
 }
 
 impl Grid {
-    /// Runs the full grid over `apps` at `budget`.
+    /// Runs the full grid over `apps` at `budget`, parallelized per
+    /// [`SweepOptions::from_env`].
     pub fn compute(apps: Vec<AppProfile>, budget: Budget) -> Self {
+        Self::compute_with(apps, budget, &SweepOptions::from_env())
+    }
+
+    /// Runs the full grid with explicit sweep options. The whole grid —
+    /// the ideal SB plus every `policy × SB size` suite — is flattened
+    /// into one cell list so the worker pool never drains between
+    /// suites; results are re-assembled in the serial order.
+    pub fn compute_with(apps: Vec<AppProfile>, budget: Budget, opts: &SweepOptions) -> Self {
         let base = budget.sim_config();
-        let ideal = SuiteResult::run(&apps, &base.clone().with_policy(PolicyKind::IdealSb));
+        let mut configs = vec![base.clone().with_policy(PolicyKind::IdealSb)];
+        for p in policies() {
+            for &sb in &SB_SIZES {
+                configs.push(base.clone().with_sb(sb).with_policy(p));
+            }
+        }
+        let cells: Vec<(&AppProfile, SimConfig)> = configs
+            .iter()
+            .flat_map(|c| apps.iter().map(|a| (a, c.clone())))
+            .collect();
+        let mut runs = run_cells(&cells, opts).into_iter();
+        let sb_bound: Vec<bool> = apps.iter().map(|a| a.is_sb_bound()).collect();
+        let mut next_suite = || SuiteResult {
+            runs: runs.by_ref().take(apps.len()).collect(),
+            sb_bound: sb_bound.clone(),
+        };
+        let ideal = next_suite();
         let results = policies()
             .iter()
-            .map(|p| {
-                SB_SIZES
-                    .iter()
-                    .map(|&sb| SuiteResult::run(&apps, &base.clone().with_sb(sb).with_policy(*p)))
-                    .collect()
-            })
+            .map(|_| SB_SIZES.iter().map(|_| next_suite()).collect())
             .collect();
         Self {
             apps,
             ideal,
             results,
         }
+    }
+
+    /// Flattens every run of the grid into one machine-readable report
+    /// (ideal suite first, then policy-major × SB-minor, matching
+    /// [`Grid::compute`] order).
+    pub fn to_report(&self, name: impl Into<String>) -> SweepReport {
+        let all: Vec<_> = std::iter::once(&self.ideal)
+            .chain(self.results.iter().flatten())
+            .flat_map(|s| s.runs.iter().cloned())
+            .collect();
+        SweepReport::new(name, &all)
     }
 
     /// The full SPEC CPU 2017 grid.
@@ -113,6 +145,10 @@ mod tests {
         assert_eq!(grid.ideal.runs.len(), 2);
         let norm = grid.norm_perf_vs_ideal(grid.at(1, 2));
         assert_eq!(norm.len(), 2);
+        // 1 ideal + 3 policies × 3 SB sizes, each over 2 apps.
+        let report = grid.to_report("unit");
+        assert_eq!(report.records.len(), 2 * 10);
+        assert_eq!(report.records[0].app, "x264");
         // Nothing should beat the ideal SB by much.
         for v in norm {
             assert!(v < 1.15, "normalized perf {v} suspiciously above ideal");

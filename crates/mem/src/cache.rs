@@ -1,10 +1,9 @@
 //! Set-associative cache arrays with LRU replacement.
 
 use crate::line::{CacheLine, CoherenceState, RfoOrigin};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size_bytes: u64,

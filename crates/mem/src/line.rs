@@ -1,6 +1,5 @@
 //! Cache-line metadata: coherence state, fill time, prefetch origin.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable MESI coherence states.
@@ -10,7 +9,7 @@ use std::fmt;
 /// transient state, and [`crate::system::MemorySystem`] reports the
 /// paper-style transient name through its event API so the Figure 4
 /// running example can be checked verbatim.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoherenceState {
     /// Invalid (not present).
     Invalid,
@@ -54,7 +53,7 @@ impl fmt::Display for CoherenceState {
 /// Figure 11 classifies store requests at the L1 by the *fate* of the
 /// prefetch that should have covered them, so every prefetched line
 /// remembers its originating policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RfoOrigin {
     /// At-execute policy (issued when the store's address resolved).
     AtExecute,
@@ -99,7 +98,7 @@ impl fmt::Display for RfoOrigin {
 }
 
 /// One cache line's metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheLine {
     /// Block address stored in this way (full block number, not a tag
     /// fragment — the model trades a few bytes for clarity).

@@ -15,10 +15,9 @@
 //! none of these can cover a store burst: their window is anchored to
 //! recent demand accesses, so at best they run a fixed distance ahead.
 
-use serde::{Deserialize, Serialize};
 
 /// Which generic prefetcher the L1 uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PrefetcherKind {
     /// No generic prefetcher.
     None,

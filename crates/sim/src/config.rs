@@ -1,6 +1,5 @@
 //! Run configuration: policy selection and simulation budgets.
 
-use serde::{Deserialize, Serialize};
 use spb_core::detector::SpbConfig;
 use spb_core::policy::{SpbDynamicPolicy, SpbPolicy};
 use spb_cpu::policy::{AtCommitPolicy, AtExecutePolicy, NoPolicy};
@@ -12,7 +11,7 @@ use spb_mem::MemoryConfig;
 pub const IDEAL_SB_ENTRIES: usize = 1024;
 
 /// Which store-prefetch strategy a run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
     /// No store prefetching (gem5 out of the box).
     None,

@@ -16,6 +16,9 @@
 //!   counters the figures need.
 //! - [`suite`] runs whole benchmark suites and aggregates the "ALL" and
 //!   "SB-BOUND" geometric means the paper reports.
+//! - [`sweep`] fans independent `(application, configuration)` cells
+//!   out over a worker pool with deterministic, input-ordered results,
+//!   and summarizes sweeps as machine-readable JSON reports.
 //!
 //! # Examples
 //!
@@ -37,6 +40,8 @@ pub mod config;
 pub mod report;
 pub mod runner;
 pub mod suite;
+pub mod sweep;
 
 pub use config::{PolicyKind, SimConfig};
 pub use runner::{run_app, RunResult};
+pub use sweep::{SweepOptions, SweepReport};

@@ -26,6 +26,12 @@ pub fn render(r: &RunResult) -> String {
         r.uops,
         r.ipc()
     );
+    let _ = writeln!(
+        out,
+        "host wall {:>9.1} ms   sim rate {:.2} Mµops/s",
+        r.wall_ms,
+        r.uops_per_sec() / 1e6
+    );
 
     let _ = writeln!(out, "\n-- Top-Down (stall cycles, % of core cycles) --");
     let cycles = r.topdown.cycles().max(1) as f64;
@@ -152,6 +158,7 @@ mod tests {
         );
         let text = render(&r);
         for section in [
+            "host wall",
             "Top-Down",
             "Instruction mix",
             "Memory hierarchy",

@@ -33,6 +33,11 @@ pub struct RunResult {
     pub burst_lengths: Histogram,
     /// Energy breakdown for the measured window.
     pub energy: EnergyBreakdown,
+    /// Host wall-clock time spent simulating (warm-up + measurement),
+    /// in milliseconds. Observability only: this is the one field that
+    /// varies between repeated runs, so comparisons of results must
+    /// ignore it.
+    pub wall_ms: f64,
 }
 
 impl RunResult {
@@ -53,6 +58,15 @@ impl RunResult {
     /// Execution time proxy: measured cycles (lower is better).
     pub fn time(&self) -> f64 {
         self.cycles as f64
+    }
+
+    /// Host simulation rate: committed µops per wall-clock second.
+    pub fn uops_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.uops as f64 / (self.wall_ms / 1000.0)
+        }
     }
 }
 
@@ -78,6 +92,7 @@ fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
 ///
 /// Panics if the configuration is structurally invalid (zero queues).
 pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
+    let wall_start = std::time::Instant::now();
     let threads = profile.threads() as usize;
     let mut mem_cfg = cfg.mem.clone();
     mem_cfg.cores = threads;
@@ -158,6 +173,7 @@ pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
         sb_residency,
         burst_lengths: mem.burst_lengths().clone(),
         energy,
+        wall_ms: wall_start.elapsed().as_secs_f64() * 1000.0,
     }
 }
 

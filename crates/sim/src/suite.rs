@@ -7,6 +7,7 @@
 
 use crate::config::SimConfig;
 use crate::runner::{run_app, RunResult};
+use crate::sweep::{run_cells, SweepOptions};
 use spb_stats::summary::geomean;
 use spb_trace::profile::AppProfile;
 
@@ -20,8 +21,27 @@ pub struct SuiteResult {
 }
 
 impl SuiteResult {
-    /// Runs `cfg` over all `apps`.
+    /// Runs `cfg` over all `apps`, parallelized per [`SweepOptions::from_env`]
+    /// (`SPB_JOBS` or the machine's available parallelism). Results are
+    /// identical to [`SuiteResult::run_serial`] except for wall-clock
+    /// fields.
     pub fn run(apps: &[AppProfile], cfg: &SimConfig) -> Self {
+        Self::run_with(apps, cfg, &SweepOptions::from_env())
+    }
+
+    /// Runs `cfg` over all `apps` with explicit sweep options.
+    pub fn run_with(apps: &[AppProfile], cfg: &SimConfig, opts: &SweepOptions) -> Self {
+        let cells: Vec<(&AppProfile, SimConfig)> =
+            apps.iter().map(|a| (a, cfg.clone())).collect();
+        Self {
+            runs: run_cells(&cells, opts),
+            sb_bound: apps.iter().map(|a| a.is_sb_bound()).collect(),
+        }
+    }
+
+    /// Runs `cfg` over all `apps` one at a time on the calling thread.
+    /// Reference path for differential tests of the parallel executor.
+    pub fn run_serial(apps: &[AppProfile], cfg: &SimConfig) -> Self {
         let runs = apps.iter().map(|a| run_app(a, cfg)).collect();
         let sb_bound = apps.iter().map(|a| a.is_sb_bound()).collect();
         Self { runs, sb_bound }

@@ -1,0 +1,407 @@
+//! Parallel, deterministic execution of experiment sweeps.
+//!
+//! Every figure in the paper is a sweep: a list of `(application,
+//! configuration)` cells, each simulated independently. The cells share
+//! no mutable state — [`crate::runner::run_app`] builds its own memory
+//! system and cores from the immutable profile and config — so they can
+//! fan out across a worker pool with no effect on the simulated
+//! numbers. [`run_cells`] does exactly that on `std::thread::scope`:
+//! workers claim cells through an atomic index and deposit results into
+//! per-cell slots, so the returned vector is always in **input order**
+//! and bit-identical to a serial run regardless of the job count or
+//! completion order (only the wall-clock fields differ; see
+//! [`crate::runner::RunResult::wall_ms`]).
+//!
+//! [`SweepOptions`] carries the knobs: `jobs` (how many worker threads;
+//! the `SPB_JOBS` environment variable or `--jobs` on the CLI) and
+//! `progress` (a stderr narrator line per completed cell). A sweep can
+//! be summarized as a machine-readable [`SweepReport`] and written as
+//! JSON under `results/`.
+//!
+//! # Examples
+//!
+//! ```
+//! use spb_sim::config::SimConfig;
+//! use spb_sim::sweep::{run_cells, SweepOptions};
+//! use spb_trace::profile::AppProfile;
+//!
+//! let apps = [AppProfile::by_name("x264").unwrap()];
+//! let cfg = SimConfig::quick();
+//! let cells: Vec<_> = apps.iter().map(|a| (a, cfg.clone())).collect();
+//! let runs = run_cells(&cells, &SweepOptions::with_jobs(2));
+//! assert_eq!(runs[0].app, "x264");
+//! ```
+
+use crate::config::SimConfig;
+use crate::runner::{run_app, RunResult};
+use spb_stats::json::Json;
+use spb_trace::profile::AppProfile;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a sweep executes: worker count and progress narration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Number of worker threads (at least 1; 1 = serial).
+    pub jobs: usize,
+    /// Print a `[k/total] app sb=N policy …s` line to stderr per cell.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// One worker, no narration — identical to the serial path.
+    pub fn serial() -> Self {
+        Self {
+            jobs: 1,
+            progress: false,
+        }
+    }
+
+    /// A fixed worker count (clamped to at least 1), no narration.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            progress: false,
+        }
+    }
+
+    /// Worker count from the `SPB_JOBS` environment variable, falling
+    /// back to the machine's available parallelism. `SPB_JOBS=0` and
+    /// unparsable values also fall back.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("SPB_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(default_jobs);
+        Self {
+            jobs,
+            progress: false,
+        }
+    }
+
+    /// Enables or disables the stderr progress narrator.
+    #[must_use]
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be queried).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `jobs` scoped worker threads
+/// and returns the results **in input order**.
+///
+/// Workers claim items through an atomic cursor, so scheduling is
+/// dynamic (long and short items interleave freely) while the output
+/// order stays deterministic. With `jobs <= 1` this degenerates to a
+/// plain serial loop on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have finished.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot is filled once all workers join")
+        })
+        .collect()
+}
+
+/// Runs every `(application, configuration)` cell and returns the
+/// results in input order.
+///
+/// This is the execution core behind [`crate::suite::SuiteResult::run`]
+/// and the experiment grids: results are identical to running the cells
+/// one by one in order (modulo the wall-clock fields). With
+/// `opts.progress`, each completed cell prints a narrator line such as
+/// `[12/69] x264 sb=14 spb-burst(48) 1.8s` to stderr; the counter
+/// reflects completion order, not input order.
+pub fn run_cells(cells: &[(&AppProfile, SimConfig)], opts: &SweepOptions) -> Vec<RunResult> {
+    let total = cells.len();
+    let done = AtomicUsize::new(0);
+    parallel_map(cells, opts.jobs, |_, (app, cfg)| {
+        let r = run_app(app, cfg);
+        if opts.progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "[{k}/{total}] {} sb={} {} {:.1}s",
+                r.app,
+                r.sb_entries,
+                r.policy,
+                r.wall_ms / 1000.0
+            );
+        }
+        r
+    })
+}
+
+/// One row of a machine-readable sweep report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Application name.
+    pub app: String,
+    /// Policy label.
+    pub policy: String,
+    /// Effective SB entries.
+    pub sb: usize,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Committed µops in the measured window.
+    pub uops: u64,
+    /// Committed µops per cycle.
+    pub ipc: f64,
+    /// Host wall-clock time of the run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl SweepRecord {
+    /// Summarizes one run.
+    pub fn from_run(r: &RunResult) -> Self {
+        Self {
+            app: r.app.clone(),
+            policy: r.policy.clone(),
+            sb: r.sb_entries,
+            cycles: r.cycles,
+            uops: r.uops,
+            ipc: r.ipc(),
+            wall_ms: r.wall_ms,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", Json::str(&self.app)),
+            ("policy", Json::str(&self.policy)),
+            ("sb", Json::from(self.sb)),
+            ("cycles", Json::from(self.cycles)),
+            ("uops", Json::from(self.uops)),
+            ("ipc", Json::from(self.ipc)),
+            ("wall_ms", Json::from(self.wall_ms)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        Ok(Self {
+            app: field("app")?
+                .as_str()
+                .ok_or("app must be a string")?
+                .to_string(),
+            policy: field("policy")?
+                .as_str()
+                .ok_or("policy must be a string")?
+                .to_string(),
+            sb: field("sb")?.as_usize().ok_or("sb must be an integer")?,
+            cycles: field("cycles")?
+                .as_u64()
+                .ok_or("cycles must be an integer")?,
+            uops: field("uops")?.as_u64().ok_or("uops must be an integer")?,
+            ipc: field("ipc")?.as_f64().ok_or("ipc must be a number")?,
+            wall_ms: field("wall_ms")?
+                .as_f64()
+                .ok_or("wall_ms must be a number")?,
+        })
+    }
+}
+
+/// A named collection of [`SweepRecord`]s, serializable as JSON.
+///
+/// The on-disk schema is one object:
+///
+/// ```json
+/// {
+///   "name": "sweep-x264",
+///   "records": [
+///     {"app": "x264", "policy": "spb-burst(48)", "sb": 14,
+///      "cycles": 123456, "uops": 300000, "ipc": 2.43, "wall_ms": 1810.2}
+///   ]
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Report name (becomes the file stem under `results/`).
+    pub name: String,
+    /// One record per run, in sweep order.
+    pub records: Vec<SweepRecord>,
+}
+
+impl SweepReport {
+    /// Summarizes `runs` under `name`.
+    pub fn new(name: impl Into<String>, runs: &[RunResult]) -> Self {
+        Self {
+            name: name.into(),
+            records: runs.iter().map(SweepRecord::from_run).collect(),
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        let v = Json::obj([
+            ("name", Json::str(&self.name)),
+            (
+                "records",
+                Json::arr(self.records.iter().map(SweepRecord::to_json)),
+            ),
+        ]);
+        format!("{v:#}\n")
+    }
+
+    /// Parses a report back from its JSON text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("missing report name")?
+            .to_string();
+        let records = v
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or("missing records array")?
+            .iter()
+            .map(SweepRecord::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(Self { name, records })
+    }
+
+    /// Writes the report as `<dir>/<name>.json` (creating `dir`) and
+    /// returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json_string())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let out = parallel_map(&items, jobs, |i, &v| {
+                assert_eq!(i as u64, v);
+                v * v
+            });
+            assert_eq!(out, items.iter().map(|v| v * v).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, 4, |_, v| *v).is_empty());
+        assert_eq!(parallel_map(&[5u32], 4, |_, v| *v + 1), vec![6]);
+    }
+
+    #[test]
+    fn sweep_options_clamp_and_env_fallback() {
+        assert_eq!(SweepOptions::with_jobs(0).jobs, 1);
+        assert!(SweepOptions::from_env().jobs >= 1);
+        assert!(!SweepOptions::serial().progress);
+        assert!(SweepOptions::serial().progress(true).progress);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = SweepReport {
+            name: "unit".into(),
+            records: vec![
+                SweepRecord {
+                    app: "x264".into(),
+                    policy: "spb-burst(48)".into(),
+                    sb: 14,
+                    cycles: 123_456,
+                    uops: 300_000,
+                    ipc: 300_000.0 / 123_456.0,
+                    wall_ms: 1810.25,
+                },
+                SweepRecord {
+                    app: "lbm".into(),
+                    policy: "at-commit".into(),
+                    sb: 56,
+                    cycles: 1,
+                    uops: 0,
+                    ipc: 0.0,
+                    wall_ms: 0.5,
+                },
+            ],
+        };
+        let text = report.to_json_string();
+        assert_eq!(SweepReport::parse(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn report_parse_reports_schema_errors() {
+        assert!(SweepReport::parse("{}").is_err());
+        assert!(SweepReport::parse(r#"{"name":"x","records":[{}]}"#)
+            .unwrap_err()
+            .contains("app"));
+        assert!(SweepReport::parse("not json").is_err());
+    }
+
+    #[test]
+    fn report_saves_and_reloads_from_disk() {
+        let dir = std::env::temp_dir().join("spb-sweep-test");
+        let report = SweepReport {
+            name: "roundtrip".into(),
+            records: vec![SweepRecord {
+                app: "gcc".into(),
+                policy: "none".into(),
+                sb: 28,
+                cycles: 10,
+                uops: 20,
+                ipc: 2.0,
+                wall_ms: 3.5,
+            }],
+        };
+        let path = report.save(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(SweepReport::parse(&text).unwrap(), report);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,6 +1,5 @@
 //! Named event counters.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named, monotonically increasing event counter.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(c.value(), 10);
 /// assert_eq!(c.name(), "sb_stall_cycles");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Counter {
     name: String,
     value: u64,
@@ -103,7 +102,7 @@ impl Default for Counter {
 /// mpki.record(false);
 /// assert!((mpki.rate() - 1.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ratio {
     name: String,
     hits: u64,

@@ -1,6 +1,5 @@
 //! Fixed-width bucketed histograms.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A histogram with fixed-width buckets over `[0, bucket_width * buckets)`
@@ -23,7 +22,7 @@ use std::fmt;
 /// assert_eq!(h.bucket_count(2), 1);
 /// assert_eq!(h.overflow(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     name: String,
     bucket_width: u64,

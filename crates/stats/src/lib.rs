@@ -13,6 +13,8 @@
 //! - [`table`]: a small table type ([`table::Table`]) that renders the
 //!   rows/series the paper reports as aligned text, Markdown or CSV.
 //! - [`summary`]: normalization and geometric-mean helpers.
+//! - [`json`]: a dependency-free JSON value type ([`json::Json`]) used
+//!   for the machine-readable sweep reports.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 pub mod chart;
 pub mod counter;
 pub mod histogram;
+pub mod json;
 pub mod summary;
 pub mod table;
 pub mod topdown;

@@ -4,7 +4,6 @@
 //! [`Table`] whose rows/columns mirror the corresponding figure or table
 //! in the paper, so a reader can diff shape against the publication.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A rectangular table of `f64` cells with named rows and columns.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(t.get("SB56", "SPB"), Some(1.005));
 /// println!("{}", t.to_markdown());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     title: String,
     columns: Vec<String>,

@@ -7,11 +7,10 @@
 //! while an L1D miss is pending*, the metric behind Figures 14 and 15.
 //! [`TopDown`] accumulates all of these per cycle.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The resource that blocked dispatch on a stalled cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallCause {
     /// The store buffer / store queue was full — the paper's
     /// "SB-induced stall".
@@ -87,7 +86,7 @@ impl fmt::Display for StallCause {
 /// assert_eq!(td.stall_cycles(StallCause::StoreBuffer), 1);
 /// assert!((td.sb_stall_ratio() - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TopDown {
     cycles: u64,
     stalls: [u64; 6],

@@ -20,19 +20,18 @@
 use crate::op::{MicroOp, OpKind};
 use crate::region::CodeRegion;
 use crate::TraceSource;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::TraceRng;
 
 /// Well-predicted loop-branch misprediction rate.
 const LOOP_BRANCH_MISS_RATE: f64 = 0.0005;
 
-fn rng_for(seed: u64, salt: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+fn rng_for(seed: u64, salt: u64) -> TraceRng {
+    TraceRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Emits the two loop-overhead µops (induction add + backward branch)
 /// used by all the loopy generators.
-fn loop_overhead(pcs: (u64, u64), rng: &mut ChaCha8Rng, out: &mut Vec<MicroOp>) {
+fn loop_overhead(pcs: (u64, u64), rng: &mut TraceRng, out: &mut Vec<MicroOp>) {
     out.push(MicroOp::new(OpKind::IntAlu { latency: 1 }, pcs.0));
     let miss = rng.gen_bool(LOOP_BRANCH_MISS_RATE);
     out.push(MicroOp::new(OpKind::Branch { mispredict: miss }, pcs.1).with_dep(1));
@@ -102,7 +101,7 @@ pub struct MemsetGen {
     region: CodeRegion,
     unroll: u64,
     queue: OpQueue,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl MemsetGen {
@@ -173,7 +172,7 @@ pub struct MemcpyGen {
     region: CodeRegion,
     shuffle_in_block: bool,
     queue: OpQueue,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl MemcpyGen {
@@ -314,7 +313,7 @@ pub struct MultiStreamCopyGen {
     chunk_left: u64,
     region: CodeRegion,
     queue: OpQueue,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl MultiStreamCopyGen {
@@ -417,7 +416,7 @@ pub struct StrideLoadGen {
     idx: u64,
     fp: bool,
     queue: OpQueue,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl StrideLoadGen {
@@ -492,7 +491,7 @@ pub struct PointerChaseGen {
     remaining: u64,
     state: u64,
     queue: OpQueue,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl PointerChaseGen {
@@ -575,7 +574,7 @@ impl TraceSource for PointerChaseGen {
 // ---------------------------------------------------------------------------
 
 /// Configuration for [`ComputeGen`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeParams {
     /// Number of µops to emit.
     pub count: u64,
@@ -609,7 +608,7 @@ pub struct ComputeGen {
     params: ComputeParams,
     emitted: u64,
     since_branch: u32,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl ComputeGen {
@@ -668,7 +667,7 @@ pub struct SparseStoreGen {
     remaining: u64,
     gap: u32,
     queue: OpQueue,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl SparseStoreGen {
@@ -930,7 +929,7 @@ pub struct StridedStoreGen {
     remaining: u64,
     idx: u64,
     queue: OpQueue,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl StridedStoreGen {
@@ -1007,7 +1006,7 @@ pub struct GatherScatterGen {
     bucket_blocks: u64,
     remaining: u64,
     queue: OpQueue,
-    rng: ChaCha8Rng,
+    rng: TraceRng,
 }
 
 impl GatherScatterGen {

@@ -44,6 +44,7 @@ pub mod op;
 pub mod phased;
 pub mod profile;
 pub mod region;
+pub mod rng;
 
 pub use op::{MicroOp, OpKind};
 pub use phased::PhasedWorkload;

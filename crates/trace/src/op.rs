@@ -1,6 +1,5 @@
 //! The µop intermediate representation consumed by the core model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Cache block size in bytes (64 B, as in Table I / the paper's examples).
@@ -11,7 +10,7 @@ pub const PAGE_BYTES: u64 = 4096;
 pub const BLOCKS_PER_PAGE: u64 = PAGE_BYTES / BLOCK_BYTES;
 
 /// What a µop does, with the operands the timing model needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Integer ALU operation with the given execution latency in cycles
     /// (add 1c, mul 4c, div 22c per Table I).
@@ -92,7 +91,7 @@ impl OpKind {
 /// assert_eq!(op.deps(), [1, 0]);
 /// assert!(op.kind().is_store());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MicroOp {
     kind: OpKind,
     pc: u64,

@@ -15,10 +15,9 @@ use crate::generators::{
 use crate::op::PAGE_BYTES;
 use crate::region::{AddressSpace, CodeRegion};
 use crate::{MicroOp, TraceSource};
-use serde::{Deserialize, Serialize};
 
 /// Declarative description of one workload phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PhaseSpec {
     /// A `memcpy(dst, src, bytes)` through the C library (or, with
     /// `shuffle`, a manually unrolled copy loop in application code whose

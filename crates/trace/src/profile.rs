@@ -17,10 +17,9 @@
 use crate::generators::ComputeParams;
 use crate::phased::{PhaseSpec, PhasedWorkload};
 use crate::region::CodeRegion;
-use serde::{Deserialize, Serialize};
 
 /// Which benchmark suite a profile belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU 2017 (single-threaded rate runs).
     Spec2017,
@@ -29,7 +28,7 @@ pub enum Suite {
 }
 
 /// A synthetic stand-in for one benchmark application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     name: String,
     suite: Suite,

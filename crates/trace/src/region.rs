@@ -6,11 +6,10 @@
 //! stamp each µop with a PC from a region-specific range so the simulator
 //! can reproduce that attribution.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The code region a program counter belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CodeRegion {
     /// Application text.
     Application,

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything CI gates on, runnable offline.
+#
+#   scripts/tier1.sh          full check (build, tests, clippy)
+#   scripts/tier1.sh --fast   skip the release build
+#
+# The workspace has no external dependencies (everything external is
+# shimmed under crates/), so --offline always works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+if [[ "$FAST" == 0 ]]; then
+  run cargo build --release --offline
+fi
+run cargo test -q --workspace --offline
+run cargo clippy --all-targets --offline -- -D warnings
+echo "tier1: OK"
