@@ -3,7 +3,7 @@
 use crate::{find_app, CliError, Command, RunOpts};
 use spb_sim::config::SimConfig;
 use spb_sim::suite::SuiteResult;
-use spb_sim::sweep::{run_cells, SweepReport};
+use spb_sim::sweep::{run_cells_checked, SweepRecord, SweepReport};
 use spb_stats::{chart, Table};
 use spb_trace::file::{record, TraceReader};
 use spb_trace::profile::AppProfile;
@@ -35,7 +35,8 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             policies,
             cfg,
             chart,
-        } => sweep(&app, &sbs, &policies, &cfg, chart),
+            resume,
+        } => sweep(&app, &sbs, &policies, &cfg, chart, resume),
         Command::Experiment { name, quick } => experiment(&name, quick),
     }
 }
@@ -46,11 +47,34 @@ fn sweep(
     policies: &[spb_sim::PolicyKind],
     opts: &RunOpts,
     with_chart: bool,
+    resume: bool,
 ) -> Result<(), CliError> {
     let profile = find_app(app)?;
+    let name = format!("sweep-{app}");
+
+    // With --resume, reload the prior (possibly partial) report; its
+    // completed cells are reused verbatim and only the rest re-run.
+    let prior = if resume {
+        let path = std::path::Path::new("results").join(format!("{name}.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Some(SweepReport::parse(&text).map_err(|e| {
+                CliError(format!("cannot resume from {}: {e}", path.display()))
+            })?),
+            Err(e) => {
+                eprintln!(
+                    "note: no prior report at {} ({e}); running the full sweep",
+                    path.display()
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     // Flatten the sb × policy grid into one cell list (SB-major, policy
     // minor) so the worker pool covers the whole sweep at once.
-    let configs: Vec<SimConfig> = sbs
+    let grid: Vec<SimConfig> = sbs
         .iter()
         .flat_map(|&sb| {
             policies.iter().map(move |&policy| {
@@ -60,34 +84,108 @@ fn sweep(
             })
         })
         .collect();
-    let cells: Vec<_> = configs.iter().map(|c| (&profile, c.clone())).collect();
-    let runs = run_cells(&cells, &opts.sweep_options().progress(true));
+    let todo: Vec<SimConfig> = grid
+        .iter()
+        .filter(|c| {
+            prior
+                .as_ref()
+                .is_none_or(|p| !p.has_record(app, &c.policy.label(), c.effective_sb()))
+        })
+        .cloned()
+        .collect();
+    if prior.is_some() {
+        eprintln!(
+            "resuming {name}: {} of {} cells already done",
+            grid.len() - todo.len(),
+            grid.len()
+        );
+    }
+    let cells: Vec<_> = todo.iter().map(|c| (&profile, c.clone())).collect();
+    let results = run_cells_checked(&cells, &opts.sweep_options().progress(true));
 
-    let labels: Vec<String> = policies.iter().map(|p| p.label()).collect();
-    let cols: Vec<&str> = labels.iter().map(String::as_str).collect();
-    let mut cycles_t = Table::new(format!("{app} — cycles"), &cols);
-    let mut stall_t = Table::new(format!("{app} — SB-stall %"), &cols);
-    for (i, &sb) in sbs.iter().enumerate() {
-        let row = &runs[i * policies.len()..(i + 1) * policies.len()];
-        cycles_t.push_row(
-            format!("SB{sb}"),
-            &row.iter().map(|r| r.cycles as f64).collect::<Vec<_>>(),
-        );
-        stall_t.push_row(
-            format!("SB{sb}"),
-            &row.iter()
-                .map(|r| r.sb_stall_ratio() * 100.0)
-                .collect::<Vec<_>>(),
-        );
+    // Merge reused and fresh cells back into grid order. `todo`
+    // preserves grid order, so one forward iterator pairs each missing
+    // cell with its result.
+    let mut new_it = results.iter();
+    let mut records: Vec<SweepRecord> = Vec::new();
+    let mut failed = Vec::new();
+    let mut fresh_runs = Vec::new();
+    for c in &grid {
+        let policy = c.policy.label();
+        let sb = c.effective_sb();
+        let reused = prior.as_ref().and_then(|p| {
+            p.records
+                .iter()
+                .find(|r| r.app == app && r.policy == policy && r.sb == sb)
+        });
+        if let Some(r) = reused {
+            records.push(r.clone());
+        } else {
+            match new_it.next().expect("one result per missing cell") {
+                Ok(run) => {
+                    records.push(SweepRecord::from_run(run));
+                    fresh_runs.push(run);
+                }
+                Err(f) => failed.push(f.clone()),
+            }
+        }
     }
-    cycles_t.set_precision(0);
-    stall_t.set_precision(1);
-    println!("{cycles_t}");
-    println!("{stall_t}");
-    if with_chart {
-        print!("{}", chart::render_all(&stall_t, None));
+
+    if fresh_runs.len() == grid.len() {
+        // A complete fresh sweep: the detailed tables need the full
+        // RunResult stats, which reused records no longer carry.
+        let labels: Vec<String> = policies.iter().map(|p| p.label()).collect();
+        let cols: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let mut cycles_t = Table::new(format!("{app} — cycles"), &cols);
+        let mut stall_t = Table::new(format!("{app} — SB-stall %"), &cols);
+        for (i, &sb) in sbs.iter().enumerate() {
+            let row = &fresh_runs[i * policies.len()..(i + 1) * policies.len()];
+            cycles_t.push_row(
+                format!("SB{sb}"),
+                &row.iter().map(|r| r.cycles as f64).collect::<Vec<_>>(),
+            );
+            stall_t.push_row(
+                format!("SB{sb}"),
+                &row.iter()
+                    .map(|r| r.sb_stall_ratio() * 100.0)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        cycles_t.set_precision(0);
+        stall_t.set_precision(1);
+        println!("{cycles_t}");
+        println!("{stall_t}");
+        if with_chart {
+            print!("{}", chart::render_all(&stall_t, None));
+        }
+    } else {
+        // Resumed or partially failed: summarize from the records.
+        for r in &records {
+            println!(
+                "{} {} sb={}: {} cycles, ipc {:.3}",
+                r.app, r.policy, r.sb, r.cycles, r.ipc
+            );
+        }
     }
-    save_report(&SweepReport::new(format!("sweep-{app}"), &runs));
+
+    let report = SweepReport {
+        name,
+        records,
+        failed: failed.clone(),
+    };
+    save_report(&report);
+    if !failed.is_empty() {
+        return Err(CliError(format!(
+            "{} of {} cell(s) failed (the rest are saved; re-run with --resume to retry):\n  {}",
+            failed.len(),
+            grid.len(),
+            failed
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n  ")
+        )));
+    }
     Ok(())
 }
 

@@ -97,6 +97,9 @@ pub enum Command {
         cfg: RunOpts,
         /// Render bar charts.
         chart: bool,
+        /// Reuse completed cells from the existing report under
+        /// `results/`, re-running only missing or failed cells.
+        resume: bool,
     },
     /// Regenerate a paper experiment by name.
     Experiment {
@@ -124,6 +127,10 @@ pub struct RunOpts {
     pub seed: u64,
     /// Worker threads for sweeps (`None` = `SPB_JOBS` or all cores).
     pub jobs: Option<usize>,
+    /// Uniform fault-injection rate for the memory system (0 = off).
+    pub fault_rate: f64,
+    /// Fault-injection seed (independent of the workload seed).
+    pub fault_seed: u64,
 }
 
 impl Default for RunOpts {
@@ -136,6 +143,8 @@ impl Default for RunOpts {
             warmup: d.warmup_uops,
             seed: d.seed,
             jobs: None,
+            fault_rate: 0.0,
+            fault_seed: 1,
         }
     }
 }
@@ -149,6 +158,9 @@ impl RunOpts {
         cfg.measure_uops = self.uops;
         cfg.warmup_uops = self.warmup;
         cfg.seed = self.seed;
+        if self.fault_rate > 0.0 {
+            cfg.mem.fault = spb_mem::FaultConfig::uniform(self.fault_rate, self.fault_seed);
+        }
         cfg
     }
 
@@ -229,6 +241,24 @@ fn parse_run_opts<'a>(
                     v.parse()
                         .map_err(|_| CliError(format!("--jobs expects a number, got {v:?}")))?,
                 );
+            }
+            "--fault-rate" => {
+                args.next();
+                let v = take_value("--fault-rate", args)?;
+                opts.fault_rate = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| {
+                        CliError(format!("--fault-rate expects a number in [0,1], got {v:?}"))
+                    })?;
+            }
+            "--fault-seed" => {
+                args.next();
+                let v = take_value("--fault-seed", args)?;
+                opts.fault_seed = v.parse().map_err(|_| {
+                    CliError(format!("--fault-seed expects a number, got {v:?}"))
+                })?;
             }
             _ => {
                 leftovers.push(args.next().unwrap().to_string());
@@ -342,12 +372,28 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut sbs = vec![14, 20, 28, 56];
             let mut policies = vec![PolicyKind::AtCommit, PolicyKind::spb_default()];
             let mut chart = false;
+            let mut resume = false;
             // Note: --sb/--policy are consumed here as comma lists, so
             // bypass parse_run_opts for those two flags.
             while let Some(a) = it.next() {
                 match a {
                     "--app" => app = it.next().map(str::to_string),
                     "--chart" => chart = true,
+                    "--resume" => resume = true,
+                    "--fault-rate" => {
+                        let v = take_value("--fault-rate", &mut it)?;
+                        opts.fault_rate = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|r| (0.0..=1.0).contains(r))
+                            .ok_or_else(|| CliError(format!("bad --fault-rate {v:?}")))?;
+                    }
+                    "--fault-seed" => {
+                        let v = take_value("--fault-seed", &mut it)?;
+                        opts.fault_seed = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad --fault-seed {v:?}")))?;
+                    }
                     "--sb" => {
                         let v = take_value("--sb", &mut it)?;
                         sbs = v
@@ -396,6 +442,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 policies,
                 cfg: opts,
                 chart,
+                resume,
             })
         }
         "experiment" => {
@@ -414,17 +461,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
 
 /// Looks up an application in both suites with a helpful error.
 pub fn find_app(name: &str) -> Result<AppProfile, CliError> {
-    AppProfile::by_name(name).ok_or_else(|| {
-        let known: Vec<String> = AppProfile::spec2017()
-            .iter()
-            .chain(AppProfile::parsec().iter())
-            .map(|p| p.name().to_string())
-            .collect();
-        CliError(format!(
-            "unknown application {name:?}; known: {}",
-            known.join(", ")
-        ))
-    })
+    AppProfile::by_name(name).map_err(|e| CliError(e.to_string()))
 }
 
 /// Usage text.
@@ -438,7 +475,7 @@ USAGE:
   spbsim record --app NAME --ops N --out FILE   record a trace file
   spbsim trace-info FILE                        inspect a trace file
   spbsim replay --trace FILE [opts]             replay a recorded trace
-  spbsim sweep --app NAME [--sb 14,20,28,56] [--policy at-commit,spb] [--chart]
+  spbsim sweep --app NAME [--sb 14,20,28,56] [--policy at-commit,spb] [--chart] [--resume]
   spbsim experiment NAME [--quick]              regenerate a paper experiment
 
 RUN OPTIONS:
@@ -448,11 +485,16 @@ RUN OPTIONS:
   --warmup N      warm-up µops                    (default 150000)
   --seed N        workload seed                   (default 42)
   --jobs N        sweep worker threads            (default $SPB_JOBS or all cores)
+  --fault-rate R  uniform memory fault-injection rate in [0,1] (default 0 = off)
+  --fault-seed N  fault-injection seed            (default 1)
 
 Suite and sweep runs fan out over a worker pool (results are identical
 to a serial run) and write a machine-readable JSON report under
 results/ (schema: {name, records: [{app, policy, sb, cycles, uops,
-ipc, wall_ms}]}).
+ipc, wall_ms}]}; a \"failed\" array is appended when cells crashed).
+A cell that panics or trips the coherence checker fails alone: the
+other cells complete, the partial report is saved, and `sweep
+--resume` re-runs only the missing or failed cells.
 ";
 
 #[cfg(test)]
@@ -566,6 +608,29 @@ mod tests {
                 quick: true
             }
         );
+    }
+
+    #[test]
+    fn parses_fault_flags_and_resume() {
+        let cmd = parse(["run", "--app", "gcc", "--fault-rate", "0.02", "--fault-seed", "9"]).unwrap();
+        match cmd {
+            Command::Run { cfg, .. } => {
+                assert_eq!(cfg.fault_rate, 0.02);
+                assert_eq!(cfg.fault_seed, 9);
+                assert!(cfg.to_sim_config().mem.fault.enabled());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(!RunOpts::default().to_sim_config().mem.fault.enabled());
+        assert!(parse(["run", "--app", "gcc", "--fault-rate", "1.5"]).is_err());
+        let cmd = parse(["sweep", "--app", "x264", "--resume", "--fault-rate", "0.01"]).unwrap();
+        match cmd {
+            Command::Sweep { resume, cfg, .. } => {
+                assert!(resume);
+                assert_eq!(cfg.fault_rate, 0.01);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]

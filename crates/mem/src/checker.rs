@@ -1,0 +1,295 @@
+//! Coherence invariant checking: structured violations and the bounded
+//! event log that gives them a usable diagnostic.
+//!
+//! The simulator used to guard its protocol with scattered
+//! `debug_assert!`s: silent in release builds, and a bare panic with no
+//! context in debug builds. This module promotes them into structured
+//! [`InvariantViolation`] errors that carry *what* was violated, *where*
+//! (block/core/cycle) and the recent coherence history of the offending
+//! block, and flow up through the runner into sweep reports instead of
+//! tearing the process down.
+//!
+//! [`crate::system::MemorySystem`] records one [`CoherenceEvent`] per
+//! protocol action into a fixed-size [`EventLog`] ring (cheap: a struct
+//! write, no formatting) and runs [`crate::system::MemorySystem::check_invariants`]
+//! periodically. The checks are read-only — running them never changes a
+//! simulated number.
+
+use std::fmt;
+
+/// Which invariant was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Two cores held write permission (or a writer coexisted with a
+    /// reader) for the same block.
+    SingleWriter,
+    /// A private cache held a stable line the directory does not track,
+    /// or their permissions disagree.
+    DirectoryAgreement,
+    /// The directory's own records are malformed (owner out of range,
+    /// empty or out-of-range sharer mask).
+    DirectoryState,
+    /// An MSHR file held two entries for one block, exceeded its
+    /// capacity, or an entry's completion time ran away.
+    MshrLeak,
+    /// A cache line was reachable in a state its access path forbids.
+    LineState,
+    /// No core made forward progress within the watchdog's cycle budget.
+    ForwardProgress,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvariantKind::SingleWriter => "single-writer",
+            InvariantKind::DirectoryAgreement => "directory-agreement",
+            InvariantKind::DirectoryState => "directory-state",
+            InvariantKind::MshrLeak => "mshr-leak",
+            InvariantKind::LineState => "line-state",
+            InvariantKind::ForwardProgress => "forward-progress",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A structured invariant violation: the check that failed plus enough
+/// context to debug it without re-running.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantViolation {
+    /// Which invariant failed.
+    pub kind: InvariantKind,
+    /// The offending block, when the violation is block-scoped.
+    pub block: Option<u64>,
+    /// The offending core, when one is identifiable.
+    pub core: Option<usize>,
+    /// Simulated cycle at which the check ran.
+    pub cycle: u64,
+    /// Human-readable description of the inconsistent state.
+    pub detail: String,
+    /// Recent coherence events touching the offending block, oldest
+    /// first (empty when no block is identified or the log is disabled).
+    pub history: Vec<String>,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violation [{}] at cycle {}", self.kind, self.cycle)?;
+        if let Some(b) = self.block {
+            write!(f, " block {b:#x}")?;
+        }
+        if let Some(c) = self.core {
+            write!(f, " core {c}")?;
+        }
+        write!(f, ": {}", self.detail)?;
+        if !self.history.is_empty() {
+            write!(f, "\n  block history (oldest first):")?;
+            for h in &self.history {
+                write!(f, "\n    {h}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// One coherence-protocol action, recorded compactly (formatting is
+/// deferred to dump time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceEvent {
+    /// Simulated cycle of the action.
+    pub cycle: u64,
+    /// Block acted on.
+    pub block: u64,
+    /// Core performing (or suffering) the action.
+    pub core: u8,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The protocol actions worth remembering for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A read fill was requested below L1.
+    FillShared,
+    /// An ownership fill (RFO) was requested below L1.
+    FillOwned,
+    /// A store performed into L1.
+    StorePerformed,
+    /// The line was invalidated by a remote exclusive request.
+    Invalidated,
+    /// The line was downgraded to shared by a remote read.
+    Downgraded,
+    /// The line was evicted from L1.
+    EvictedL1,
+    /// A store prefetch was queued at the L1 controller (MSHRs busy).
+    PrefetchQueued,
+    /// A store prefetch was dropped by fault injection.
+    PrefetchDropped,
+    /// An evicted-in-flight line was reinstated from its MSHR entry.
+    Reinstated,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::FillShared => "fill(shared)",
+            EventKind::FillOwned => "fill(owned)",
+            EventKind::StorePerformed => "store-performed",
+            EventKind::Invalidated => "invalidated",
+            EventKind::Downgraded => "downgraded",
+            EventKind::EvictedL1 => "evicted-l1",
+            EventKind::PrefetchQueued => "prefetch-queued",
+            EventKind::PrefetchDropped => "prefetch-dropped",
+            EventKind::Reinstated => "reinstated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fixed-capacity ring of recent [`CoherenceEvent`]s.
+///
+/// Recording is O(1) and allocation-free after construction; the ring
+/// holds the most recent `capacity` events across all blocks and is
+/// filtered per block only when a violation needs its history.
+///
+/// # Examples
+///
+/// ```
+/// use spb_mem::checker::{CoherenceEvent, EventKind, EventLog};
+///
+/// let mut log = EventLog::new(4);
+/// for cycle in 0..6 {
+///     log.record(CoherenceEvent { cycle, block: 7, core: 0, kind: EventKind::FillOwned });
+/// }
+/// let h = log.history_for(7);
+/// assert_eq!(h.len(), 4, "only the newest four survive");
+/// assert!(h[0].trim_start_matches("cycle").trim_start().starts_with('2'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    ring: Vec<CoherenceEvent>,
+    capacity: usize,
+    head: usize,
+}
+
+impl EventLog {
+    /// A log keeping the most recent `capacity` events (0 disables
+    /// recording entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event (O(1), drops the oldest when full).
+    pub fn record(&mut self, ev: CoherenceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Events in recording order, oldest first.
+    fn iter_ordered(&self) -> impl Iterator<Item = &CoherenceEvent> {
+        self.ring[self.head..].iter().chain(self.ring[..self.head].iter())
+    }
+
+    /// Formatted history of `block`, oldest first.
+    pub fn history_for(&self, block: u64) -> Vec<String> {
+        self.iter_ordered()
+            .filter(|e| e.block == block)
+            .map(|e| format!("cycle {:>10}  core {}  {}", e.cycle, e.core, e.kind))
+            .collect()
+    }
+
+    /// Clears the log (end of warm-up keeps it; this is for reuse in
+    /// tests).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, block: u64) -> CoherenceEvent {
+        CoherenceEvent {
+            cycle,
+            block,
+            core: 1,
+            kind: EventKind::FillOwned,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_events() {
+        let mut log = EventLog::new(3);
+        for c in 0..10 {
+            log.record(ev(c, 5));
+        }
+        let h = log.history_for(5);
+        assert_eq!(h.len(), 3);
+        assert!(h[0].contains("cycle          7"), "oldest surviving is 7: {h:?}");
+        assert!(h[2].contains("cycle          9"));
+    }
+
+    #[test]
+    fn history_filters_by_block() {
+        let mut log = EventLog::new(8);
+        log.record(ev(1, 5));
+        log.record(ev(2, 6));
+        log.record(ev(3, 5));
+        assert_eq!(log.history_for(5).len(), 2);
+        assert_eq!(log.history_for(6).len(), 1);
+        assert!(log.history_for(7).is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let mut log = EventLog::new(0);
+        log.record(ev(1, 5));
+        assert!(!log.enabled());
+        assert!(log.history_for(5).is_empty());
+    }
+
+    #[test]
+    fn violation_display_carries_context() {
+        let v = InvariantViolation {
+            kind: InvariantKind::SingleWriter,
+            block: Some(0x40),
+            core: Some(2),
+            cycle: 123,
+            detail: "cores 1 and 2 both writable".into(),
+            history: vec!["cycle 100 core 1 fill(owned)".into()],
+        };
+        let s = v.to_string();
+        assert!(s.contains("single-writer"));
+        assert!(s.contains("block 0x40"));
+        assert!(s.contains("core 2"));
+        assert!(s.contains("cycle 123"));
+        assert!(s.contains("fill(owned)"));
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let mut log = EventLog::new(4);
+        log.record(ev(1, 5));
+        log.clear();
+        assert!(log.history_for(5).is_empty());
+    }
+}

@@ -76,6 +76,7 @@ pub struct Directory {
     entries: HashMap<u64, DirEntry>,
     invalidations_sent: u64,
     downgrades_sent: u64,
+    reinstates: u64,
 }
 
 impl Directory {
@@ -94,6 +95,7 @@ impl Directory {
             entries: HashMap::new(),
             invalidations_sent: 0,
             downgrades_sent: 0,
+            reinstates: 0,
         }
     }
 
@@ -180,6 +182,31 @@ impl Directory {
         actions
     }
 
+    /// Re-registers `core` as the owner of `block` **iff the directory
+    /// has no entry for it** — the case where a private line was evicted
+    /// while its fill was still in flight (the directory forgot the
+    /// block) and the core later reinstates it from the MSHR entry.
+    ///
+    /// Without this, the reinstated copy would be invisible to the
+    /// directory: a later exclusive request by another core would not
+    /// invalidate it and the single-writer invariant could break. The
+    /// call sends no messages and touches no counters other than
+    /// [`Directory::reinstates`], so it cannot perturb timing on its
+    /// own.
+    pub fn reinstate_owner(&mut self, core: u8, block: u64) {
+        assert!((core as usize) < self.cores, "core id out of range");
+        if let std::collections::hash_map::Entry::Vacant(e) = self.entries.entry(block) {
+            e.insert(DirEntry::Owned { owner: core });
+            self.reinstates += 1;
+        }
+    }
+
+    /// How many times [`Directory::reinstate_owner`] actually re-created
+    /// a forgotten entry.
+    pub fn reinstates(&self) -> u64 {
+        self.reinstates
+    }
+
     /// Core `core` evicted its copy of `block`; the directory forgets it.
     pub fn evicted(&mut self, core: u8, block: u64) {
         match self.entries.get(&block).copied() {
@@ -202,10 +229,38 @@ impl Directory {
     /// an `Owned` entry never coexists with sharers by construction, so
     /// this checks internal consistency of the sharer mask.
     pub fn check_invariants(&self) -> bool {
-        self.entries.values().all(|e| match e {
-            DirEntry::Owned { owner } => (*owner as usize) < self.cores,
-            DirEntry::Shared { sharers } => *sharers != 0 && (*sharers >> self.cores) == 0,
+        self.find_malformed().is_none()
+    }
+
+    /// Finds the first malformed entry (owner out of range, empty or
+    /// out-of-range sharer mask), if any, with a description.
+    pub fn find_malformed(&self) -> Option<(u64, String)> {
+        self.entries.iter().find_map(|(&block, e)| match e {
+            DirEntry::Owned { owner } if (*owner as usize) >= self.cores => {
+                Some((block, format!("owner {owner} out of range (cores={})", self.cores)))
+            }
+            DirEntry::Shared { sharers } if *sharers == 0 => {
+                Some((block, "shared entry with empty sharer mask".into()))
+            }
+            DirEntry::Shared { sharers } if (*sharers >> self.cores) != 0 => {
+                Some((block, format!("sharer mask {sharers:#b} names out-of-range cores")))
+            }
+            _ => None,
         })
+    }
+
+    /// Whether the directory believes `core` holds a copy of `block`.
+    pub fn tracks(&self, core: u8, block: u64) -> bool {
+        match self.entries.get(&block) {
+            Some(DirEntry::Owned { owner }) => *owner == core,
+            Some(DirEntry::Shared { sharers }) => sharers & (1 << core) != 0,
+            None => false,
+        }
+    }
+
+    /// Iterates over all tracked blocks and their entries.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (u64, DirEntry)> + '_ {
+        self.entries.iter().map(|(&b, &e)| (b, e))
     }
 }
 
@@ -326,5 +381,30 @@ mod tests {
     fn out_of_range_core_panics() {
         let mut d = Directory::new(2);
         let _ = d.request_shared(5, 0);
+    }
+
+    #[test]
+    fn reinstate_fills_only_forgotten_entries() {
+        let mut d = Directory::new(2);
+        // Forgotten block: reinstate re-registers ownership.
+        d.reinstate_owner(1, 9);
+        assert_eq!(d.entry(9), Some(DirEntry::Owned { owner: 1 }));
+        assert_eq!(d.reinstates(), 1);
+        // Tracked block: reinstate must not clobber the real state.
+        d.request_exclusive(0, 10);
+        d.reinstate_owner(1, 10);
+        assert_eq!(d.entry(10), Some(DirEntry::Owned { owner: 0 }));
+        assert_eq!(d.reinstates(), 1);
+    }
+
+    #[test]
+    fn tracks_reflects_owner_and_sharers() {
+        let mut d = Directory::new(3);
+        d.request_shared(0, 4);
+        d.request_shared(1, 4);
+        assert!(d.tracks(0, 4));
+        assert!(d.tracks(1, 4));
+        assert!(!d.tracks(2, 4));
+        assert!(!d.tracks(0, 5));
     }
 }

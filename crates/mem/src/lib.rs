@@ -18,6 +18,10 @@
 //!   CPU model talks to, including the L1-controller *prefetch-burst
 //!   queue* that SPB targets, and the prefetch-outcome classification
 //!   (successful / late / early / never-used) behind Figure 11.
+//! - [`fault`]: deterministic, seeded fault injection (delayed prefetch
+//!   acks, DRAM latency spikes, MSHR exhaustion, dropped bursts).
+//! - [`checker`]: coherence invariant checking — structured
+//!   [`checker::InvariantViolation`]s with per-block event history.
 //!
 //! # Examples
 //!
@@ -37,12 +41,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checker;
 pub mod directory;
 pub mod dram;
+pub mod fault;
 pub mod line;
 pub mod mshr;
 pub mod prefetch;
 pub mod system;
 
+pub use checker::{InvariantKind, InvariantViolation};
+pub use fault::{FaultConfig, FaultCounts};
 pub use line::{CoherenceState, RfoOrigin};
 pub use system::{MemoryConfig, MemorySystem};

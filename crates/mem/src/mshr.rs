@@ -101,12 +101,56 @@ impl MshrFile {
         self.entries.iter().find(|e| e.block == block)
     }
 
+    /// All outstanding entries (read-only; for invariant checking).
+    pub fn entries(&self) -> &[MshrEntry] {
+        &self.entries
+    }
+
+    /// Removes the outstanding entry for `block`, returning it if it was
+    /// present. Used when a remote invalidation kills an in-flight fill:
+    /// letting the entry live would later merge a store into a line the
+    /// directory no longer grants — a stale writable copy.
+    pub fn invalidate_entry(&mut self, block: u64) -> Option<MshrEntry> {
+        let i = self.entries.iter().position(|e| e.block == block)?;
+        Some(self.entries.swap_remove(i))
+    }
+
+    /// Strips write permission from an in-flight entry for `block` (a
+    /// remote read downgraded the grant). Returns whether an exclusive
+    /// entry was actually downgraded.
+    pub fn downgrade_entry(&mut self, block: u64) -> bool {
+        match self.entries.iter_mut().find(|e| e.block == block) {
+            Some(e) if e.exclusive => {
+                e.exclusive = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Upgrades an in-flight read entry to exclusive (a store merged into
     /// a load miss); returns the entry's ready time if present.
     pub fn upgrade_to_exclusive(&mut self, block: u64) -> Option<u64> {
         let e = self.entries.iter_mut().find(|e| e.block == block)?;
         e.exclusive = true;
         Some(e.ready)
+    }
+
+    /// Folds an upgrade request into an existing in-flight entry: marks
+    /// it exclusive and extends its completion to at least `ready`.
+    /// Returns `false` when no entry for `block` exists (the caller
+    /// allocates a fresh one). One entry per block is what the MSHR-leak
+    /// invariant demands; a blind second `allocate` would duplicate.
+    pub fn merge_exclusive(&mut self, block: u64, ready: u64) -> bool {
+        match self.entries.iter_mut().find(|e| e.block == block) {
+            Some(e) => {
+                e.exclusive = true;
+                e.ready = e.ready.max(ready);
+                self.merges += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Records a merged (secondary) request against an existing entry.
@@ -212,5 +256,27 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn downgrade_entry_strips_write_permission() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 50, true, None, 0).unwrap();
+        assert!(m.downgrade_entry(1));
+        assert!(!m.lookup(1).unwrap().exclusive);
+        assert!(!m.downgrade_entry(1), "already shared");
+        assert!(!m.downgrade_entry(9), "absent block");
+    }
+
+    #[test]
+    fn invalidate_entry_removes_only_the_target() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1, 50, true, None, 0).unwrap();
+        m.allocate(2, 60, false, None, 0).unwrap();
+        let e = m.invalidate_entry(1).unwrap();
+        assert_eq!(e.block, 1);
+        assert!(m.lookup(1).is_none());
+        assert!(m.lookup(2).is_some());
+        assert!(m.invalidate_entry(3).is_none());
     }
 }

@@ -13,13 +13,24 @@
 //! which is exactly the paper's transient `IM`/`PF_IM` situation.
 
 use crate::cache::{CacheArray, CacheGeometry, Eviction};
-use crate::directory::Directory;
+use crate::checker::{CoherenceEvent, EventKind, EventLog, InvariantKind, InvariantViolation};
+use crate::directory::{DirEntry, Directory};
 use crate::dram::{DramConfig, DramPort};
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::line::{CoherenceState, RfoOrigin};
 use crate::mshr::MshrFile;
 use crate::prefetch::{Prefetcher, PrefetcherKind};
 use spb_stats::Histogram;
 use std::collections::{HashMap, VecDeque};
+
+/// An MSHR entry whose completion lies further than this beyond `now` is
+/// reported as leaked/stuck by the invariant checker. Generous enough
+/// that even a fault-injected DRAM spike of millions of cycles (as the
+/// watchdog tests use) stays below it only when intended.
+const MSHR_STUCK_HORIZON: u64 = 50_000_000;
+
+/// Events kept per run for violation diagnostics when the checker is on.
+const EVENT_LOG_CAPACITY: usize = 256;
 
 /// Structural and timing parameters of the hierarchy (Table I defaults).
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +66,12 @@ pub struct MemoryConfig {
     pub burst_issue_per_cycle: u32,
     /// Extra latency for 3-hop coherence (remote cache involvement).
     pub remote_penalty: u64,
+    /// Deterministic fault injection; [`FaultConfig::none`] (the
+    /// default) disables it with zero perturbation.
+    pub fault: FaultConfig,
+    /// Run the coherence invariant checker every this many cycles in
+    /// [`MemorySystem::tick`] (0 disables periodic checking).
+    pub checker_interval: u64,
 }
 
 impl Default for MemoryConfig {
@@ -75,6 +92,8 @@ impl Default for MemoryConfig {
             prefetcher: PrefetcherKind::Stride,
             burst_issue_per_cycle: 4,
             remote_penalty: 40,
+            fault: FaultConfig::none(),
+            checker_interval: 16_384,
         }
     }
 }
@@ -202,6 +221,21 @@ pub struct MemStats {
     pub l3_accesses: u64,
     /// DRAM accesses (fills; write-backs counted separately).
     pub dram_accesses: u64,
+    /// Injected faults: store-prefetch acks delayed.
+    pub faults_ack_delayed: u64,
+    /// Injected faults: DRAM fills spiked.
+    pub faults_dram_spiked: u64,
+    /// Injected faults: prefetches denied an MSHR entry.
+    pub faults_mshr_denied: u64,
+    /// Injected faults: SPB burst blocks dropped.
+    pub faults_bursts_dropped: u64,
+    /// Times a coherence repair path actually changed state versus the
+    /// pre-repair model: a forgotten directory entry re-registered, a
+    /// stale in-flight MSHR entry killed by a remote invalidation or
+    /// downgraded by a remote read, or a merge-upgrade that had to
+    /// invalidate remote sharers. Zero means the run was bit-identical
+    /// to the un-repaired model.
+    pub coherence_repairs: u64,
 }
 
 impl MemStats {
@@ -247,6 +281,9 @@ pub struct MemorySystem {
     /// Distribution of SPB burst lengths (blocks per enqueued burst).
     burst_lengths: Histogram,
     stats: MemStats,
+    fault: FaultPlan,
+    events: EventLog,
+    pending_violation: Option<InvariantViolation>,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -285,6 +322,13 @@ impl MemorySystem {
             recently_evicted_l1: HashMap::new(),
             burst_lengths: Histogram::new("burst_len_blocks", 8, 9),
             stats: MemStats::default(),
+            fault: FaultPlan::new(config.fault),
+            events: EventLog::new(if config.checker_interval > 0 {
+                EVENT_LOG_CAPACITY
+            } else {
+                0
+            }),
+            pending_violation: None,
             config,
         }
     }
@@ -326,6 +370,209 @@ impl MemorySystem {
         self.l3.reset_tag_checks();
         self.dram.reset_counters();
         self.evicted_unused.clear();
+        self.fault.reset_counts();
+    }
+
+    /// Takes the first invariant violation detected since the last call,
+    /// if any. The runner polls this and aborts the run with a
+    /// structured error instead of silently simulating nonsense.
+    pub fn take_violation(&mut self) -> Option<InvariantViolation> {
+        self.pending_violation.take()
+    }
+
+    fn violation(
+        &self,
+        kind: InvariantKind,
+        block: Option<u64>,
+        core: Option<usize>,
+        cycle: u64,
+        detail: String,
+    ) -> InvariantViolation {
+        InvariantViolation {
+            kind,
+            block,
+            core,
+            cycle,
+            detail,
+            history: block.map(|b| self.events.history_for(b)).unwrap_or_default(),
+        }
+    }
+
+    fn flag_violation(
+        &mut self,
+        kind: InvariantKind,
+        block: Option<u64>,
+        core: Option<usize>,
+        cycle: u64,
+        detail: String,
+    ) {
+        if self.pending_violation.is_none() {
+            self.pending_violation = Some(self.violation(kind, block, core, cycle, detail));
+        }
+    }
+
+    /// Runs the coherence invariant checks, read-only: calling this
+    /// never changes a simulated number.
+    ///
+    /// Checks, in order:
+    /// 1. the directory's own records are well formed;
+    /// 2. no MSHR file leaks: no duplicate entries, length within
+    ///    capacity, no entry stuck beyond [`MSHR_STUCK_HORIZON`];
+    /// 3. every *stable* line (fill complete by `now`) in a private L1 or
+    ///    L2 agrees with the directory: writable lines (M/E) must be
+    ///    tracked as `Owned` by this core, readable lines must be tracked
+    ///    at all. Because `Owned` is exclusive by construction, pairwise
+    ///    agreement implies the single-writer / multiple-reader invariant
+    ///    across cores.
+    ///
+    /// Lines still in flight (`ready > now` — the paper's `IM`/`PF_IM`
+    /// transients) are exempt from check 3: their final state is decided
+    /// by the directory grant already recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_invariants(&self, now: u64) -> Result<(), InvariantViolation> {
+        if let Some((block, why)) = self.directory.find_malformed() {
+            return Err(self.violation(InvariantKind::DirectoryState, Some(block), None, now, why));
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            let entries = c.mshr.entries();
+            if entries.len() > c.mshr.capacity() {
+                return Err(self.violation(
+                    InvariantKind::MshrLeak,
+                    None,
+                    Some(i),
+                    now,
+                    format!("{} entries exceed capacity {}", entries.len(), c.mshr.capacity()),
+                ));
+            }
+            for (j, e) in entries.iter().enumerate() {
+                if e.ready > now.saturating_add(MSHR_STUCK_HORIZON) {
+                    return Err(self.violation(
+                        InvariantKind::MshrLeak,
+                        Some(e.block),
+                        Some(i),
+                        now,
+                        format!("entry completes at {}, >{MSHR_STUCK_HORIZON} cycles out", e.ready),
+                    ));
+                }
+                if entries[..j].iter().any(|p| p.block == e.block) {
+                    return Err(self.violation(
+                        InvariantKind::MshrLeak,
+                        Some(e.block),
+                        Some(i),
+                        now,
+                        "duplicate MSHR entries for one block".into(),
+                    ));
+                }
+            }
+            for line in c.l1.iter_valid().chain(c.l2.iter_valid()) {
+                if line.ready > now {
+                    continue; // transient IM/PF_IM: grant already recorded
+                }
+                if line.state.writable() {
+                    if self.directory.entry(line.block) != Some(DirEntry::Owned { owner: i as u8 })
+                    {
+                        return Err(self.violation(
+                            InvariantKind::SingleWriter,
+                            Some(line.block),
+                            Some(i),
+                            now,
+                            format!(
+                                "core holds a stable {} copy but the directory says {:?}",
+                                line.state,
+                                self.directory.entry(line.block)
+                            ),
+                        ));
+                    }
+                } else if !self.directory.tracks(i as u8, line.block) {
+                    return Err(self.violation(
+                        InvariantKind::DirectoryAgreement,
+                        Some(line.block),
+                        Some(i),
+                        now,
+                        format!(
+                            "core holds a stable {} copy the directory does not track ({:?})",
+                            line.state,
+                            self.directory.entry(line.block)
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`MemorySystem::check_invariants`] plus the expensive inverse
+    /// direction: every directory claim must be backed by a private-cache
+    /// line or an in-flight MSHR entry. Intended once per run (the
+    /// runner calls it after the measured region).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_invariants_thorough(&self, now: u64) -> Result<(), InvariantViolation> {
+        self.check_invariants(now)?;
+        for (block, entry) in self.directory.iter_entries() {
+            let holds = |core: usize| {
+                self.cores[core].l1.peek(block).is_some()
+                    || self.cores[core].l2.peek(block).is_some()
+                    || self.cores[core]
+                        .mshr
+                        .entries()
+                        .iter()
+                        .any(|e| e.block == block && e.ready > now)
+            };
+            let missing: Option<usize> = match entry {
+                DirEntry::Owned { owner } => (!holds(owner as usize)).then_some(owner as usize),
+                DirEntry::Shared { sharers } => (0..self.cores.len())
+                    .find(|&c| sharers & (1 << c) != 0 && !holds(c)),
+            };
+            if let Some(core) = missing {
+                return Err(self.violation(
+                    InvariantKind::DirectoryAgreement,
+                    Some(block),
+                    Some(core),
+                    now,
+                    format!("directory says {entry:?} but the core holds no copy or in-flight entry"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A human-readable dump of per-core controller state, for the
+    /// forward-progress watchdog: what is outstanding, how full the
+    /// MSHRs are, and the event history of the most-stuck block.
+    pub fn diagnostic_snapshot(&self, now: u64) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("memory-system snapshot at cycle {now}:\n");
+        for (i, c) in self.cores.iter().enumerate() {
+            let max_ready = c.mshr.entries().iter().map(|e| e.ready).max();
+            let _ = writeln!(
+                s,
+                "  core {i}: mshr {}/{} (latest completion {max_ready:?}), \
+                 burst queue {}, demand miss until {}",
+                c.mshr.len(),
+                c.mshr.capacity(),
+                c.burst_queue.len(),
+                c.demand_miss_until,
+            );
+        }
+        let _ = writeln!(s, "  {}", self.directory);
+        if let Some(e) = self
+            .cores
+            .iter()
+            .flat_map(|c| c.mshr.entries())
+            .max_by_key(|e| e.ready)
+        {
+            let _ = writeln!(s, "  most-stuck block {:#x} (ready at {}):", e.block, e.ready);
+            for h in self.events.history_for(e.block) {
+                let _ = writeln!(s, "    {h}");
+            }
+        }
+        s
     }
 
     /// Folds "never used" prefetches into the stats: blocks still sitting
@@ -350,7 +597,73 @@ impl MemorySystem {
 
     // -- internal helpers ---------------------------------------------------
 
+    /// Applies a remote invalidation of `block` to each victim core:
+    /// kills its L1/L2 copies *and any in-flight MSHR entry* for the
+    /// block. Without the MSHR kill, a later store merging into the
+    /// stale entry would resurrect a writable copy the directory no
+    /// longer grants — a two-writer hazard. Returns whether any victim
+    /// copy was dirty.
+    fn apply_invalidations(&mut self, victims: &[u8], block: u64, now: u64) -> bool {
+        let mut dirty = false;
+        for &victim in victims {
+            let v = victim as usize;
+            self.stats.invalidations += 1;
+            self.events.record(CoherenceEvent {
+                cycle: now,
+                block,
+                core: victim,
+                kind: EventKind::Invalidated,
+            });
+            if let Some(old) = self.cores[v].l1.invalidate(block) {
+                dirty |= old.dirty;
+                if let Some(origin) = old.prefetch.filter(|_| !old.used) {
+                    self.evicted_unused.insert(block, origin);
+                }
+            }
+            if let Some(old) = self.cores[v].l2.invalidate(block) {
+                dirty |= old.dirty;
+            }
+            if self.cores[v].mshr.invalidate_entry(block).is_some() {
+                self.stats.coherence_repairs += 1;
+            }
+        }
+        dirty
+    }
+
+    /// A store just merged into `core`'s in-flight read request for
+    /// `block` and upgraded it to exclusive. Becoming a writer must
+    /// still go through the home node: the original read may have left
+    /// other sharers in place, and the directory may have forgotten this
+    /// core entirely if both private copies were evicted mid-flight.
+    /// Charges no extra latency — the fill is already outstanding and
+    /// the directory action rides along with the upgrade message.
+    fn upgrade_merged_entry(&mut self, core: usize, block: u64, now: u64) {
+        let already_owner =
+            self.directory.entry(block) == Some(DirEntry::Owned { owner: core as u8 });
+        let actions = self.directory.request_exclusive(core as u8, block);
+        if !already_owner {
+            self.stats.coherence_repairs += 1;
+            self.events.record(CoherenceEvent {
+                cycle: now,
+                block,
+                core: core as u8,
+                kind: EventKind::Reinstated,
+            });
+        }
+        if self.apply_invalidations(&actions.invalidate, block, now) {
+            if let Some(l3line) = self.l3.lookup(block) {
+                l3line.dirty = true;
+            }
+        }
+    }
+
     fn handle_l1_eviction(&mut self, core: usize, ev: Eviction, now: u64) {
+        self.events.record(CoherenceEvent {
+            cycle: now,
+            block: ev.block,
+            core: core as u8,
+            kind: EventKind::EvictedL1,
+        });
         if let Some(origin) = ev.unused_prefetch {
             self.evicted_unused.insert(ev.block, origin);
         }
@@ -417,6 +730,16 @@ impl MemorySystem {
     ) -> (u64, Level) {
         let exclusive = want == Want::Own;
         self.stats.l2_accesses += 1;
+        self.events.record(CoherenceEvent {
+            cycle: now,
+            block,
+            core: core as u8,
+            kind: if exclusive {
+                EventKind::FillOwned
+            } else {
+                EventKind::FillShared
+            },
+        });
 
         // L2 hit with sufficient permission.
         let l2_state = self.cores[core]
@@ -444,36 +767,47 @@ impl MemorySystem {
             self.directory.request_shared(core as u8, block)
         };
         let mut remote = 0u64;
-        let mut remote_dirty = false;
-        for victim in actions.invalidate.iter().copied() {
-            let v = victim as usize;
-            self.stats.invalidations += 1;
+        let mut remote_dirty = self.apply_invalidations(&actions.invalidate, block, now);
+        if !actions.invalidate.is_empty() {
             remote = self.config.remote_penalty;
-            if let Some(old) = self.cores[v].l1.invalidate(block) {
-                remote_dirty |= old.dirty;
-                if let Some(origin) = old.prefetch.filter(|_| !old.used) {
-                    self.evicted_unused.insert(block, origin);
-                }
-            }
-            if let Some(old) = self.cores[v].l2.invalidate(block) {
-                remote_dirty |= old.dirty;
-            }
         }
         if let Some(owner) = actions.downgrade {
             let o = owner as usize;
             remote = self.config.remote_penalty;
+            self.events.record(CoherenceEvent {
+                cycle: now,
+                block,
+                core: owner,
+                kind: EventKind::Downgraded,
+            });
             if let Some(d) = self.cores[o].l1.downgrade(block) {
                 remote_dirty |= d;
             }
             if let Some(d) = self.cores[o].l2.downgrade(block) {
                 remote_dirty |= d;
             }
+            // A read-downgrade must also strip write permission from the
+            // owner's in-flight request, or a later store merge would
+            // resurrect it without consulting the directory.
+            if self.cores[o].mshr.downgrade_entry(block) {
+                self.stats.coherence_repairs += 1;
+            }
         }
 
         // Upgrade-in-place: L2 had the data in S; the directory round
         // trip is the cost, no data fetch needed.
         if let Some((state, _)) = l2_state {
-            debug_assert!(exclusive && !state.writable());
+            if !exclusive || state.writable() {
+                self.flag_violation(
+                    InvariantKind::LineState,
+                    Some(block),
+                    Some(core),
+                    now,
+                    format!(
+                        "upgrade-in-place reached with exclusive={exclusive}, L2 state {state}"
+                    ),
+                );
+            }
             let ready = now + self.config.l3_latency + remote;
             if let Some(l) = self.cores[core].l2.lookup(block) {
                 l.state = CoherenceState::Modified;
@@ -502,7 +836,11 @@ impl MemorySystem {
         } else {
             // Miss in L3: fetch from memory and fill L3.
             self.stats.dram_accesses += 1;
-            let r = self.dram.access(now + self.config.l3_latency, block);
+            let mut r = self.dram.access(now + self.config.l3_latency, block);
+            if let Some(extra) = self.fault.dram_spike() {
+                r += extra;
+                self.stats.faults_dram_spiked += 1;
+            }
             if let Some(ev) = self.l3.insert(block, CoherenceState::Exclusive, r, None) {
                 self.handle_l3_eviction(ev, now);
             }
@@ -616,7 +954,15 @@ impl MemorySystem {
             .lookup(block)
             .map(|l| (l.state, l.ready, l.prefetch, l.used));
         let result = if let Some((state, line_ready, prefetch, used)) = line_info {
-            debug_assert!(state.readable());
+            if !state.readable() {
+                self.flag_violation(
+                    InvariantKind::LineState,
+                    Some(block),
+                    Some(core),
+                    now,
+                    format!("demand load found an unreadable L1 line in state {state}"),
+                );
+            }
             if prefetch.is_some() && !used {
                 self.cores[core].prefetcher.feedback_useful();
             }
@@ -645,10 +991,53 @@ impl MemorySystem {
                 // The line was evicted while its fill was in flight;
                 // merge and reinstate it.
                 self.cores[core].mshr.record_merge();
+                if !self.directory.tracks(core as u8, block) {
+                    // Both private copies were evicted mid-flight and the
+                    // directory forgot us: re-register before
+                    // reinstating, or the copy would be invisible to
+                    // later exclusive requests.
+                    self.stats.coherence_repairs += 1;
+                    self.events.record(CoherenceEvent {
+                        cycle: now,
+                        block,
+                        core: core as u8,
+                        kind: EventKind::Reinstated,
+                    });
+                    if entry.exclusive {
+                        self.directory.reinstate_owner(core as u8, block);
+                    } else {
+                        let actions = self.directory.request_shared(core as u8, block);
+                        if let Some(owner) = actions.downgrade {
+                            let o = owner as usize;
+                            self.events.record(CoherenceEvent {
+                                cycle: now,
+                                block,
+                                core: owner,
+                                kind: EventKind::Downgraded,
+                            });
+                            let mut d = self.cores[o].l1.downgrade(block).unwrap_or(false);
+                            d |= self.cores[o].l2.downgrade(block).unwrap_or(false);
+                            self.cores[o].mshr.downgrade_entry(block);
+                            if d {
+                                if let Some(l3line) = self.l3.lookup(block) {
+                                    l3line.dirty = true;
+                                }
+                            }
+                        }
+                    }
+                }
                 let state = if entry.exclusive {
                     CoherenceState::Modified
                 } else {
-                    CoherenceState::Exclusive
+                    match self.directory.entry(block) {
+                        Some(DirEntry::Shared { .. }) => {
+                            // The old model reinstated E here even with
+                            // other sharers present.
+                            self.stats.coherence_repairs += 1;
+                            CoherenceState::Shared
+                        }
+                        _ => CoherenceState::Exclusive,
+                    }
                 };
                 if let Some(ev) = self.cores[core].l1.insert(block, state, entry.ready, None) {
                     self.handle_l1_eviction(core, ev, now);
@@ -742,6 +1131,12 @@ impl MemorySystem {
                     self.stats.stores_performed += 1;
                     self.stats.store_l1_ready_hits += 1;
                     self.stats.l1_data_accesses += 1;
+                    self.events.record(CoherenceEvent {
+                        cycle: now,
+                        block,
+                        core: core as u8,
+                        kind: EventKind::StorePerformed,
+                    });
                     // Demand training of the generic L1 prefetcher: this
                     // is the "store in entry 0 performs → prefetch B1"
                     // behaviour of §III-A.
@@ -774,9 +1169,14 @@ impl MemorySystem {
                     l.state = CoherenceState::Modified;
                     l.ready = ready;
                 }
-                let _ = self.cores[core]
-                    .mshr
-                    .allocate(block, ready, true, None, now_adm);
+                // A shared line can still have its read fill in flight
+                // (downgraded mid-fill, or upgrading under a load miss):
+                // fold the upgrade into that entry rather than duplicate.
+                if !self.cores[core].mshr.merge_exclusive(block, ready) {
+                    let _ = self.cores[core]
+                        .mshr
+                        .allocate(block, ready, true, None, now_adm);
+                }
                 self.cores[core].demand_miss_until = self.cores[core].demand_miss_until.max(ready);
                 StoreDrainOutcome::Retry { at: ready }
             }
@@ -785,6 +1185,7 @@ impl MemorySystem {
                 if let Some(ready) = self.cores[core].mshr.upgrade_to_exclusive(block) {
                     self.cores[core].mshr.record_merge();
                     self.stats.store_retries += 1;
+                    self.upgrade_merged_entry(core, block, now);
                     self.cores[core].demand_miss_until =
                         self.cores[core].demand_miss_until.max(ready);
                     // Reinstate the L1 line if it was evicted mid-flight.
@@ -858,19 +1259,29 @@ impl MemorySystem {
                 // Shared: upgrade in place.
                 self.stats.prefetch_downstream[origin.index()] += 1;
                 let now_adm = self.mshr_admit(core, now);
-                let (ready, _) = self.fill_below_l1(core, block, now_adm, Want::Own, Some(origin));
+                let (mut ready, _) =
+                    self.fill_below_l1(core, block, now_adm, Want::Own, Some(origin));
+                if let Some(extra) = self.fault.ack_delay() {
+                    ready += extra;
+                    self.stats.faults_ack_delayed += 1;
+                }
                 if let Some(l) = self.cores[core].l1.lookup(block) {
                     l.state = CoherenceState::Modified;
                     l.ready = ready;
                 }
-                let _ = self.cores[core]
-                    .mshr
-                    .allocate(block, ready, true, Some(origin), now_adm);
+                // The shared line's own fill may still be in flight:
+                // fold the upgrade into that entry rather than duplicate.
+                if !self.cores[core].mshr.merge_exclusive(block, ready) {
+                    let _ = self.cores[core]
+                        .mshr
+                        .allocate(block, ready, true, Some(origin), now_adm);
+                }
                 RfoResponse::Issued
             }
             None => {
                 if let Some(ready) = self.cores[core].mshr.upgrade_to_exclusive(block) {
                     self.cores[core].mshr.record_merge();
+                    self.upgrade_merged_entry(core, block, now);
                     if self.cores[core].l1.peek(block).is_some() {
                         if let Some(l) = self.cores[core].l1.lookup(block) {
                             l.state = CoherenceState::Modified;
@@ -882,19 +1293,34 @@ impl MemorySystem {
                 // When the MSHR file is full the request waits in the L1
                 // controller's prefetch queue (an SB entry in real
                 // hardware holds its RFO until a fill buffer frees) and
-                // is re-issued by `tick`.
+                // is re-issued by `tick`. Fault injection can force this
+                // path to model transient fill-buffer denial.
                 {
+                    let denied = self.fault.mshr_exhausted();
+                    if denied {
+                        self.stats.faults_mshr_denied += 1;
+                    }
                     let mshr = &mut self.cores[core].mshr;
                     mshr.retire_completed(now);
-                    if mshr.len() >= mshr.capacity() {
+                    if denied || mshr.len() >= mshr.capacity() {
                         self.stats.prefetch_requests[origin.index()] -= 1; // re-counted on reissue
                         self.cores[core].burst_queue.push_back((block, origin));
+                        self.events.record(CoherenceEvent {
+                            cycle: now,
+                            block,
+                            core: core as u8,
+                            kind: EventKind::PrefetchQueued,
+                        });
                         return RfoResponse::Queued;
                     }
                 }
                 // `GetPFx`: a fresh ownership prefetch (PF_IM).
                 self.stats.prefetch_downstream[origin.index()] += 1;
-                let (ready, _) = self.fill_below_l1(core, block, now, Want::Own, Some(origin));
+                let (mut ready, _) = self.fill_below_l1(core, block, now, Want::Own, Some(origin));
+                if let Some(extra) = self.fault.ack_delay() {
+                    ready += extra;
+                    self.stats.faults_ack_delayed += 1;
+                }
                 let _ = self.cores[core]
                     .mshr
                     .allocate(block, ready, true, Some(origin), now);
@@ -926,8 +1352,15 @@ impl MemorySystem {
         }
     }
 
-    /// One cycle of L1-controller work: drains the burst queues.
+    /// One cycle of L1-controller work: drains the burst queues and
+    /// periodically runs the invariant checker.
     pub fn tick(&mut self, now: u64) {
+        let interval = self.config.checker_interval;
+        if interval > 0 && now.is_multiple_of(interval) && self.pending_violation.is_none() {
+            if let Err(v) = self.check_invariants(now) {
+                self.pending_violation = Some(v);
+            }
+        }
         for core in 0..self.cores.len() {
             for _ in 0..self.config.burst_issue_per_cycle {
                 // Leave headroom in the MSHR file for demand requests.
@@ -939,6 +1372,18 @@ impl MemorySystem {
                 let Some((block, origin)) = self.cores[core].burst_queue.pop_front() else {
                     break;
                 };
+                if self.fault.drop_burst_block() {
+                    // The controller sheds this request entirely: the
+                    // store it covered falls back to a demand RFO.
+                    self.stats.faults_bursts_dropped += 1;
+                    self.events.record(CoherenceEvent {
+                        cycle: now,
+                        block,
+                        core: core as u8,
+                        kind: EventKind::PrefetchDropped,
+                    });
+                    continue;
+                }
                 let _ = self.store_prefetch(core, block * 64, 0, now, origin);
             }
         }
@@ -1162,6 +1607,211 @@ mod tests {
         let first = readies.iter().min().unwrap();
         let last = readies.iter().max().unwrap();
         assert!(last > first, "bursts are bandwidth-limited, not instant");
+    }
+
+    #[test]
+    fn checker_is_clean_on_normal_traffic() {
+        let cfg = MemoryConfig {
+            cores: 2,
+            ..Default::default()
+        };
+        let mut m = MemorySystem::new(cfg);
+        let mut now = 0u64;
+        for i in 0..200u64 {
+            let r = m.load((i % 2) as usize, 0x1000 + (i % 16) * 64, now);
+            let _ = m.store_drain(((i + 1) % 2) as usize, 0x9000 + (i % 8) * 64, now);
+            m.tick(now);
+            now = r.ready + 1;
+        }
+        m.check_invariants_thorough(now).expect("protocol stays coherent");
+        assert!(m.take_violation().is_none());
+    }
+
+    #[test]
+    fn checker_flags_an_untracked_writer() {
+        let cfg = MemoryConfig {
+            cores: 2,
+            ..Default::default()
+        };
+        let mut m = MemorySystem::new(cfg);
+        let StoreDrainOutcome::Retry { at } = m.store_drain(0, 0x4000, 0) else {
+            panic!("expected retry");
+        };
+        // Corrupt the model directly: the directory forgets the owner.
+        m.directory.evicted(0, 0x4000 / 64);
+        let err = m.check_invariants(at + 1).unwrap_err();
+        assert_eq!(err.kind, InvariantKind::SingleWriter);
+        assert_eq!(err.block, Some(0x4000 / 64));
+        assert_eq!(err.core, Some(0));
+        assert!(
+            !err.history.is_empty(),
+            "violation carries the block's event history"
+        );
+    }
+
+    #[test]
+    fn checker_flags_a_stuck_mshr_entry() {
+        let mut m = single_core();
+        let _ = m
+            .cores[0]
+            .mshr
+            .allocate(7, MSHR_STUCK_HORIZON + 10, false, None, 0);
+        let err = m.check_invariants(0).unwrap_err();
+        assert_eq!(err.kind, InvariantKind::MshrLeak);
+    }
+
+    #[test]
+    fn periodic_check_surfaces_through_take_violation() {
+        let mut m = single_core();
+        let _ = m
+            .cores[0]
+            .mshr
+            .allocate(7, MSHR_STUCK_HORIZON + 10, false, None, 0);
+        m.tick(0); // cycle 0 is always a checking cycle
+        let v = m.take_violation().expect("violation pending");
+        assert_eq!(v.kind, InvariantKind::MshrLeak);
+        assert!(m.take_violation().is_none(), "taken exactly once");
+    }
+
+    #[test]
+    fn disabled_checker_skips_periodic_scan() {
+        let cfg = MemoryConfig {
+            checker_interval: 0,
+            ..Default::default()
+        };
+        let mut m = MemorySystem::new(cfg);
+        let _ = m
+            .cores[0]
+            .mshr
+            .allocate(7, MSHR_STUCK_HORIZON + 10, false, None, 0);
+        m.tick(0);
+        assert!(m.take_violation().is_none());
+    }
+
+    #[test]
+    fn dram_spike_fault_delays_fills() {
+        let clean = {
+            let mut m = single_core();
+            m.load(0, 0x10000, 0).ready
+        };
+        let faulty = {
+            let mut m = MemorySystem::new(MemoryConfig {
+                fault: FaultConfig {
+                    dram_spike_rate: 1.0,
+                    dram_spike_cycles: 500,
+                    ..FaultConfig::none()
+                },
+                ..Default::default()
+            });
+            m.load(0, 0x10000, 0).ready
+        };
+        assert_eq!(faulty, clean + 500);
+    }
+
+    #[test]
+    fn ack_delay_fault_postpones_prefetched_line() {
+        let mut m = MemorySystem::new(MemoryConfig {
+            fault: FaultConfig {
+                ack_delay_rate: 1.0,
+                ack_delay_cycles: 300,
+                ..FaultConfig::none()
+            },
+            ..Default::default()
+        });
+        let _ = m.store_prefetch(0, 0x40000, 0x9, 0, RfoOrigin::AtCommit);
+        let line_ready = m.cores[0].l1.peek(0x40000 / 64).unwrap().ready;
+        assert_eq!(m.stats().faults_ack_delayed, 1);
+        // A drain just before the delayed ready still retries.
+        assert!(matches!(
+            m.store_drain(0, 0x40000, line_ready - 1),
+            StoreDrainOutcome::Retry { .. }
+        ));
+    }
+
+    #[test]
+    fn forced_mshr_exhaustion_queues_prefetches() {
+        let mut m = MemorySystem::new(MemoryConfig {
+            fault: FaultConfig {
+                mshr_exhaust_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            ..Default::default()
+        });
+        let resp = m.store_prefetch(0, 0x50000, 0x9, 0, RfoOrigin::SpbBurst);
+        assert_eq!(resp, RfoResponse::Queued);
+        assert_eq!(m.burst_queue_len(0), 1);
+        assert_eq!(m.stats().faults_mshr_denied, 1);
+    }
+
+    #[test]
+    fn burst_drop_fault_shrinks_issued_bursts() {
+        let mut m = MemorySystem::new(MemoryConfig {
+            fault: FaultConfig {
+                burst_drop_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            ..Default::default()
+        });
+        m.enqueue_burst(0, (0..8u64).map(|i| 0x100 + i));
+        for now in 0..4 {
+            m.tick(now);
+        }
+        assert_eq!(m.burst_queue_len(0), 0, "drops still consume the queue");
+        assert_eq!(m.stats().faults_bursts_dropped, 8);
+        assert_eq!(m.stats().prefetch_requests[RfoOrigin::SpbBurst.index()], 0);
+    }
+
+    #[test]
+    fn faulty_run_stays_coherent() {
+        let cfg = MemoryConfig {
+            cores: 2,
+            fault: FaultConfig::uniform(0.2, 99),
+            ..Default::default()
+        };
+        let mut m = MemorySystem::new(cfg);
+        let mut now = 0u64;
+        for i in 0..400u64 {
+            let c = (i % 2) as usize;
+            let r = m.load(c, 0x2000 + (i % 32) * 64, now);
+            let _ = m.store_drain(1 - c, 0x2000 + (i % 32) * 64, now + 1);
+            m.enqueue_burst(c, (0..4u64).map(|j| 0x800 + (i % 8) * 4 + j));
+            m.tick(now);
+            assert!(m.take_violation().is_none(), "violation at iter {i}");
+            now = r.ready + 1;
+        }
+        m.check_invariants_thorough(now)
+            .expect("coherent under injected faults");
+        let s = m.stats();
+        assert!(
+            s.faults_dram_spiked + s.faults_ack_delayed + s.faults_bursts_dropped > 0,
+            "faults actually fired"
+        );
+    }
+
+    #[test]
+    fn no_fault_config_leaves_stats_untouched() {
+        let mut m = single_core();
+        let mut now = 0u64;
+        for i in 0..100u64 {
+            let r = m.load(0, 0x3000 + i * 64, now);
+            m.tick(now);
+            now = r.ready + 1;
+        }
+        let s = m.stats();
+        assert_eq!(s.faults_ack_delayed, 0);
+        assert_eq!(s.faults_dram_spiked, 0);
+        assert_eq!(s.faults_mshr_denied, 0);
+        assert_eq!(s.faults_bursts_dropped, 0);
+    }
+
+    #[test]
+    fn diagnostic_snapshot_names_the_stuck_block() {
+        let mut m = single_core();
+        let _ = m.cores[0].mshr.allocate(0x77, 9_000_000, false, None, 0);
+        let s = m.diagnostic_snapshot(100);
+        assert!(s.contains("cycle 100"));
+        assert!(s.contains("0x77"));
+        assert!(s.contains("mshr 1/64"));
     }
 
     #[test]

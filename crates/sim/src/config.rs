@@ -97,6 +97,11 @@ pub struct SimConfig {
     pub measure_uops: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Forward-progress watchdog: abort the run with a structured
+    /// diagnostic if no core commits a µop for this many consecutive
+    /// cycles (0 disables — the run may then hang on a livelocked
+    /// memory request).
+    pub watchdog_cycles: u64,
 }
 
 impl SimConfig {
@@ -110,6 +115,7 @@ impl SimConfig {
             warmup_uops: 150_000,
             measure_uops: 600_000,
             seed: 42,
+            watchdog_cycles: 2_000_000,
         }
     }
 

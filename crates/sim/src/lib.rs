@@ -43,5 +43,5 @@ pub mod suite;
 pub mod sweep;
 
 pub use config::{PolicyKind, SimConfig};
-pub use runner::{run_app, RunResult};
-pub use sweep::{SweepOptions, SweepReport};
+pub use runner::{run_app, run_app_checked, RunError, RunResult};
+pub use sweep::{CellFailure, SweepOptions, SweepReport};

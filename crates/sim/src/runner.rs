@@ -3,10 +3,12 @@
 use crate::config::SimConfig;
 use spb_cpu::core::{Core, CpuStats};
 use spb_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
+use spb_mem::checker::{InvariantKind, InvariantViolation};
 use spb_mem::system::MemStats;
 use spb_mem::MemorySystem;
 use spb_stats::{Histogram, TopDown};
 use spb_trace::profile::AppProfile;
+use std::fmt;
 
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
@@ -70,6 +72,81 @@ impl RunResult {
     }
 }
 
+/// A run aborted by the coherence checker or the forward-progress
+/// watchdog, with enough context to identify the offending sweep cell.
+#[derive(Debug, Clone)]
+pub struct RunError {
+    /// Application name.
+    pub app: String,
+    /// Policy label.
+    pub policy: String,
+    /// Effective SB entries.
+    pub sb_entries: usize,
+    /// What went wrong.
+    pub violation: InvariantViolation,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run aborted [{} / {} / sb={}]: {}",
+            self.app, self.policy, self.sb_entries, self.violation
+        )
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.violation)
+    }
+}
+
+/// Advances the lock-step simulation until the slowest core has
+/// committed `target` µops, polling the memory system's invariant
+/// checker and watching for forward progress.
+fn advance(
+    cores: &mut [Core],
+    mem: &mut MemorySystem,
+    now: &mut u64,
+    target: u64,
+    watchdog: u64,
+) -> Result<(), InvariantViolation> {
+    let mut last_min = 0u64;
+    let mut last_progress_at = *now;
+    loop {
+        let min_uops = cores.iter().map(|c| c.committed_uops()).min().unwrap_or(0);
+        if min_uops >= target {
+            return Ok(());
+        }
+        if min_uops > last_min {
+            last_min = min_uops;
+            last_progress_at = *now;
+        } else if watchdog > 0 && *now - last_progress_at > watchdog {
+            return Err(InvariantViolation {
+                kind: InvariantKind::ForwardProgress,
+                block: None,
+                core: None,
+                cycle: *now,
+                detail: format!(
+                    "no core committed a µop for {watchdog} cycles \
+                     (slowest core stuck at {min_uops}/{target} µops)\n{}",
+                    mem.diagnostic_snapshot(*now)
+                ),
+                history: Vec::new(),
+            });
+        }
+        mem.tick(*now);
+        for core in cores.iter_mut() {
+            core.cycle(mem, *now);
+        }
+        if let Some(v) = mem.take_violation() {
+            return Err(v);
+        }
+        *now += 1;
+    }
+}
+
 fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
     into.committed_stores += from.committed_stores;
     into.committed_loads += from.committed_loads;
@@ -90,8 +167,30 @@ fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
 ///
 /// # Panics
 ///
-/// Panics if the configuration is structurally invalid (zero queues).
+/// Panics if the configuration is structurally invalid (zero queues),
+/// or with the violation's full diagnostic if the coherence checker or
+/// forward-progress watchdog aborts the run. Sweeps that must survive
+/// bad cells use [`run_app_checked`] instead.
 pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
+    run_app_checked(profile, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_app`], but invariant violations and watchdog trips surface as a
+/// structured [`RunError`] instead of a panic.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] (boxed — it carries the violation's event
+/// history and diagnostic strings) when the coherence invariant checker
+/// detects a violation or the forward-progress watchdog expires.
+///
+/// # Panics
+///
+/// Panics if the configuration is structurally invalid (zero queues).
+pub fn run_app_checked(
+    profile: &AppProfile,
+    cfg: &SimConfig,
+) -> Result<RunResult, Box<RunError>> {
     let wall_start = std::time::Instant::now();
     let threads = profile.threads() as usize;
     let mut mem_cfg = cfg.mem.clone();
@@ -102,6 +201,7 @@ pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
     if let Some(sb) = cfg.policy.sb_override() {
         core_cfg.sb_entries = sb;
     }
+    core_cfg.validate();
 
     let traces = profile.build_threads(cfg.seed);
     let mut cores: Vec<Core> = traces
@@ -110,29 +210,31 @@ pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
         .map(|(i, t)| Core::new(i, core_cfg, Box::new(t), cfg.policy.build()))
         .collect();
 
+    let fail = |violation: InvariantViolation| {
+        Box::new(RunError {
+            app: profile.name().to_string(),
+            policy: cfg.policy.label(),
+            sb_entries: cfg.effective_sb(),
+            violation,
+        })
+    };
+
     let mut now: u64 = 0;
     // Warm-up: run until the slowest core has committed the budget.
-    let warm_target = cfg.warmup_uops;
-    while cores.iter().map(|c| c.committed_uops()).min().unwrap() < warm_target {
-        mem.tick(now);
-        for core in &mut cores {
-            core.cycle(&mut mem, now);
-        }
-        now += 1;
-    }
+    advance(&mut cores, &mut mem, &mut now, cfg.warmup_uops, cfg.watchdog_cycles)
+        .map_err(fail)?;
     for core in &mut cores {
         core.reset_stats();
     }
     mem.reset_stats();
     let measure_start = now;
 
-    let measure_target = cfg.measure_uops;
-    while cores.iter().map(|c| c.committed_uops()).min().unwrap() < measure_target {
-        mem.tick(now);
-        for core in &mut cores {
-            core.cycle(&mut mem, now);
-        }
-        now += 1;
+    advance(&mut cores, &mut mem, &mut now, cfg.measure_uops, cfg.watchdog_cycles)
+        .map_err(fail)?;
+    if cfg.mem.checker_interval > 0 {
+        // One thorough end-of-run pass, including the expensive inverse
+        // directory check the periodic scan skips.
+        mem.check_invariants_thorough(now).map_err(fail)?;
     }
     mem.finalize_stats();
 
@@ -161,7 +263,7 @@ pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
     };
     let energy = EnergyModel::default().evaluate(&events);
 
-    RunResult {
+    Ok(RunResult {
         app: profile.name().to_string(),
         policy: cfg.policy.label(),
         sb_entries: cfg.effective_sb(),
@@ -174,7 +276,7 @@ pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
         burst_lengths: mem.burst_lengths().clone(),
         energy,
         wall_ms: wall_start.elapsed().as_secs_f64() * 1000.0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -241,6 +343,55 @@ mod tests {
         let r = run_app(&app, &cfg);
         // Eight cores, each committing at least the measure budget.
         assert!(r.uops >= 8 * cfg.measure_uops);
+    }
+
+    #[test]
+    fn watchdog_trips_on_livelocked_memory_instead_of_hanging() {
+        let app = AppProfile::by_name("gcc").unwrap();
+        let mut cfg = SimConfig::quick();
+        // Every DRAM fill takes ~10M extra cycles: no store or load can
+        // complete, so no core ever commits — a livelock without the
+        // watchdog.
+        cfg.mem.fault = spb_mem::FaultConfig {
+            dram_spike_rate: 1.0,
+            dram_spike_cycles: 10_000_000,
+            ..spb_mem::FaultConfig::none()
+        };
+        cfg.watchdog_cycles = 5_000;
+        let err = run_app_checked(&app, &cfg).unwrap_err();
+        assert_eq!(err.violation.kind, InvariantKind::ForwardProgress);
+        let msg = err.to_string();
+        assert!(msg.contains("gcc"), "names the app: {msg}");
+        assert!(
+            msg.contains("memory-system snapshot"),
+            "carries the controller dump: {msg}"
+        );
+        assert!(msg.contains("mshr"), "shows MSHR occupancy: {msg}");
+    }
+
+    #[test]
+    fn moderate_faults_complete_with_clean_checker() {
+        let app = AppProfile::by_name("x264").unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.mem.fault = spb_mem::FaultConfig::uniform(0.01, 7);
+        let r = run_app_checked(&app, &cfg).expect("faulty run stays coherent");
+        assert!(
+            r.mem.faults_dram_spiked > 0,
+            "faults actually fired during the run"
+        );
+    }
+
+    #[test]
+    fn checker_and_injector_are_zero_perturbation_when_off() {
+        let app = AppProfile::by_name("gcc").unwrap();
+        let mut off = SimConfig::quick();
+        off.mem.checker_interval = 0;
+        off.watchdog_cycles = 0;
+        let a = run_app(&app, &SimConfig::quick());
+        let b = run_app(&app, &off);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.uops, b.uops);
+        assert_eq!(a.mem, b.mem);
     }
 
     #[test]

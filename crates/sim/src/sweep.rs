@@ -33,9 +33,11 @@
 //! ```
 
 use crate::config::SimConfig;
-use crate::runner::{run_app, RunResult};
+use crate::runner::{run_app_checked, RunResult};
 use spb_stats::json::Json;
 use spb_trace::profile::AppProfile;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -102,34 +104,45 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Applies `f` to every item on a pool of `jobs` scoped worker threads
-/// and returns the results **in input order**.
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// [`parallel_map`], but a panic in `f` fails only that item instead of
+/// tearing down the whole pool.
 ///
-/// Workers claim items through an atomic cursor, so scheduling is
-/// dynamic (long and short items interleave freely) while the output
-/// order stays deterministic. With `jobs <= 1` this degenerates to a
-/// plain serial loop on the calling thread.
-///
-/// # Panics
-///
-/// Propagates a panic from `f` once all workers have finished.
-pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+/// Each invocation of `f` runs under `catch_unwind`, so one poisoned
+/// item — a simulator bug, a pathological configuration — yields an
+/// `Err(panic_message)` in its slot while every other item still
+/// completes and returns `Ok`. Results stay in **input order**.
+pub fn parallel_map_catch<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, String>>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let run_one = |i: usize, item: &T| -> Result<R, String> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message)
+    };
     if jobs <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| run_one(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(items.len()) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let r = f(i, item);
+                let r = run_one(i, item);
                 *slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
@@ -144,6 +157,144 @@ where
         .collect()
 }
 
+/// Applies `f` to every item on a pool of `jobs` scoped worker threads
+/// and returns the results **in input order**.
+///
+/// Workers claim items through an atomic cursor, so scheduling is
+/// dynamic (long and short items interleave freely) while the output
+/// order stays deterministic. With `jobs <= 1` this degenerates to a
+/// plain serial loop on the calling thread.
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f` (in input order) — but only once
+/// **all** items have been attempted, so a sibling item's work is never
+/// lost to someone else's crash. Callers that need to keep the
+/// surviving results use [`parallel_map_catch`].
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_catch(items, jobs, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("worker panicked: {msg}")))
+        .collect()
+}
+
+/// One sweep cell that failed — by panic or by a structured
+/// [`crate::runner::RunError`] — while its siblings carried on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Application name of the failed cell.
+    pub app: String,
+    /// Policy label of the failed cell.
+    pub policy: String,
+    /// Effective SB entries of the failed cell.
+    pub sb: usize,
+    /// The panic message or invariant-violation diagnostic.
+    pub reason: String,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} / {} / sb={}] {}",
+            self.app, self.policy, self.sb, self.reason
+        )
+    }
+}
+
+impl CellFailure {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", Json::str(&self.app)),
+            ("policy", Json::str(&self.policy)),
+            ("sb", Json::from(self.sb)),
+            ("reason", Json::str(&self.reason)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        Ok(Self {
+            app: field("app")?
+                .as_str()
+                .ok_or("app must be a string")?
+                .to_string(),
+            policy: field("policy")?
+                .as_str()
+                .ok_or("policy must be a string")?
+                .to_string(),
+            sb: field("sb")?.as_usize().ok_or("sb must be an integer")?,
+            reason: field("reason")?
+                .as_str()
+                .ok_or("reason must be a string")?
+                .to_string(),
+        })
+    }
+}
+
+/// Runs every `(application, configuration)` cell, isolating failures:
+/// a cell that panics or trips the coherence checker becomes an
+/// `Err(CellFailure)` in its slot while every other cell still runs to
+/// completion. Results are in input order.
+///
+/// This is what makes long sweeps crash-proof: hours of sibling results
+/// survive one poisoned cell, and the failures ride along in the
+/// [`SweepReport`] (see [`SweepReport::from_results`]) so a `--resume`
+/// pass can re-run exactly the missing cells.
+pub fn run_cells_checked(
+    cells: &[(&AppProfile, SimConfig)],
+    opts: &SweepOptions,
+) -> Vec<Result<RunResult, CellFailure>> {
+    let total = cells.len();
+    let done = AtomicUsize::new(0);
+    let raw = parallel_map_catch(cells, opts.jobs, |_, (app, cfg)| {
+        let res = run_app_checked(app, cfg);
+        if opts.progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            match &res {
+                Ok(r) => eprintln!(
+                    "[{k}/{total}] {} sb={} {} {:.1}s",
+                    r.app,
+                    r.sb_entries,
+                    r.policy,
+                    r.wall_ms / 1000.0
+                ),
+                Err(e) => eprintln!(
+                    "[{k}/{total}] {} sb={} {} FAILED: {}",
+                    e.app, e.sb_entries, e.policy, e.violation.kind
+                ),
+            }
+        }
+        res
+    });
+    raw.into_iter()
+        .zip(cells)
+        .map(|(slot, (app, cfg))| match slot {
+            Ok(Ok(run)) => Ok(run),
+            Ok(Err(e)) => {
+                let reason = e.violation.to_string();
+                Err(CellFailure {
+                    app: e.app,
+                    policy: e.policy,
+                    sb: e.sb_entries,
+                    reason,
+                })
+            }
+            Err(panic_msg) => Err(CellFailure {
+                app: app.name().to_string(),
+                policy: cfg.policy.label(),
+                sb: cfg.effective_sb(),
+                reason: format!("panic: {panic_msg}"),
+            }),
+        })
+        .collect()
+}
+
 /// Runs every `(application, configuration)` cell and returns the
 /// results in input order.
 ///
@@ -153,23 +304,29 @@ where
 /// `opts.progress`, each completed cell prints a narrator line such as
 /// `[12/69] x264 sb=14 spb-burst(48) 1.8s` to stderr; the counter
 /// reflects completion order, not input order.
+///
+/// # Panics
+///
+/// Panics with the collected diagnostics if any cell failed — but only
+/// after **every** cell has been attempted. Sweeps that must keep the
+/// surviving results use [`run_cells_checked`].
 pub fn run_cells(cells: &[(&AppProfile, SimConfig)], opts: &SweepOptions) -> Vec<RunResult> {
-    let total = cells.len();
-    let done = AtomicUsize::new(0);
-    parallel_map(cells, opts.jobs, |_, (app, cfg)| {
-        let r = run_app(app, cfg);
-        if opts.progress {
-            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!(
-                "[{k}/{total}] {} sb={} {} {:.1}s",
-                r.app,
-                r.sb_entries,
-                r.policy,
-                r.wall_ms / 1000.0
-            );
+    let results = run_cells_checked(cells, opts);
+    let mut runs = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for r in results {
+        match r {
+            Ok(run) => runs.push(run),
+            Err(f) => failures.push(f.to_string()),
         }
-        r
-    })
+    }
+    assert!(
+        failures.is_empty(),
+        "{} sweep cell(s) failed:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    runs
 }
 
 /// One row of a machine-readable sweep report.
@@ -254,12 +411,20 @@ impl SweepRecord {
 ///   ]
 /// }
 /// ```
+///
+/// A sweep with failed cells additionally carries a `"failed"` array of
+/// `{app, policy, sb, reason}` objects; a fully clean report serializes
+/// without the key, byte-identical to the schema above.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// Report name (becomes the file stem under `results/`).
     pub name: String,
     /// One record per run, in sweep order.
     pub records: Vec<SweepRecord>,
+    /// Cells that panicked or tripped the invariant checker (empty for a
+    /// clean sweep). Kept in the report so `--resume` knows what to
+    /// re-run.
+    pub failed: Vec<CellFailure>,
 }
 
 impl SweepReport {
@@ -268,18 +433,55 @@ impl SweepReport {
         Self {
             name: name.into(),
             records: runs.iter().map(SweepRecord::from_run).collect(),
+            failed: Vec::new(),
         }
+    }
+
+    /// Summarizes the output of [`run_cells_checked`]: successes become
+    /// records, failures ride along in `failed`.
+    pub fn from_results(
+        name: impl Into<String>,
+        results: &[Result<RunResult, CellFailure>],
+    ) -> Self {
+        let mut report = Self {
+            name: name.into(),
+            records: Vec::new(),
+            failed: Vec::new(),
+        };
+        for r in results {
+            match r {
+                Ok(run) => report.records.push(SweepRecord::from_run(run)),
+                Err(f) => report.failed.push(f.clone()),
+            }
+        }
+        report
+    }
+
+    /// Whether the report already holds a **successful** record for this
+    /// cell (failed cells don't count — they are what `--resume`
+    /// re-runs).
+    pub fn has_record(&self, app: &str, policy: &str, sb: usize) -> bool {
+        self.records
+            .iter()
+            .any(|r| r.app == app && r.policy == policy && r.sb == sb)
     }
 
     /// Renders the report as pretty-printed JSON.
     pub fn to_json_string(&self) -> String {
-        let v = Json::obj([
+        let mut pairs = vec![
             ("name", Json::str(&self.name)),
             (
                 "records",
                 Json::arr(self.records.iter().map(SweepRecord::to_json)),
             ),
-        ]);
+        ];
+        if !self.failed.is_empty() {
+            pairs.push((
+                "failed",
+                Json::arr(self.failed.iter().map(CellFailure::to_json)),
+            ));
+        }
+        let v = Json::obj(pairs);
         format!("{v:#}\n")
     }
 
@@ -298,7 +500,20 @@ impl SweepReport {
             .iter()
             .map(SweepRecord::from_json)
             .collect::<Result<_, _>>()?;
-        Ok(Self { name, records })
+        let failed = match v.get("failed") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_arr()
+                .ok_or("failed must be an array")?
+                .iter()
+                .map(CellFailure::from_json)
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(Self {
+            name,
+            records,
+            failed,
+        })
     }
 
     /// Writes the report as `<dir>/<name>.json` (creating `dir`) and
@@ -339,6 +554,77 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_catch_isolates_a_panicking_item() {
+        let items: Vec<u32> = (0..16).collect();
+        for jobs in [1, 4] {
+            let out = parallel_map_catch(&items, jobs, |_, &v| {
+                if v == 7 {
+                    panic!("cell {v} poisoned");
+                }
+                v * 2
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 7 {
+                    assert!(r.as_ref().unwrap_err().contains("poisoned"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_repanics_only_after_all_items_ran() {
+        let attempted = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..8).collect();
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 2, |_, &v| {
+                attempted.fetch_add(1, Ordering::Relaxed);
+                if v == 0 {
+                    panic!("first cell dies");
+                }
+                v
+            })
+        }));
+        assert!(res.is_err(), "the panic still propagates to the caller");
+        assert_eq!(
+            attempted.load(Ordering::Relaxed),
+            8,
+            "every sibling item was still attempted"
+        );
+    }
+
+    #[test]
+    fn run_cells_checked_survives_a_poisoned_cell() {
+        let app = AppProfile::by_name("x264").unwrap();
+        let mut quick = SimConfig::quick();
+        quick.warmup_uops = 2_000;
+        quick.measure_uops = 10_000;
+        // A structurally invalid config: run_app panics on the zero-entry
+        // SB before simulating anything.
+        let bad = quick.clone().with_sb(0);
+        let cells = vec![(&app, quick.clone()), (&app, bad), (&app, quick.clone())];
+        let out = run_cells_checked(&cells, &SweepOptions::with_jobs(2));
+
+        assert!(out[0].is_ok() && out[2].is_ok(), "siblings survive");
+        let f = out[1].as_ref().unwrap_err();
+        assert_eq!(f.app, "x264");
+        assert_eq!(f.sb, 0);
+        assert!(f.reason.contains("panic:"), "reason: {}", f.reason);
+
+        let report = SweepReport::from_results("partial", &out);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.failed.len(), 1);
+        let policy = quick.policy.label();
+        assert!(report.has_record("x264", &policy, quick.effective_sb()));
+        assert!(!report.has_record("x264", &policy, 0), "failures don't count");
+
+        let text = report.to_json_string();
+        assert!(text.contains("\"failed\""));
+        assert_eq!(SweepReport::parse(&text).unwrap(), report);
+    }
+
+    #[test]
     fn sweep_options_clamp_and_env_fallback() {
         assert_eq!(SweepOptions::with_jobs(0).jobs, 1);
         assert!(SweepOptions::from_env().jobs >= 1);
@@ -370,9 +656,14 @@ mod tests {
                     wall_ms: 0.5,
                 },
             ],
+            failed: vec![],
         };
         let text = report.to_json_string();
         assert_eq!(SweepReport::parse(&text).unwrap(), report);
+        assert!(
+            !text.contains("failed"),
+            "clean reports keep the pre-failure schema: {text}"
+        );
     }
 
     #[test]
@@ -398,6 +689,7 @@ mod tests {
                 ipc: 2.0,
                 wall_ms: 3.5,
             }],
+            failed: vec![],
         };
         let path = report.save(&dir).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

@@ -124,13 +124,51 @@ impl AppProfile {
     }
 
     /// Looks up a profile by name in both suites.
-    pub fn by_name(name: &str) -> Option<AppProfile> {
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`UnknownApp`] carrying the failed name and the full
+    /// list of valid names (its `Display` puts them in the message, so
+    /// `.unwrap()`/`?` give a usable diagnostic instead of a bare
+    /// `None`).
+    pub fn by_name(name: &str) -> Result<AppProfile, UnknownApp> {
         Self::spec2017()
             .into_iter()
             .chain(Self::parsec())
             .find(|p| p.name == name)
+            .ok_or_else(|| UnknownApp {
+                name: name.to_string(),
+                valid: Self::spec2017()
+                    .iter()
+                    .chain(Self::parsec().iter())
+                    .map(|p| p.name.clone())
+                    .collect(),
+            })
     }
 }
+
+/// The error [`AppProfile::by_name`] returns for a name that matches no
+/// application in either suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownApp {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every valid application name (SPEC 2017 first, then PARSEC).
+    pub valid: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown application {:?}; valid names: {}",
+            self.name,
+            self.valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownApp {}
 
 /// Compute filler with "typical" behaviour.
 fn compute(count: u64, fp_ratio: f64, mispredict_rate: f64) -> PhaseSpec {
@@ -896,8 +934,13 @@ mod tests {
 
     #[test]
     fn by_name_finds_spec_apps() {
-        assert!(AppProfile::by_name("roms").is_some());
-        assert!(AppProfile::by_name("nonexistent").is_none());
+        assert!(AppProfile::by_name("roms").is_ok());
+        let err = AppProfile::by_name("nonexistent").unwrap_err();
+        assert_eq!(err.name, "nonexistent");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown application"), "{msg}");
+        assert!(msg.contains("roms"), "lists valid names: {msg}");
+        assert!(msg.contains("dedup"), "lists PARSEC names too: {msg}");
     }
 
     #[test]
