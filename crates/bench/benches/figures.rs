@@ -6,12 +6,12 @@
 //! regenerators are the `spb-experiments` binaries.
 
 use spb_bench::harness::Criterion;
-use spb_bench::{criterion_group, criterion_main};
 use spb_bench::{bench_apps, bench_config, bench_sb_bound_apps};
+use spb_bench::{criterion_group, criterion_main};
 use spb_mem::prefetch::PrefetcherKind;
 use spb_sim::config::PolicyKind;
-use spb_sim::run_app;
 use spb_sim::suite::SuiteResult;
+use spb_sim::Simulation;
 use std::hint::black_box;
 
 fn bench_grid_slice(c: &mut Criterion, name: &str, sb: usize, policy: PolicyKind) {
@@ -45,7 +45,7 @@ fn figures(c: &mut Criterion) {
         let app = &bench_sb_bound_apps()[0];
         let cfg = bench_config();
         b.iter(|| {
-            let r = run_app(app, &cfg);
+            let r = Simulation::with_config(app, &cfg).run_or_panic();
             black_box(r.cpu.sb_stall_by_region)
         });
     });
@@ -69,7 +69,7 @@ fn figures(c: &mut Criterion) {
         let app = &bench_apps()[0];
         let cfg = bench_config();
         b.iter(|| {
-            let r = run_app(app, &cfg);
+            let r = Simulation::with_config(app, &cfg).run_or_panic();
             black_box(r.energy.total_nj())
         });
     });
@@ -98,7 +98,7 @@ fn figures(c: &mut Criterion) {
         let app = &bench_sb_bound_apps()[0];
         let cfg = bench_config().with_policy(PolicyKind::spb_default());
         b.iter(|| {
-            let r = run_app(app, &cfg);
+            let r = Simulation::with_config(app, &cfg).run_or_panic();
             black_box((r.mem.prefetch_successful, r.mem.prefetch_late))
         });
     });
@@ -107,8 +107,12 @@ fn figures(c: &mut Criterion) {
     c.bench_function("fig12_fig13_traffic_overheads", |b| {
         let app = &bench_sb_bound_apps()[1];
         b.iter(|| {
-            let ac = run_app(app, &bench_config());
-            let spb = run_app(app, &bench_config().with_policy(PolicyKind::spb_default()));
+            let ac = Simulation::with_config(app, &bench_config()).run_or_panic();
+            let spb = Simulation::with_config(
+                app,
+                &bench_config().with_policy(PolicyKind::spb_default()),
+            )
+            .run_or_panic();
             black_box((
                 spb.mem.l1_tag_checks as f64 / ac.mem.l1_tag_checks.max(1) as f64,
                 spb.mem.prefetch_requests,
@@ -120,7 +124,7 @@ fn figures(c: &mut Criterion) {
     c.bench_function("fig14_fig15_l1d_miss_pending", |b| {
         let app = &bench_sb_bound_apps()[0];
         b.iter(|| {
-            let r = run_app(app, &bench_config().with_sb(14));
+            let r = Simulation::with_config(app, &bench_config().with_sb(14)).run_or_panic();
             black_box(r.topdown.l1d_miss_pending_stalls())
         });
     });
@@ -130,7 +134,7 @@ fn figures(c: &mut Criterion) {
         let app = &bench_sb_bound_apps()[0];
         let mut cfg = bench_config().with_policy(PolicyKind::spb_default());
         cfg.mem.prefetcher = PrefetcherKind::Aggressive;
-        b.iter(|| black_box(run_app(app, &cfg)));
+        b.iter(|| black_box(Simulation::with_config(app, &cfg).run_or_panic()));
     });
 
     // Figure 17: a Table II core (Silvermont) configuration.
@@ -138,7 +142,7 @@ fn figures(c: &mut Criterion) {
         let app = &bench_sb_bound_apps()[0];
         let mut cfg = bench_config().with_policy(PolicyKind::spb_default());
         cfg.core = spb_cpu::CoreConfig::silvermont();
-        b.iter(|| black_box(run_app(app, &cfg)));
+        b.iter(|| black_box(Simulation::with_config(app, &cfg).run_or_panic()));
     });
 
     // Figure 18: an 8-thread PARSEC run over the coherent hierarchy.
@@ -147,7 +151,7 @@ fn figures(c: &mut Criterion) {
         let mut cfg = bench_config().with_policy(PolicyKind::spb_default());
         cfg.warmup_uops = 5_000;
         cfg.measure_uops = 30_000;
-        b.iter(|| black_box(run_app(&app, &cfg)));
+        b.iter(|| black_box(Simulation::with_config(&app, &cfg).run_or_panic()));
     });
 
     // §IV-C sensitivity: one off-default N.
@@ -157,7 +161,7 @@ fn figures(c: &mut Criterion) {
             n: 24,
             dedupe: true,
         });
-        b.iter(|| black_box(run_app(app, &cfg)));
+        b.iter(|| black_box(Simulation::with_config(app, &cfg).run_or_panic()));
     });
 
     // SB-shrink claim: the 20-entry SPB configuration.
@@ -166,7 +170,7 @@ fn figures(c: &mut Criterion) {
         let cfg = bench_config()
             .with_sb(20)
             .with_policy(PolicyKind::spb_default());
-        b.iter(|| black_box(run_app(app, &cfg)));
+        b.iter(|| black_box(Simulation::with_config(app, &cfg).run_or_panic()));
     });
 }
 

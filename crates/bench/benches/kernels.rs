@@ -87,7 +87,7 @@ fn kernels(c: &mut Criterion) {
     g.bench_function("enqueue_and_drain_page", |b| {
         b.iter(|| {
             let mut mem = MemorySystem::new(MemoryConfig::default());
-            mem.enqueue_burst(0, 0..64u64);
+            mem.enqueue_burst(0, 0..64u64, 0);
             let mut now = 0;
             while mem.burst_queue_len(0) > 0 {
                 mem.tick(now);

@@ -1,0 +1,79 @@
+//! CI smoke check for the observability layer.
+//!
+//! Runs one SPEC and one PARSEC cell twice — once untraced, once with a
+//! collector attached — and asserts the zero-cost contract: tracing
+//! changes no simulated number. Then validates that the exported Chrome
+//! trace is well-formed JSON and carries the headline event kinds
+//! (SB-stall episodes, SPB bursts, coherence messages).
+
+use spb_obs::{chrome_trace, Collector};
+use spb_sim::config::{PolicyKind, SimConfig};
+use spb_sim::Simulation;
+use spb_stats::json::Json;
+use spb_trace::profile::AppProfile;
+
+fn check_cell(app_name: &str, cfg: &SimConfig) -> Vec<spb_obs::Event> {
+    let app = AppProfile::by_name(app_name).expect("suite app");
+    let plain = Simulation::with_config(&app, cfg).run_or_panic();
+    let collector = Collector::new();
+    let traced = Simulation::with_config(&app, cfg)
+        .observe(collector.clone())
+        .run_or_panic();
+    assert_eq!(
+        plain.cycles, traced.cycles,
+        "{app_name}: tracing changed the cycle count"
+    );
+    assert_eq!(
+        plain.uops, traced.uops,
+        "{app_name}: tracing changed the µop count"
+    );
+    assert_eq!(
+        plain.cpu, traced.cpu,
+        "{app_name}: tracing changed the CPU counters"
+    );
+    let events = collector.take();
+    assert!(!events.is_empty(), "{app_name}: collector saw no events");
+    println!(
+        "[trace_smoke] {app_name}: {} cycles traced == untraced, {} events",
+        traced.cycles,
+        events.len()
+    );
+    events
+}
+
+fn main() {
+    let spec_cfg = SimConfig::quick()
+        .with_sb(14)
+        .with_policy(PolicyKind::spb_default());
+    let events = check_cell("x264", &spec_cfg);
+
+    // The exported trace must be valid JSON with the headline events.
+    let trace = chrome_trace(&events);
+    let text = format!("{trace:#}");
+    let parsed = Json::parse(&text).expect("chrome trace is well-formed JSON");
+    let names: Vec<String> = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str).map(str::to_string))
+        .collect();
+    for needle in ["stall:store-buffer", "spb-burst", "coh:"] {
+        assert!(
+            names.iter().any(|n| n.contains(needle)),
+            "trace is missing {needle:?} events"
+        );
+    }
+    println!(
+        "[trace_smoke] chrome trace OK: {} trace events",
+        names.len()
+    );
+
+    // One multi-threaded PARSEC cell through the same contract.
+    let mut parsec_cfg = spec_cfg.clone();
+    parsec_cfg.warmup_uops /= 4;
+    parsec_cfg.measure_uops /= 4;
+    check_cell("dedup", &parsec_cfg);
+
+    println!("[trace_smoke] PASS");
+}

@@ -6,7 +6,7 @@ use spb_sim::suite::SuiteResult;
 use spb_sim::sweep::{run_cells_checked, SweepRecord, SweepReport};
 use spb_stats::{chart, Table};
 use spb_trace::file::{record, TraceReader};
-use spb_trace::profile::AppProfile;
+use spb_trace::profile::{AppCatalog, Suite};
 use spb_trace::{OpKind, TraceSource};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -37,6 +37,7 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             chart,
             resume,
         } => sweep(&app, &sbs, &policies, &cfg, chart, resume),
+        Command::Trace { app, cfg, out } => trace_cmd(&app, &cfg, &out),
         Command::Experiment { name, quick } => experiment(&name, quick),
     }
 }
@@ -57,9 +58,10 @@ fn sweep(
     let prior = if resume {
         let path = std::path::Path::new("results").join(format!("{name}.json"));
         match std::fs::read_to_string(&path) {
-            Ok(text) => Some(SweepReport::parse(&text).map_err(|e| {
-                CliError(format!("cannot resume from {}: {e}", path.display()))
-            })?),
+            Ok(text) => Some(
+                SweepReport::parse(&text)
+                    .map_err(|e| CliError(format!("cannot resume from {}: {e}", path.display())))?,
+            ),
             Err(e) => {
                 eprintln!(
                     "note: no prior report at {} ({e}); running the full sweep",
@@ -168,10 +170,19 @@ fn sweep(
         }
     }
 
+    let mut reg = spb_obs::MetricsRegistry::new();
+    let total_wall: f64 = records.iter().map(|r| r.wall_ms).sum();
+    reg.component("sweep")
+        .counter("cells", grid.len() as u64)
+        .counter("fresh", fresh_runs.len() as u64)
+        .counter("failures", failed.len() as u64)
+        .gauge("wall_ms", total_wall)
+        .gauge("jobs", opts.sweep_options().jobs as f64);
     let report = SweepReport {
         name,
         records,
         failed: failed.clone(),
+        metrics: Some(reg.to_json()),
     };
     save_report(&report);
     if !failed.is_empty() {
@@ -199,8 +210,9 @@ fn save_report(report: &SweepReport) {
 }
 
 fn apps() -> Result<(), CliError> {
+    let catalog = AppCatalog::standard();
     println!("SPEC CPU 2017 profiles:");
-    for p in AppProfile::spec2017() {
+    for p in catalog.suite(Suite::Spec2017) {
         println!(
             "  {:<12} {}",
             p.name(),
@@ -208,7 +220,7 @@ fn apps() -> Result<(), CliError> {
         );
     }
     println!("\nPARSEC profiles (8 threads):");
-    for p in AppProfile::parsec() {
+    for p in catalog.suite(Suite::Parsec) {
         println!(
             "  {:<14} {}",
             p.name(),
@@ -220,7 +232,7 @@ fn apps() -> Result<(), CliError> {
 
 fn run(app: &str, opts: &RunOpts, with_chart: bool) -> Result<(), CliError> {
     let profile = find_app(app)?;
-    let result = spb_sim::run_app(&profile, &opts.to_sim_config());
+    let result = spb_sim::Simulation::with_config(&profile, &opts.to_sim_config()).run_or_panic();
     print!("{}", spb_sim::report::render(&result));
     if with_chart {
         let mut t = Table::new("headline", &["value"]);
@@ -239,15 +251,39 @@ fn run(app: &str, opts: &RunOpts, with_chart: bool) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `spbsim trace`: re-run one application with the observability layer
+/// attached and export a Chrome `trace_event` JSON plus a text summary.
+/// Observation is read-only, so the simulated numbers are identical to
+/// an untraced `spbsim run` at the same configuration.
+fn trace_cmd(app: &str, opts: &RunOpts, out: &str) -> Result<(), CliError> {
+    let profile = find_app(app)?;
+    let collector = spb_obs::Collector::new();
+    let result = spb_sim::Simulation::with_config(&profile, &opts.to_sim_config())
+        .observe(collector.clone())
+        .run_or_panic();
+    let events = collector.take();
+    let trace = spb_obs::chrome_trace(&events);
+    std::fs::write(out, format!("{trace:#}"))?;
+    println!(
+        "{app} @ {} sb={}: {} cycles, ipc {:.3}",
+        opts.policy.label(),
+        opts.sb,
+        result.cycles,
+        result.ipc()
+    );
+    print!("{}", spb_obs::text_summary(&events));
+    println!(
+        "wrote {out} ({} events; open at chrome://tracing or ui.perfetto.dev)",
+        events.len()
+    );
+    Ok(())
+}
+
 fn suite_cmd(suite: &str, opts: &RunOpts) -> Result<(), CliError> {
-    let apps = match suite {
-        "spec" => AppProfile::spec2017(),
-        "parsec" => AppProfile::parsec(),
-        other => {
-            return Err(CliError(format!(
-                "unknown suite {other:?} (expected spec | parsec)"
-            )))
-        }
+    let Some(apps) = AppCatalog::standard().suite_named(suite) else {
+        return Err(CliError(format!(
+            "unknown suite {suite:?} (expected spec | parsec)"
+        )));
     };
     let results = SuiteResult::run_with(
         &apps,
@@ -367,38 +403,14 @@ fn experiment(name: &str, quick: bool) -> Result<(), CliError> {
     } else {
         exp::Budget::Paper
     };
-    let tables = match name {
-        "tab1" => exp::tab1::run(budget),
-        "fig01" => exp::fig01::run(budget),
-        "fig03" => exp::fig03::run(budget),
-        "fig05" => exp::fig05::run(budget),
-        "fig06" => exp::fig06::run(budget),
-        "fig07" => exp::fig07::run(budget),
-        "fig08" => exp::fig08::run(budget),
-        "fig09" => exp::fig09::run(budget),
-        "fig10" => exp::fig10::run(budget),
-        "fig11" => exp::fig11::run(budget),
-        "fig12" => exp::fig12::run(budget),
-        "fig13" => exp::fig13::run(budget),
-        "fig14" => exp::fig14::run(budget),
-        "fig15" => exp::fig15::run(budget),
-        "fig16" => exp::fig16::run(budget),
-        "fig17" => exp::fig17::run(budget),
-        "fig18" => exp::fig18::run(budget),
-        "sens_n" => exp::sens_n::run(budget),
-        "sb20" => exp::sb20::run(budget),
-        "ablations" => exp::ablations::run(budget),
-        "smt" | "smt_validation" => exp::smt_validation::run(budget),
-        "variance" => exp::variance::run(budget),
-        "spatial" => exp::spatial::run(budget),
-        "coalescing" => exp::coalescing::run(budget),
-        other => {
-            return Err(CliError(format!(
-                "unknown experiment {other:?}; known: tab1, fig01, fig03, fig05..fig18, sens_n, sb20, ablations, smt_validation, variance, spatial, coalescing"
-            )))
-        }
+    let Some(def) = exp::registry::find(name) else {
+        return Err(CliError(format!(
+            "unknown experiment {name:?}; known: {}",
+            exp::registry::known_ids()
+        )));
     };
-    exp::print_tables(&tables);
+    eprintln!("{}: {}", def.title, def.claim);
+    exp::print_tables(&(def.run)(budget));
     Ok(())
 }
 

@@ -11,6 +11,7 @@
 //! spbsim record --app x264 --ops 100000 --out x264.spbt
 //! spbsim trace-info x264.spbt
 //! spbsim replay --trace x264.spbt [--policy spb] [--sb 14]
+//! spbsim trace --app x264 --policy spb --out trace.json
 //! spbsim experiment fig05 [--quick]
 //! ```
 
@@ -100,6 +101,16 @@ pub enum Command {
         /// Reuse completed cells from the existing report under
         /// `results/`, re-running only missing or failed cells.
         resume: bool,
+    },
+    /// Run one application with event tracing on and export a Chrome
+    /// `trace_event` JSON file plus a text summary.
+    Trace {
+        /// Application name.
+        app: String,
+        /// Run configuration.
+        cfg: RunOpts,
+        /// Output path for the Chrome trace JSON.
+        out: String,
     },
     /// Regenerate a paper experiment by name.
     Experiment {
@@ -256,9 +267,9 @@ fn parse_run_opts<'a>(
             "--fault-seed" => {
                 args.next();
                 let v = take_value("--fault-seed", args)?;
-                opts.fault_seed = v.parse().map_err(|_| {
-                    CliError(format!("--fault-seed expects a number, got {v:?}"))
-                })?;
+                opts.fault_seed = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--fault-seed expects a number, got {v:?}")))?;
             }
             _ => {
                 leftovers.push(args.next().unwrap().to_string());
@@ -445,6 +456,32 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 resume,
             })
         }
+        "trace" => {
+            // Traces are per-cycle artifacts: default to a much smaller
+            // budget than a full run so the JSON stays loadable in a
+            // trace viewer. Explicit --uops/--warmup still override.
+            let mut opts = RunOpts {
+                warmup: 40_000,
+                uops: 100_000,
+                ..RunOpts::default()
+            };
+            let mut app = None;
+            let mut out = None;
+            let rest = parse_run_opts(&mut it, &mut opts)?;
+            let mut rest_it = rest.iter();
+            while let Some(a) = rest_it.next() {
+                match a.as_str() {
+                    "--app" => app = rest_it.next().cloned(),
+                    "--out" => out = rest_it.next().cloned(),
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            Ok(Command::Trace {
+                app: app.ok_or_else(|| CliError("trace requires --app NAME".into()))?,
+                cfg: opts,
+                out: out.unwrap_or_else(|| "trace.json".into()),
+            })
+        }
         "experiment" => {
             let name = it
                 .next()
@@ -476,6 +513,7 @@ USAGE:
   spbsim trace-info FILE                        inspect a trace file
   spbsim replay --trace FILE [opts]             replay a recorded trace
   spbsim sweep --app NAME [--sb 14,20,28,56] [--policy at-commit,spb] [--chart] [--resume]
+  spbsim trace --app NAME [--out trace.json] [opts]   export a Chrome trace of a run
   spbsim experiment NAME [--quick]              regenerate a paper experiment
 
 RUN OPTIONS:
@@ -495,6 +533,14 @@ ipc, wall_ms}]}; a \"failed\" array is appended when cells crashed).
 A cell that panics or trips the coherence checker fails alone: the
 other cells complete, the partial report is saved, and `sweep
 --resume` re-runs only the missing or failed cells.
+
+`trace` re-runs the application with the observability layer attached
+(identical simulated numbers; see DESIGN.md §7) and writes a Chrome
+trace_event JSON — open it at chrome://tracing or https://ui.perfetto.dev —
+with SB-stall episodes, SPB burst detections and issues, coherence
+messages, MSHR allocations and occupancy counters. It defaults to a
+reduced µop budget (40k warm-up / 100k measured) so the file stays
+small while still covering the store-burst phases.
 ";
 
 #[cfg(test)]
@@ -612,7 +658,16 @@ mod tests {
 
     #[test]
     fn parses_fault_flags_and_resume() {
-        let cmd = parse(["run", "--app", "gcc", "--fault-rate", "0.02", "--fault-seed", "9"]).unwrap();
+        let cmd = parse([
+            "run",
+            "--app",
+            "gcc",
+            "--fault-rate",
+            "0.02",
+            "--fault-seed",
+            "9",
+        ])
+        .unwrap();
         match cmd {
             Command::Run { cfg, .. } => {
                 assert_eq!(cfg.fault_rate, 0.02);
@@ -628,6 +683,29 @@ mod tests {
             Command::Sweep { resume, cfg, .. } => {
                 assert!(resume);
                 assert_eq!(cfg.fault_rate, 0.01);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace_with_small_default_budget() {
+        let cmd = parse(["trace", "--app", "x264", "--policy", "spb"]).unwrap();
+        match cmd {
+            Command::Trace { app, cfg, out } => {
+                assert_eq!(app, "x264");
+                assert_eq!(cfg.policy, PolicyKind::spb_default());
+                assert_eq!(out, "trace.json");
+                assert_eq!(cfg.warmup, 40_000);
+                assert_eq!(cfg.uops, 100_000);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(["trace", "--app", "gcc", "--out", "g.json", "--uops", "5000"]).unwrap();
+        match cmd {
+            Command::Trace { cfg, out, .. } => {
+                assert_eq!(out, "g.json");
+                assert_eq!(cfg.uops, 5000);
             }
             other => panic!("wrong parse: {other:?}"),
         }

@@ -481,7 +481,10 @@ mod tests {
     /// and page-bounded burst invariant as every other window size.
     #[test]
     fn n1_window_checks_every_second_store() {
-        let mut d = SpbDetector::new(SpbConfig { n: 1, dedupe: false });
+        let mut d = SpbDetector::new(SpbConfig {
+            n: 1,
+            dedupe: false,
+        });
         for i in 0..1000u64 {
             if let Some(b) = d.observe_store(i * 8) {
                 assert!(!b.is_empty());

@@ -73,7 +73,7 @@ impl StorePrefetchPolicy for SpbPolicy {
         // block — Figure 4, T1..T7).
         let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtCommit);
         if let Some(burst) = self.detector.observe_store(addr) {
-            mem.enqueue_burst(core, burst.blocks());
+            mem.enqueue_burst(core, burst.blocks(), now);
         }
     }
 
@@ -125,7 +125,7 @@ impl StorePrefetchPolicy for SpbDynamicPolicy {
     ) {
         let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtCommit);
         if let Some(burst) = self.detector.observe_store(addr, size) {
-            mem.enqueue_burst(core, burst.blocks());
+            mem.enqueue_burst(core, burst.blocks(), now);
         }
     }
 
@@ -289,7 +289,7 @@ impl StorePrefetchPolicy for ExtendedSpbPolicy {
     ) {
         let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtCommit);
         if let Some(burst) = self.detector.observe_store(addr) {
-            mem.enqueue_burst(core, burst.blocks());
+            mem.enqueue_burst(core, burst.blocks(), now);
         }
     }
 

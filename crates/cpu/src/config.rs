@@ -1,6 +1,5 @@
 //! Core configurations: Table I's Skylake-X plus the Table II sweep.
 
-
 /// Structural parameters of one out-of-order core.
 ///
 /// Defaults mirror the paper's Table I (Skylake-X-like); the named

@@ -3,6 +3,7 @@
 use crate::config::CoreConfig;
 use crate::policy::StorePrefetchPolicy;
 use spb_mem::MemorySystem;
+use spb_obs::{Event, EventKind, Observer};
 use spb_stats::{Histogram, StallCause, TopDown};
 use spb_trace::{CodeRegion, MicroOp, OpKind, TraceSource};
 use std::cmp::Reverse;
@@ -95,6 +96,10 @@ pub struct Core {
     trace_done: bool,
     topdown: TopDown,
     stats: CpuStats,
+    obs: Observer,
+    /// Open dispatch-stall episode: (cause, start cycle, stalled cycles).
+    /// Tracked only while an observer is attached.
+    stall_episode: Option<(StallCause, u64, u32)>,
 }
 
 impl std::fmt::Debug for Core {
@@ -144,6 +149,26 @@ impl Core {
             trace_done: false,
             topdown: TopDown::new(),
             stats: CpuStats::default(),
+            obs: Observer::off(),
+            stall_episode: None,
+        }
+    }
+
+    /// Attaches an observability sink. Emitted events are pure reads of
+    /// core state, so attaching one never changes a simulated number.
+    pub fn set_observer(&mut self, obs: Observer) {
+        self.obs = obs;
+    }
+
+    /// Emits the still-open dispatch-stall episode, if any. The runner
+    /// calls this when a run ends so a run-ending stall is not lost.
+    pub fn flush_stall_episode(&mut self) {
+        if let Some((cause, start, cycles)) = self.stall_episode.take() {
+            self.obs.emit(|| Event {
+                cycle: start,
+                core: self.id as u8,
+                kind: EventKind::StallEpisode { cause, cycles },
+            });
         }
     }
 
@@ -281,6 +306,13 @@ impl Core {
                     }
                 } else {
                     self.sb_pending.push_back((e.addr, e.pc, now));
+                    self.obs.emit(|| Event {
+                        cycle: now,
+                        core: self.id as u8,
+                        kind: EventKind::SbEnqueue {
+                            occupancy: self.sb_pending.len() as u32,
+                        },
+                    });
                 }
                 self.policy
                     .on_store_commit(mem, self.id, e.addr, e.size, e.pc, now);
@@ -306,6 +338,14 @@ impl Core {
             spb_mem::system::StoreDrainOutcome::Performed { .. } => {
                 self.sb_residency.record(now - committed_at);
                 self.sb_pending.pop_front();
+                self.obs.emit(|| Event {
+                    cycle: now,
+                    core: self.id as u8,
+                    kind: EventKind::SbDrain {
+                        occupancy: self.sb_pending.len() as u32,
+                        residency: (now - committed_at) as u32,
+                    },
+                });
                 self.stores_in_machine -= 1;
                 let q = addr & !7;
                 if let Some(n) = self.pending_store_qwords.get_mut(&q) {
@@ -363,6 +403,28 @@ impl Core {
         if dispatched == 0 {
             if let Some(cause) = stall {
                 self.topdown.record_stall(cause);
+            }
+        }
+        if self.obs.enabled() {
+            self.track_stall_episode(if dispatched == 0 { stall } else { None }, now);
+        }
+    }
+
+    /// Folds this cycle's dispatch outcome into the open stall episode:
+    /// same cause extends it, anything else closes it (emitting a
+    /// [`EventKind::StallEpisode`]) and possibly opens a new one. Only
+    /// called while an observer is attached, so the disabled path keeps
+    /// no state.
+    fn track_stall_episode(&mut self, stalled_on: Option<StallCause>, now: u64) {
+        match (self.stall_episode.as_mut(), stalled_on) {
+            (Some((cause, _, cycles)), Some(new_cause)) if *cause == new_cause => {
+                *cycles += 1;
+            }
+            (_, new_cause) => {
+                self.flush_stall_episode();
+                if let Some(cause) = new_cause {
+                    self.stall_episode = Some((cause, now, 1));
+                }
             }
         }
     }

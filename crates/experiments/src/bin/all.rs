@@ -1,61 +1,52 @@
-//! Regenerates the entire evaluation: every table and figure, in paper
-//! order, then the machine-readable grid sweep report under `results/`.
-//! Pass --quick for a smoke run; SPB_JOBS controls the worker pool.
+//! Regenerates the entire evaluation: every table and figure from the
+//! [`spb_experiments::registry`], in paper order, then the
+//! machine-readable grid sweep report under `results/`. Figures that
+//! are pure projections of the main SPEC grid reuse one shared sweep
+//! instead of re-simulating it. Pass --quick for a smoke run; SPB_JOBS
+//! controls the worker pool.
 use spb_experiments as exp;
 use spb_sim::sweep::SweepOptions;
 use std::time::Instant;
-
-type Section = (&'static str, fn(exp::Budget) -> Vec<spb_stats::Table>);
 
 fn main() {
     let budget = exp::Budget::from_args();
     let opts = SweepOptions::from_env();
     let total_start = Instant::now();
-    let sections: Vec<Section> = vec![
-        ("Table I", exp::tab1::run),
-        ("Figure 1", exp::fig01::run),
-        ("Figure 3", exp::fig03::run),
-        ("Figure 5", exp::fig05::run),
-        ("Figure 6", exp::fig06::run),
-        ("Figure 7", exp::fig07::run),
-        ("Figure 8", exp::fig08::run),
-        ("Figure 9", exp::fig09::run),
-        ("Figure 10", exp::fig10::run),
-        ("Figure 11", exp::fig11::run),
-        ("Figure 12", exp::fig12::run),
-        ("Figure 13", exp::fig13::run),
-        ("Figure 14", exp::fig14::run),
-        ("Figure 15", exp::fig15::run),
-        ("Figure 16", exp::fig16::run),
-        ("Figure 17", exp::fig17::run),
-        ("Figure 18", exp::fig18::run),
-        ("Sensitivity to N", exp::sens_n::run),
-        ("SB-shrink claim", exp::sb20::run),
-        ("Ablations", exp::ablations::run),
-        ("SMT validation", exp::smt_validation::run),
-        ("Spatial prefetching (SectionVII-A)", exp::spatial::run),
-        ("Store coalescing (SectionVII-B)", exp::coalescing::run),
-        ("Seed robustness", exp::variance::run),
-    ];
-    for (name, f) in sections {
-        eprintln!("[all] running {name}… ({} jobs)", opts.jobs);
-        let start = Instant::now();
-        println!("############ {name} ############");
-        exp::print_tables(&f(budget));
-        eprintln!("[all] {name} done in {:.1}s", start.elapsed().as_secs_f64());
-    }
 
-    // One flattened pass over the main grid for the JSON sweep report.
-    let label = match budget {
-        exp::Budget::Quick => "quick",
-        exp::Budget::Paper => "paper",
-    };
-    eprintln!("[all] running grid sweep report…");
+    // The SPEC grid backs every `from_grid` figure; compute it once.
+    eprintln!("[all] computing the shared SPEC grid… ({} jobs)", opts.jobs);
+    let grid_start = Instant::now();
     let grid = exp::grid::Grid::compute_with(
         spb_trace::profile::AppProfile::spec2017(),
         budget,
         &opts.progress(true),
     );
+    eprintln!(
+        "[all] grid done in {:.1}s",
+        grid_start.elapsed().as_secs_f64()
+    );
+
+    for def in exp::registry::REGISTRY {
+        eprintln!("[all] running {}… ({} jobs)", def.title, opts.jobs);
+        let start = Instant::now();
+        println!("############ {} ############", def.title);
+        let tables = match def.from_grid {
+            Some(project) => project(&grid),
+            None => (def.run)(budget),
+        };
+        exp::print_tables(&tables);
+        eprintln!(
+            "[all] {} done in {:.1}s",
+            def.title,
+            start.elapsed().as_secs_f64()
+        );
+    }
+
+    // The machine-readable JSON sweep report from the same grid.
+    let label = match budget {
+        exp::Budget::Quick => "quick",
+        exp::Budget::Paper => "paper",
+    };
     let report = grid.to_report(format!("sweep-grid-{label}"));
     match report.save(std::path::Path::new("results")) {
         Ok(path) => eprintln!("[all] wrote {}", path.display()),

@@ -1,7 +1,7 @@
 //! Debug: per-app normalized perf and stall ratios.
 use spb_experiments::Budget;
 use spb_sim::config::PolicyKind;
-use spb_sim::run_app;
+use spb_sim::Simulation;
 use spb_trace::profile::AppProfile;
 
 fn main() {
@@ -12,16 +12,18 @@ fn main() {
         "app", "ideal", "ac56", "ac14", "spb14", "sbst56", "sbst14"
     );
     for app in AppProfile::spec2017() {
-        let ideal = run_app(&app, &base.clone().with_policy(PolicyKind::IdealSb));
-        let ac56 = run_app(&app, &base.clone().with_sb(56));
-        let ac14 = run_app(&app, &base.clone().with_sb(14));
-        let spb14 = run_app(
+        let ideal = Simulation::with_config(&app, &base.clone().with_policy(PolicyKind::IdealSb))
+            .run_or_panic();
+        let ac56 = Simulation::with_config(&app, &base.clone().with_sb(56)).run_or_panic();
+        let ac14 = Simulation::with_config(&app, &base.clone().with_sb(14)).run_or_panic();
+        let spb14 = Simulation::with_config(
             &app,
             &base
                 .clone()
                 .with_sb(14)
                 .with_policy(PolicyKind::spb_default()),
-        );
+        )
+        .run_or_panic();
         println!(
             "{:<12} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>6.1}% {:>6.1}%",
             app.name(),

@@ -1,7 +1,7 @@
 //! Debug one app's stall anatomy.
 use spb_experiments::Budget;
 use spb_sim::config::PolicyKind;
-use spb_sim::run_app;
+use spb_sim::Simulation;
 use spb_stats::StallCause;
 use spb_trace::profile::AppProfile;
 
@@ -21,7 +21,7 @@ fn main() {
         ),
         ("ideal", base.clone().with_policy(PolicyKind::IdealSb)),
     ] {
-        let r = run_app(&app, &cfg);
+        let r = Simulation::with_config(&app, &cfg).run_or_panic();
         println!("{name} {label}: cycles={} ipc={:.3}", r.cycles, r.ipc());
         for c in StallCause::ALL {
             println!(

@@ -2,7 +2,7 @@
 use spb_experiments::Budget;
 use spb_mem::prefetch::PrefetcherKind;
 use spb_mem::RfoOrigin;
-use spb_sim::run_app;
+use spb_sim::Simulation;
 use spb_trace::profile::AppProfile;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
     ] {
         let mut cfg = Budget::Quick.sim_config().with_sb(14);
         cfg.mem.prefetcher = pk;
-        let r = run_app(&app, &cfg);
+        let r = Simulation::with_config(&app, &cfg).run_or_panic();
         let i = RfoOrigin::CachePrefetcher.index();
         println!(
             "{pk:?}: cycles={} pf_req={} pf_down={} succ={} late={} never={} load_l1_hits={} load_dram={}",

@@ -49,7 +49,16 @@ fn main() {
     let mut violations = 0;
     println!(
         "{:<8} {:<10} {:>6} {:>12} {:>7} {:>8} {:>8} {:>7} {:>7} {:>8}",
-        "app", "policy", "rate", "cycles", "ipc", "ack-del", "spikes", "denied", "dropped", "repairs"
+        "app",
+        "policy",
+        "rate",
+        "cycles",
+        "ipc",
+        "ack-del",
+        "spikes",
+        "denied",
+        "dropped",
+        "repairs"
     );
     for (r, rate) in results.iter().zip(&meta) {
         match r {
@@ -76,5 +85,8 @@ fn main() {
         eprintln!("fault smoke: {violations} cell(s) failed");
         std::process::exit(1);
     }
-    println!("fault smoke: all {} cells clean under injected faults", results.len());
+    println!(
+        "fault smoke: all {} cells clean under injected faults",
+        results.len()
+    );
 }

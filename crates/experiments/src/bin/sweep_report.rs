@@ -18,11 +18,8 @@ fn main() {
         exp::Budget::Paper => "paper",
     };
     let start = Instant::now();
-    let grid = exp::grid::Grid::compute_with(
-        spb_trace::profile::AppProfile::spec2017(),
-        budget,
-        &opts,
-    );
+    let grid =
+        exp::grid::Grid::compute_with(spb_trace::profile::AppProfile::spec2017(), budget, &opts);
     let wall = start.elapsed().as_secs_f64();
     let report = grid.to_report(format!("sweep-grid-{label}"));
     match report.save(std::path::Path::new("results")) {

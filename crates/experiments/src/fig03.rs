@@ -21,7 +21,7 @@ pub fn run(budget: Budget) -> Vec<Table> {
         &col_refs,
     );
     for app in AppProfile::spec2017_sb_bound() {
-        let r = spb_sim::run_app(&app, &cfg);
+        let r = spb_sim::Simulation::with_config(&app, &cfg).run_or_panic();
         let total: u64 = r.cpu.sb_stall_by_region.iter().sum();
         let fractions: Vec<f64> = r
             .cpu

@@ -52,8 +52,12 @@ pub fn run(budget: Budget) -> Vec<Table> {
     let mut all_rows: Vec<[f64; 8]> = Vec::new();
     let mut bound_rows: Vec<[f64; 8]> = Vec::new();
     for app in &apps {
-        let ac = spb_sim::run_app(app, &cfg);
-        let spb = spb_sim::run_app(app, &cfg.clone().with_policy(PolicyKind::spb_default()));
+        let ac = spb_sim::Simulation::with_config(app, &cfg).run_or_panic();
+        let spb = spb_sim::Simulation::with_config(
+            app,
+            &cfg.clone().with_policy(PolicyKind::spb_default()),
+        )
+        .run_or_panic();
         let f_ac = fractions(&ac, &[RfoOrigin::AtCommit]);
         // The SPB policy's prefetching is its bursts plus the underlying
         // per-store at-commit requests.

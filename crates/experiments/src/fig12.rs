@@ -42,8 +42,12 @@ pub fn run(budget: Budget) -> Vec<Table> {
     let mut bound_req = Vec::new();
     let mut bound_miss = Vec::new();
     for app in AppProfile::spec2017() {
-        let ac = spb_sim::run_app(&app, &cfg);
-        let spb = spb_sim::run_app(&app, &cfg.clone().with_policy(PolicyKind::spb_default()));
+        let ac = spb_sim::Simulation::with_config(&app, &cfg).run_or_panic();
+        let spb = spb_sim::Simulation::with_config(
+            &app,
+            &cfg.clone().with_policy(PolicyKind::spb_default()),
+        )
+        .run_or_panic();
         let (req_ac, miss_ac) = store_prefetch_traffic(&ac);
         let (req_spb, miss_spb) = store_prefetch_traffic(&spb);
         if req_ac < 100 {

@@ -17,6 +17,7 @@
 pub mod ablations;
 pub mod coalescing;
 pub mod grid;
+pub mod registry;
 pub mod smt_validation;
 pub mod spatial;
 pub mod variance;

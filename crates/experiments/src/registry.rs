@@ -1,0 +1,289 @@
+//! One registry for every table and figure the workspace regenerates.
+//!
+//! Each paper artifact is a [`FigureDef`]: a canonical id, the section
+//! title the `all` binary prints, a one-line claim, and two entry
+//! points — [`FigureDef::run`] regenerates it from scratch, while
+//! [`FigureDef::from_grid`] (when the figure is a pure projection of
+//! the main SPEC sweep) re-renders it from an already-computed
+//! [`Grid`] without re-simulating anything. The CLI's `experiment`
+//! command and the `all` binary both iterate [`REGISTRY`] instead of
+//! keeping their own hand-maintained match arms, so adding a figure is
+//! one module plus one registry row.
+
+use crate::grid::Grid;
+use crate::Budget;
+use spb_stats::Table;
+
+/// A regenerable table or figure from the paper's evaluation.
+#[derive(Clone, Copy)]
+pub struct FigureDef {
+    /// Canonical id used by `spbsim experiment <id>`.
+    pub id: &'static str,
+    /// Section heading printed by the `all` binary.
+    pub title: &'static str,
+    /// One-line statement of what the artifact shows.
+    pub claim: &'static str,
+    /// Alternative ids also accepted on the CLI.
+    pub aliases: &'static [&'static str],
+    /// Re-renders the figure from an existing SPEC grid when it is a
+    /// pure projection of that sweep (no extra simulation).
+    pub from_grid: Option<fn(&Grid) -> Vec<Table>>,
+    /// Regenerates the figure from scratch at the given budget.
+    pub run: fn(Budget) -> Vec<Table>,
+}
+
+impl std::fmt::Debug for FigureDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FigureDef")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .field("aliases", &self.aliases)
+            .field("from_grid", &self.from_grid.is_some())
+            .finish()
+    }
+}
+
+impl FigureDef {
+    /// Whether `name` selects this figure (canonical id or alias).
+    pub fn matches(&self, name: &str) -> bool {
+        self.id == name || self.aliases.contains(&name)
+    }
+}
+
+/// Every regenerable artifact, in paper order.
+pub const REGISTRY: &[FigureDef] = &[
+    FigureDef {
+        id: "tab1",
+        title: "Table I",
+        claim: "the simulated configuration matches the paper's Table I",
+        aliases: &["table1"],
+        from_grid: None,
+        run: crate::tab1::run,
+    },
+    FigureDef {
+        id: "fig01",
+        title: "Figure 1",
+        claim: "ratio of stall cycles due to a full SB (motivation)",
+        aliases: &["fig1"],
+        from_grid: Some(crate::fig01::tables_from_grid),
+        run: crate::fig01::run,
+    },
+    FigureDef {
+        id: "fig03",
+        title: "Figure 3",
+        claim: "where the stores causing SB-induced stalls live",
+        aliases: &["fig3"],
+        from_grid: None,
+        run: crate::fig03::run,
+    },
+    FigureDef {
+        id: "fig05",
+        title: "Figure 5",
+        claim: "SPB at SB14 performs within ~5% of the ideal SB",
+        aliases: &["fig5"],
+        from_grid: Some(crate::fig05::tables_from_grid),
+        run: crate::fig05::run,
+    },
+    FigureDef {
+        id: "fig06",
+        title: "Figure 6",
+        claim: "per-app performance of SB-bound apps vs the ideal SB",
+        aliases: &["fig6"],
+        from_grid: Some(crate::fig06::tables_from_grid),
+        run: crate::fig06::run,
+    },
+    FigureDef {
+        id: "fig07",
+        title: "Figure 7",
+        claim: "energy normalized to at-commit (lower is better)",
+        aliases: &["fig7"],
+        from_grid: Some(crate::fig07::tables_from_grid),
+        run: crate::fig07::run,
+    },
+    FigureDef {
+        id: "fig08",
+        title: "Figure 8",
+        claim: "SB-induced stall cycles normalized to at-commit",
+        aliases: &["fig8"],
+        from_grid: Some(crate::fig08::tables_from_grid),
+        run: crate::fig08::run,
+    },
+    FigureDef {
+        id: "fig09",
+        title: "Figure 9",
+        claim: "per-app SB stalls of SB-bound apps vs at-commit",
+        aliases: &["fig9"],
+        from_grid: Some(crate::fig09::tables_from_grid),
+        run: crate::fig09::run,
+    },
+    FigureDef {
+        id: "fig10",
+        title: "Figure 10",
+        claim: "issue-stall cycles split into SB- and other-caused",
+        aliases: &[],
+        from_grid: Some(crate::fig10::tables_from_grid),
+        run: crate::fig10::run,
+    },
+    FigureDef {
+        id: "fig11",
+        title: "Figure 11",
+        claim: "breakdown of store-prefetch outcomes at the L1D",
+        aliases: &[],
+        from_grid: None,
+        run: crate::fig11::run,
+    },
+    FigureDef {
+        id: "fig12",
+        title: "Figure 12",
+        claim: "prefetch traffic of SPB normalized to at-commit",
+        aliases: &[],
+        from_grid: None,
+        run: crate::fig12::run,
+    },
+    FigureDef {
+        id: "fig13",
+        title: "Figure 13",
+        claim: "L1D tag-access overhead of SPB normalized to at-commit",
+        aliases: &[],
+        from_grid: Some(crate::fig13::tables_from_grid),
+        run: crate::fig13::run,
+    },
+    FigureDef {
+        id: "fig14",
+        title: "Figure 14",
+        claim: "execution stalls with an L1D miss pending",
+        aliases: &[],
+        from_grid: Some(crate::fig14::tables_from_grid),
+        run: crate::fig14::run,
+    },
+    FigureDef {
+        id: "fig15",
+        title: "Figure 15",
+        claim: "per-app L1D-miss-pending stalls of SB-bound apps",
+        aliases: &[],
+        from_grid: Some(crate::fig15::tables_from_grid),
+        run: crate::fig15::run,
+    },
+    FigureDef {
+        id: "fig16",
+        title: "Figure 16",
+        claim: "SPB on top of aggressive cache prefetchers",
+        aliases: &[],
+        from_grid: None,
+        run: crate::fig16::run,
+    },
+    FigureDef {
+        id: "fig17",
+        title: "Figure 17",
+        claim: "SPB across the five Table II core aggressiveness points",
+        aliases: &[],
+        from_grid: None,
+        run: crate::fig17::run,
+    },
+    FigureDef {
+        id: "fig18",
+        title: "Figure 18",
+        claim: "PARSEC with 8 threads keeps the single-thread gains",
+        aliases: &[],
+        from_grid: None,
+        run: crate::fig18::run,
+    },
+    FigureDef {
+        id: "sens_n",
+        title: "Sensitivity to N",
+        claim: "sensitivity to detector window N, dynamic-S, and dedupe",
+        aliases: &["sensn"],
+        from_grid: None,
+        run: crate::sens_n::run,
+    },
+    FigureDef {
+        id: "sb20",
+        title: "SB-shrink claim",
+        claim: "a 20-entry SB with SPB matches a much larger plain SB",
+        aliases: &[],
+        from_grid: None,
+        run: crate::sb20::run,
+    },
+    FigureDef {
+        id: "ablations",
+        title: "Ablations",
+        claim: "each detector design choice earns its keep",
+        aliases: &[],
+        from_grid: None,
+        run: crate::ablations::run,
+    },
+    FigureDef {
+        id: "smt_validation",
+        title: "SMT validation",
+        claim: "the paper's SMT approximation tracks real 2-core runs",
+        aliases: &["smt"],
+        from_grid: None,
+        run: crate::smt_validation::run,
+    },
+    FigureDef {
+        id: "spatial",
+        title: "Spatial prefetching (SectionVII-A)",
+        claim: "spatial page-footprint prefetchers cannot replace SPB",
+        aliases: &[],
+        from_grid: None,
+        run: crate::spatial::run,
+    },
+    FigureDef {
+        id: "coalescing",
+        title: "Store coalescing (SectionVII-B)",
+        claim: "SPB versus non-speculative store coalescing",
+        aliases: &[],
+        from_grid: None,
+        run: crate::coalescing::run,
+    },
+    FigureDef {
+        id: "variance",
+        title: "Seed robustness",
+        claim: "conclusions are stable across workload seeds",
+        aliases: &["seeds"],
+        from_grid: None,
+        run: crate::variance::run,
+    },
+];
+
+/// Looks a figure up by canonical id or alias.
+pub fn find(name: &str) -> Option<&'static FigureDef> {
+    REGISTRY.iter().find(|d| d.matches(name))
+}
+
+/// Comma-separated canonical ids, for error messages and `--help`.
+pub fn known_ids() -> String {
+    REGISTRY.iter().map(|d| d.id).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_aliases_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for d in REGISTRY {
+            assert!(seen.insert(d.id), "duplicate id {}", d.id);
+            for a in d.aliases {
+                assert!(seen.insert(a), "alias {} collides", a);
+            }
+        }
+    }
+
+    #[test]
+    fn find_resolves_ids_and_aliases() {
+        assert_eq!(find("fig05").unwrap().id, "fig05");
+        assert_eq!(find("fig5").unwrap().id, "fig05");
+        assert_eq!(find("smt").unwrap().id, "smt_validation");
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn registry_covers_every_experiment_module() {
+        // Paper order: Table I first, seed robustness last.
+        assert_eq!(REGISTRY.first().unwrap().id, "tab1");
+        assert_eq!(REGISTRY.last().unwrap().id, "variance");
+        assert_eq!(REGISTRY.len(), 24);
+    }
+}

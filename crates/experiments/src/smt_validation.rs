@@ -66,7 +66,7 @@ fn run_smt2(app: &AppProfile, policy: PolicyKind, uops_per_thread: u64) -> (u64,
 
 fn run_approx(app: &AppProfile, policy: PolicyKind, budget: Budget) -> (u64, f64) {
     let cfg = budget.sim_config().with_sb(28).with_policy(policy);
-    let r = spb_sim::run_app(app, &cfg);
+    let r = spb_sim::Simulation::with_config(app, &cfg).run_or_panic();
     (r.cycles, r.sb_stall_ratio())
 }
 

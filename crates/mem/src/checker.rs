@@ -1,5 +1,5 @@
-//! Coherence invariant checking: structured violations and the bounded
-//! event log that gives them a usable diagnostic.
+//! Coherence invariant checking: structured violations with per-block
+//! diagnostic histories.
 //!
 //! The simulator used to guard its protocol with scattered
 //! `debug_assert!`s: silent in release builds, and a bare panic with no
@@ -9,13 +9,17 @@
 //! block, and flow up through the runner into sweep reports instead of
 //! tearing the process down.
 //!
-//! [`crate::system::MemorySystem`] records one [`CoherenceEvent`] per
-//! protocol action into a fixed-size [`EventLog`] ring (cheap: a struct
-//! write, no formatting) and runs [`crate::system::MemorySystem::check_invariants`]
-//! periodically. The checks are read-only — running them never changes a
-//! simulated number.
+//! The event types and the bounded ring themselves live in [`spb_obs`]:
+//! [`crate::system::MemorySystem`] emits one
+//! [`Event`](spb_obs::Event) per protocol action, the checker's
+//! [`EventLog`] ring is just one consumer of that stream (cheap: a
+//! struct write, no formatting), and any attached
+//! [`Observer`](spb_obs::Observer) sink sees the same events. The
+//! checks are read-only — running them never changes a simulated number.
 
 use std::fmt;
+
+pub use spb_obs::{CoherenceKind, Event, EventLog};
 
 /// Which invariant was violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +77,11 @@ pub struct InvariantViolation {
 
 impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invariant violation [{}] at cycle {}", self.kind, self.cycle)?;
+        write!(
+            f,
+            "invariant violation [{}] at cycle {}",
+            self.kind, self.cycle
+        )?;
         if let Some(b) = self.block {
             write!(f, " block {b:#x}")?;
         }
@@ -93,179 +101,9 @@ impl fmt::Display for InvariantViolation {
 
 impl std::error::Error for InvariantViolation {}
 
-/// One coherence-protocol action, recorded compactly (formatting is
-/// deferred to dump time).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CoherenceEvent {
-    /// Simulated cycle of the action.
-    pub cycle: u64,
-    /// Block acted on.
-    pub block: u64,
-    /// Core performing (or suffering) the action.
-    pub core: u8,
-    /// What happened.
-    pub kind: EventKind,
-}
-
-/// The protocol actions worth remembering for diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EventKind {
-    /// A read fill was requested below L1.
-    FillShared,
-    /// An ownership fill (RFO) was requested below L1.
-    FillOwned,
-    /// A store performed into L1.
-    StorePerformed,
-    /// The line was invalidated by a remote exclusive request.
-    Invalidated,
-    /// The line was downgraded to shared by a remote read.
-    Downgraded,
-    /// The line was evicted from L1.
-    EvictedL1,
-    /// A store prefetch was queued at the L1 controller (MSHRs busy).
-    PrefetchQueued,
-    /// A store prefetch was dropped by fault injection.
-    PrefetchDropped,
-    /// An evicted-in-flight line was reinstated from its MSHR entry.
-    Reinstated,
-}
-
-impl fmt::Display for EventKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            EventKind::FillShared => "fill(shared)",
-            EventKind::FillOwned => "fill(owned)",
-            EventKind::StorePerformed => "store-performed",
-            EventKind::Invalidated => "invalidated",
-            EventKind::Downgraded => "downgraded",
-            EventKind::EvictedL1 => "evicted-l1",
-            EventKind::PrefetchQueued => "prefetch-queued",
-            EventKind::PrefetchDropped => "prefetch-dropped",
-            EventKind::Reinstated => "reinstated",
-        };
-        f.write_str(s)
-    }
-}
-
-/// A fixed-capacity ring of recent [`CoherenceEvent`]s.
-///
-/// Recording is O(1) and allocation-free after construction; the ring
-/// holds the most recent `capacity` events across all blocks and is
-/// filtered per block only when a violation needs its history.
-///
-/// # Examples
-///
-/// ```
-/// use spb_mem::checker::{CoherenceEvent, EventKind, EventLog};
-///
-/// let mut log = EventLog::new(4);
-/// for cycle in 0..6 {
-///     log.record(CoherenceEvent { cycle, block: 7, core: 0, kind: EventKind::FillOwned });
-/// }
-/// let h = log.history_for(7);
-/// assert_eq!(h.len(), 4, "only the newest four survive");
-/// assert!(h[0].trim_start_matches("cycle").trim_start().starts_with('2'));
-/// ```
-#[derive(Debug, Clone)]
-pub struct EventLog {
-    ring: Vec<CoherenceEvent>,
-    capacity: usize,
-    head: usize,
-}
-
-impl EventLog {
-    /// A log keeping the most recent `capacity` events (0 disables
-    /// recording entirely).
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            ring: Vec::with_capacity(capacity),
-            capacity,
-            head: 0,
-        }
-    }
-
-    /// Whether events are being kept.
-    pub fn enabled(&self) -> bool {
-        self.capacity > 0
-    }
-
-    /// Records one event (O(1), drops the oldest when full).
-    pub fn record(&mut self, ev: CoherenceEvent) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.ring.len() < self.capacity {
-            self.ring.push(ev);
-        } else {
-            self.ring[self.head] = ev;
-            self.head = (self.head + 1) % self.capacity;
-        }
-    }
-
-    /// Events in recording order, oldest first.
-    fn iter_ordered(&self) -> impl Iterator<Item = &CoherenceEvent> {
-        self.ring[self.head..].iter().chain(self.ring[..self.head].iter())
-    }
-
-    /// Formatted history of `block`, oldest first.
-    pub fn history_for(&self, block: u64) -> Vec<String> {
-        self.iter_ordered()
-            .filter(|e| e.block == block)
-            .map(|e| format!("cycle {:>10}  core {}  {}", e.cycle, e.core, e.kind))
-            .collect()
-    }
-
-    /// Clears the log (end of warm-up keeps it; this is for reuse in
-    /// tests).
-    pub fn clear(&mut self) {
-        self.ring.clear();
-        self.head = 0;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn ev(cycle: u64, block: u64) -> CoherenceEvent {
-        CoherenceEvent {
-            cycle,
-            block,
-            core: 1,
-            kind: EventKind::FillOwned,
-        }
-    }
-
-    #[test]
-    fn ring_keeps_newest_events() {
-        let mut log = EventLog::new(3);
-        for c in 0..10 {
-            log.record(ev(c, 5));
-        }
-        let h = log.history_for(5);
-        assert_eq!(h.len(), 3);
-        assert!(h[0].contains("cycle          7"), "oldest surviving is 7: {h:?}");
-        assert!(h[2].contains("cycle          9"));
-    }
-
-    #[test]
-    fn history_filters_by_block() {
-        let mut log = EventLog::new(8);
-        log.record(ev(1, 5));
-        log.record(ev(2, 6));
-        log.record(ev(3, 5));
-        assert_eq!(log.history_for(5).len(), 2);
-        assert_eq!(log.history_for(6).len(), 1);
-        assert!(log.history_for(7).is_empty());
-    }
-
-    #[test]
-    fn zero_capacity_disables_recording() {
-        let mut log = EventLog::new(0);
-        log.record(ev(1, 5));
-        assert!(!log.enabled());
-        assert!(log.history_for(5).is_empty());
-    }
 
     #[test]
     fn violation_display_carries_context() {
@@ -286,10 +124,12 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties_the_ring() {
+    fn reexported_ring_formats_histories_like_before() {
         let mut log = EventLog::new(4);
-        log.record(ev(1, 5));
-        log.clear();
-        assert!(log.history_for(5).is_empty());
+        log.record(Event::coherence(7, 1, 5, CoherenceKind::FillOwned));
+        let h = log.history_for(5);
+        assert_eq!(h.len(), 1);
+        assert!(h[0].contains("cycle          7"));
+        assert!(h[0].contains("fill(owned)"));
     }
 }

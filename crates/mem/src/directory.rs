@@ -236,15 +236,17 @@ impl Directory {
     /// out-of-range sharer mask), if any, with a description.
     pub fn find_malformed(&self) -> Option<(u64, String)> {
         self.entries.iter().find_map(|(&block, e)| match e {
-            DirEntry::Owned { owner } if (*owner as usize) >= self.cores => {
-                Some((block, format!("owner {owner} out of range (cores={})", self.cores)))
-            }
+            DirEntry::Owned { owner } if (*owner as usize) >= self.cores => Some((
+                block,
+                format!("owner {owner} out of range (cores={})", self.cores),
+            )),
             DirEntry::Shared { sharers } if *sharers == 0 => {
                 Some((block, "shared entry with empty sharer mask".into()))
             }
-            DirEntry::Shared { sharers } if (*sharers >> self.cores) != 0 => {
-                Some((block, format!("sharer mask {sharers:#b} names out-of-range cores")))
-            }
+            DirEntry::Shared { sharers } if (*sharers >> self.cores) != 0 => Some((
+                block,
+                format!("sharer mask {sharers:#b} names out-of-range cores"),
+            )),
             _ => None,
         })
     }

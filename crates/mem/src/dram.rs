@@ -122,6 +122,12 @@ impl DramPort {
         self.writebacks
     }
 
+    /// Channels still servicing a request at `now` — a cheap queue-
+    /// pressure reading sampled by the observability layer.
+    pub fn busy_channels(&self, now: u64) -> usize {
+        self.next_free.iter().filter(|&&t| t > now).count()
+    }
+
     fn channel_and_row(&self, block: u64) -> (usize, u64) {
         let row = block / self.config.row_blocks;
         ((row as usize) % self.config.channels, row)

@@ -15,7 +15,6 @@
 //! none of these can cover a store burst: their window is anchored to
 //! recent demand accesses, so at best they run a fixed distance ahead.
 
-
 /// Which generic prefetcher the L1 uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PrefetcherKind {

@@ -13,13 +13,14 @@
 //! which is exactly the paper's transient `IM`/`PF_IM` situation.
 
 use crate::cache::{CacheArray, CacheGeometry, Eviction};
-use crate::checker::{CoherenceEvent, EventKind, EventLog, InvariantKind, InvariantViolation};
+use crate::checker::{CoherenceKind, Event, EventLog, InvariantKind, InvariantViolation};
 use crate::directory::{DirEntry, Directory};
 use crate::dram::{DramConfig, DramPort};
 use crate::fault::{FaultConfig, FaultPlan};
 use crate::line::{CoherenceState, RfoOrigin};
 use crate::mshr::MshrFile;
 use crate::prefetch::{Prefetcher, PrefetcherKind};
+use spb_obs::{EventKind as ObsEventKind, Observer};
 use spb_stats::Histogram;
 use std::collections::{HashMap, VecDeque};
 
@@ -31,6 +32,11 @@ const MSHR_STUCK_HORIZON: u64 = 50_000_000;
 
 /// Events kept per run for violation diagnostics when the checker is on.
 const EVENT_LOG_CAPACITY: usize = 256;
+
+/// How often [`MemorySystem::tick`] samples MSHR/DRAM occupancies into an
+/// attached observer. Sampling is skipped entirely when no sink is
+/// attached.
+const OBS_SAMPLE_INTERVAL: u64 = 64;
 
 /// Structural and timing parameters of the hierarchy (Table I defaults).
 #[derive(Debug, Clone, PartialEq)]
@@ -283,6 +289,7 @@ pub struct MemorySystem {
     stats: MemStats,
     fault: FaultPlan,
     events: EventLog,
+    obs: Observer,
     pending_violation: Option<InvariantViolation>,
 }
 
@@ -328,9 +335,49 @@ impl MemorySystem {
             } else {
                 0
             }),
+            obs: Observer::off(),
             pending_violation: None,
             config,
         }
+    }
+
+    /// Attaches an observability sink. Events are a pure read of
+    /// simulator state, so attaching one never changes a simulated
+    /// number.
+    pub fn set_observer(&mut self, obs: Observer) {
+        self.obs = obs;
+    }
+
+    /// Records a coherence-protocol action into the checker's ring and
+    /// mirrors it to any attached observer.
+    fn coh(&mut self, now: u64, core: u8, block: u64, kind: CoherenceKind) {
+        let ev = Event::coherence(now, core, block, kind);
+        self.events.record(ev);
+        self.obs.emit(|| ev);
+    }
+
+    /// [`MshrFile::allocate`] plus an `MshrAlloc` event on success.
+    fn alloc_mshr(
+        &mut self,
+        core: usize,
+        block: u64,
+        ready: u64,
+        exclusive: bool,
+        prefetch: Option<RfoOrigin>,
+        now: u64,
+    ) -> Result<(), u64> {
+        let r = self.cores[core]
+            .mshr
+            .allocate(block, ready, exclusive, prefetch, now);
+        if r.is_ok() {
+            let occupancy = self.cores[core].mshr.len() as u32;
+            self.obs.emit(|| Event {
+                cycle: now,
+                core: core as u8,
+                kind: ObsEventKind::MshrAlloc { block, occupancy },
+            });
+        }
+        r
     }
 
     /// The configuration this system was built with.
@@ -394,7 +441,9 @@ impl MemorySystem {
             core,
             cycle,
             detail,
-            history: block.map(|b| self.events.history_for(b)).unwrap_or_default(),
+            history: block
+                .map(|b| self.events.history_for(b))
+                .unwrap_or_default(),
         }
     }
 
@@ -444,7 +493,11 @@ impl MemorySystem {
                     None,
                     Some(i),
                     now,
-                    format!("{} entries exceed capacity {}", entries.len(), c.mshr.capacity()),
+                    format!(
+                        "{} entries exceed capacity {}",
+                        entries.len(),
+                        c.mshr.capacity()
+                    ),
                 ));
             }
             for (j, e) in entries.iter().enumerate() {
@@ -454,7 +507,10 @@ impl MemorySystem {
                         Some(e.block),
                         Some(i),
                         now,
-                        format!("entry completes at {}, >{MSHR_STUCK_HORIZON} cycles out", e.ready),
+                        format!(
+                            "entry completes at {}, >{MSHR_STUCK_HORIZON} cycles out",
+                            e.ready
+                        ),
                     ));
                 }
                 if entries[..j].iter().any(|p| p.block == e.block) {
@@ -526,8 +582,9 @@ impl MemorySystem {
             };
             let missing: Option<usize> = match entry {
                 DirEntry::Owned { owner } => (!holds(owner as usize)).then_some(owner as usize),
-                DirEntry::Shared { sharers } => (0..self.cores.len())
-                    .find(|&c| sharers & (1 << c) != 0 && !holds(c)),
+                DirEntry::Shared { sharers } => {
+                    (0..self.cores.len()).find(|&c| sharers & (1 << c) != 0 && !holds(c))
+                }
             };
             if let Some(core) = missing {
                 return Err(self.violation(
@@ -535,7 +592,9 @@ impl MemorySystem {
                     Some(block),
                     Some(core),
                     now,
-                    format!("directory says {entry:?} but the core holds no copy or in-flight entry"),
+                    format!(
+                        "directory says {entry:?} but the core holds no copy or in-flight entry"
+                    ),
                 ));
             }
         }
@@ -567,7 +626,11 @@ impl MemorySystem {
             .flat_map(|c| c.mshr.entries())
             .max_by_key(|e| e.ready)
         {
-            let _ = writeln!(s, "  most-stuck block {:#x} (ready at {}):", e.block, e.ready);
+            let _ = writeln!(
+                s,
+                "  most-stuck block {:#x} (ready at {}):",
+                e.block, e.ready
+            );
             for h in self.events.history_for(e.block) {
                 let _ = writeln!(s, "    {h}");
             }
@@ -608,12 +671,7 @@ impl MemorySystem {
         for &victim in victims {
             let v = victim as usize;
             self.stats.invalidations += 1;
-            self.events.record(CoherenceEvent {
-                cycle: now,
-                block,
-                core: victim,
-                kind: EventKind::Invalidated,
-            });
+            self.coh(now, victim, block, CoherenceKind::Invalidated);
             if let Some(old) = self.cores[v].l1.invalidate(block) {
                 dirty |= old.dirty;
                 if let Some(origin) = old.prefetch.filter(|_| !old.used) {
@@ -643,12 +701,7 @@ impl MemorySystem {
         let actions = self.directory.request_exclusive(core as u8, block);
         if !already_owner {
             self.stats.coherence_repairs += 1;
-            self.events.record(CoherenceEvent {
-                cycle: now,
-                block,
-                core: core as u8,
-                kind: EventKind::Reinstated,
-            });
+            self.coh(now, core as u8, block, CoherenceKind::Reinstated);
         }
         if self.apply_invalidations(&actions.invalidate, block, now) {
             if let Some(l3line) = self.l3.lookup(block) {
@@ -658,12 +711,7 @@ impl MemorySystem {
     }
 
     fn handle_l1_eviction(&mut self, core: usize, ev: Eviction, now: u64) {
-        self.events.record(CoherenceEvent {
-            cycle: now,
-            block: ev.block,
-            core: core as u8,
-            kind: EventKind::EvictedL1,
-        });
+        self.coh(now, core as u8, ev.block, CoherenceKind::EvictedL1);
         if let Some(origin) = ev.unused_prefetch {
             self.evicted_unused.insert(ev.block, origin);
         }
@@ -730,16 +778,16 @@ impl MemorySystem {
     ) -> (u64, Level) {
         let exclusive = want == Want::Own;
         self.stats.l2_accesses += 1;
-        self.events.record(CoherenceEvent {
-            cycle: now,
+        self.coh(
+            now,
+            core as u8,
             block,
-            core: core as u8,
-            kind: if exclusive {
-                EventKind::FillOwned
+            if exclusive {
+                CoherenceKind::FillOwned
             } else {
-                EventKind::FillShared
+                CoherenceKind::FillShared
             },
-        });
+        );
 
         // L2 hit with sufficient permission.
         let l2_state = self.cores[core]
@@ -774,12 +822,7 @@ impl MemorySystem {
         if let Some(owner) = actions.downgrade {
             let o = owner as usize;
             remote = self.config.remote_penalty;
-            self.events.record(CoherenceEvent {
-                cycle: now,
-                block,
-                core: owner,
-                kind: EventKind::Downgraded,
-            });
+            self.coh(now, owner, block, CoherenceKind::Downgraded);
             if let Some(d) = self.cores[o].l1.downgrade(block) {
                 remote_dirty |= d;
             }
@@ -908,7 +951,8 @@ impl MemorySystem {
                     _ => CoherenceState::Exclusive,
                 }
             };
-            let _ = self.cores[core].mshr.allocate(
+            let _ = self.alloc_mshr(
+                core,
                 block,
                 ready,
                 want == Want::Own,
@@ -997,24 +1041,14 @@ impl MemorySystem {
                     // reinstating, or the copy would be invisible to
                     // later exclusive requests.
                     self.stats.coherence_repairs += 1;
-                    self.events.record(CoherenceEvent {
-                        cycle: now,
-                        block,
-                        core: core as u8,
-                        kind: EventKind::Reinstated,
-                    });
+                    self.coh(now, core as u8, block, CoherenceKind::Reinstated);
                     if entry.exclusive {
                         self.directory.reinstate_owner(core as u8, block);
                     } else {
                         let actions = self.directory.request_shared(core as u8, block);
                         if let Some(owner) = actions.downgrade {
                             let o = owner as usize;
-                            self.events.record(CoherenceEvent {
-                                cycle: now,
-                                block,
-                                core: owner,
-                                kind: EventKind::Downgraded,
-                            });
+                            self.coh(now, owner, block, CoherenceKind::Downgraded);
                             let mut d = self.cores[o].l1.downgrade(block).unwrap_or(false);
                             d |= self.cores[o].l2.downgrade(block).unwrap_or(false);
                             self.cores[o].mshr.downgrade_entry(block);
@@ -1069,9 +1103,7 @@ impl MemorySystem {
                 Some(crate::directory::DirEntry::Shared { .. }) => CoherenceState::Shared,
                 _ => CoherenceState::Exclusive,
             };
-            let _ = self.cores[core]
-                .mshr
-                .allocate(block, ready, false, None, now_adm);
+            let _ = self.alloc_mshr(core, block, ready, false, None, now_adm);
             if let Some(ev) = self.cores[core].l1.insert(block, state, ready, None) {
                 self.handle_l1_eviction(core, ev, now_adm);
             }
@@ -1131,12 +1163,7 @@ impl MemorySystem {
                     self.stats.stores_performed += 1;
                     self.stats.store_l1_ready_hits += 1;
                     self.stats.l1_data_accesses += 1;
-                    self.events.record(CoherenceEvent {
-                        cycle: now,
-                        block,
-                        core: core as u8,
-                        kind: EventKind::StorePerformed,
-                    });
+                    self.coh(now, core as u8, block, CoherenceKind::StorePerformed);
                     // Demand training of the generic L1 prefetcher: this
                     // is the "store in entry 0 performs → prefetch B1"
                     // behaviour of §III-A.
@@ -1173,9 +1200,7 @@ impl MemorySystem {
                 // (downgraded mid-fill, or upgrading under a load miss):
                 // fold the upgrade into that entry rather than duplicate.
                 if !self.cores[core].mshr.merge_exclusive(block, ready) {
-                    let _ = self.cores[core]
-                        .mshr
-                        .allocate(block, ready, true, None, now_adm);
+                    let _ = self.alloc_mshr(core, block, ready, true, None, now_adm);
                 }
                 self.cores[core].demand_miss_until = self.cores[core].demand_miss_until.max(ready);
                 StoreDrainOutcome::Retry { at: ready }
@@ -1213,9 +1238,7 @@ impl MemorySystem {
                 }
                 let now_adm = self.mshr_admit(core, now);
                 let (ready, _level) = self.fill_below_l1(core, block, now_adm, Want::Own, None);
-                let _ = self.cores[core]
-                    .mshr
-                    .allocate(block, ready, true, None, now_adm);
+                let _ = self.alloc_mshr(core, block, ready, true, None, now_adm);
                 if let Some(ev) =
                     self.cores[core]
                         .l1
@@ -1272,9 +1295,7 @@ impl MemorySystem {
                 // The shared line's own fill may still be in flight:
                 // fold the upgrade into that entry rather than duplicate.
                 if !self.cores[core].mshr.merge_exclusive(block, ready) {
-                    let _ = self.cores[core]
-                        .mshr
-                        .allocate(block, ready, true, Some(origin), now_adm);
+                    let _ = self.alloc_mshr(core, block, ready, true, Some(origin), now_adm);
                 }
                 RfoResponse::Issued
             }
@@ -1305,12 +1326,7 @@ impl MemorySystem {
                     if denied || mshr.len() >= mshr.capacity() {
                         self.stats.prefetch_requests[origin.index()] -= 1; // re-counted on reissue
                         self.cores[core].burst_queue.push_back((block, origin));
-                        self.events.record(CoherenceEvent {
-                            cycle: now,
-                            block,
-                            core: core as u8,
-                            kind: EventKind::PrefetchQueued,
-                        });
+                        self.coh(now, core as u8, block, CoherenceKind::PrefetchQueued);
                         return RfoResponse::Queued;
                     }
                 }
@@ -1321,9 +1337,7 @@ impl MemorySystem {
                     ready += extra;
                     self.stats.faults_ack_delayed += 1;
                 }
-                let _ = self.cores[core]
-                    .mshr
-                    .allocate(block, ready, true, Some(origin), now);
+                let _ = self.alloc_mshr(core, block, ready, true, Some(origin), now);
                 if let Some(ev) = self.cores[core].l1.insert(
                     block,
                     CoherenceState::Exclusive,
@@ -1340,15 +1354,25 @@ impl MemorySystem {
 
     /// Queues a page burst: RFO prefetches for `blocks`, drained at
     /// [`MemoryConfig::burst_issue_per_cycle`] by [`MemorySystem::tick`].
-    pub fn enqueue_burst(&mut self, core: usize, blocks: impl IntoIterator<Item = u64>) {
+    pub fn enqueue_burst(&mut self, core: usize, blocks: impl IntoIterator<Item = u64>, now: u64) {
         let q = &mut self.cores[core].burst_queue;
         let before = q.len();
+        let mut first = None;
         for b in blocks {
+            first.get_or_insert(b);
             q.push_back((b, RfoOrigin::SpbBurst));
         }
         let pushed = (q.len() - before) as u64;
         if pushed > 0 {
             self.burst_lengths.record(pushed);
+            self.obs.emit(|| Event {
+                cycle: now,
+                core: core as u8,
+                kind: ObsEventKind::BurstDetected {
+                    page: (first.unwrap_or(0) * 64) & !0xfff,
+                    blocks: pushed as u32,
+                },
+            });
         }
     }
 
@@ -1376,16 +1400,32 @@ impl MemorySystem {
                     // The controller sheds this request entirely: the
                     // store it covered falls back to a demand RFO.
                     self.stats.faults_bursts_dropped += 1;
-                    self.events.record(CoherenceEvent {
-                        cycle: now,
-                        block,
-                        core: core as u8,
-                        kind: EventKind::PrefetchDropped,
-                    });
+                    self.coh(now, core as u8, block, CoherenceKind::PrefetchDropped);
                     continue;
                 }
+                self.obs.emit(|| Event {
+                    cycle: now,
+                    core: core as u8,
+                    kind: ObsEventKind::BurstIssued { block },
+                });
                 let _ = self.store_prefetch(core, block * 64, 0, now, origin);
             }
+        }
+        if self.obs.enabled() && now.is_multiple_of(OBS_SAMPLE_INTERVAL) {
+            for core in 0..self.cores.len() {
+                let occupancy = self.cores[core].mshr.len() as u32;
+                self.obs.emit(|| Event {
+                    cycle: now,
+                    core: core as u8,
+                    kind: ObsEventKind::MshrOccupancy { occupancy },
+                });
+            }
+            let busy = self.dram.busy_channels(now) as u32;
+            self.obs.emit(|| Event {
+                cycle: now,
+                core: 0,
+                kind: ObsEventKind::DramQueue { busy },
+            });
         }
     }
 }
@@ -1479,7 +1519,7 @@ mod tests {
     #[test]
     fn burst_queue_drains_at_configured_rate() {
         let mut m = single_core();
-        m.enqueue_burst(0, (0..10u64).map(|i| 0x1000 + i));
+        m.enqueue_burst(0, (0..10u64).map(|i| 0x1000 + i), 0);
         assert_eq!(m.burst_queue_len(0), 10);
         m.tick(0);
         assert_eq!(
@@ -1623,7 +1663,8 @@ mod tests {
             m.tick(now);
             now = r.ready + 1;
         }
-        m.check_invariants_thorough(now).expect("protocol stays coherent");
+        m.check_invariants_thorough(now)
+            .expect("protocol stays coherent");
         assert!(m.take_violation().is_none());
     }
 
@@ -1652,8 +1693,7 @@ mod tests {
     #[test]
     fn checker_flags_a_stuck_mshr_entry() {
         let mut m = single_core();
-        let _ = m
-            .cores[0]
+        let _ = m.cores[0]
             .mshr
             .allocate(7, MSHR_STUCK_HORIZON + 10, false, None, 0);
         let err = m.check_invariants(0).unwrap_err();
@@ -1663,8 +1703,7 @@ mod tests {
     #[test]
     fn periodic_check_surfaces_through_take_violation() {
         let mut m = single_core();
-        let _ = m
-            .cores[0]
+        let _ = m.cores[0]
             .mshr
             .allocate(7, MSHR_STUCK_HORIZON + 10, false, None, 0);
         m.tick(0); // cycle 0 is always a checking cycle
@@ -1680,8 +1719,7 @@ mod tests {
             ..Default::default()
         };
         let mut m = MemorySystem::new(cfg);
-        let _ = m
-            .cores[0]
+        let _ = m.cores[0]
             .mshr
             .allocate(7, MSHR_STUCK_HORIZON + 10, false, None, 0);
         m.tick(0);
@@ -1752,7 +1790,7 @@ mod tests {
             },
             ..Default::default()
         });
-        m.enqueue_burst(0, (0..8u64).map(|i| 0x100 + i));
+        m.enqueue_burst(0, (0..8u64).map(|i| 0x100 + i), 0);
         for now in 0..4 {
             m.tick(now);
         }
@@ -1774,7 +1812,7 @@ mod tests {
             let c = (i % 2) as usize;
             let r = m.load(c, 0x2000 + (i % 32) * 64, now);
             let _ = m.store_drain(1 - c, 0x2000 + (i % 32) * 64, now + 1);
-            m.enqueue_burst(c, (0..4u64).map(|j| 0x800 + (i % 8) * 4 + j));
+            m.enqueue_burst(c, (0..4u64).map(|j| 0x800 + (i % 8) * 4 + j), 0);
             m.tick(now);
             assert!(m.take_violation().is_none(), "violation at iter {i}");
             now = r.ready + 1;

@@ -81,8 +81,8 @@ fn burst_to_private_pages_causes_no_invalidations() {
     // The paper's coherence-friendliness claim in miniature: bursts to
     // uncontended pages never generate coherence traffic.
     let mut mem = two_cores();
-    mem.enqueue_burst(0, 0x100..0x140); // one page of blocks
-    mem.enqueue_burst(1, 0x200..0x240); // a different page
+    mem.enqueue_burst(0, 0x100..0x140, 0); // one page of blocks
+    mem.enqueue_burst(1, 0x200..0x240, 0); // a different page
     for now in 0..200 {
         mem.tick(now);
     }

@@ -1,0 +1,224 @@
+//! The typed simulation-event taxonomy.
+//!
+//! Events are small `Copy` structs: recording one is a struct write, and
+//! all formatting is deferred to export time. Every event carries the
+//! simulated cycle it happened at and the core it belongs to, so
+//! exporters can lay events out on per-core timelines.
+
+use std::fmt;
+
+pub use spb_stats::StallCause;
+
+/// A run phase, marked in the event stream by the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Warm-up: caches and predictors filling, stats not yet counted.
+    Warmup,
+    /// The measured region of interest.
+    Measure,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Warmup => "warmup",
+            Phase::Measure => "measure",
+        })
+    }
+}
+
+/// The coherence-protocol actions worth remembering. These used to be a
+/// private enum inside `spb-mem`'s checker; the invariant checker's ring
+/// and the trace exporters now share one definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceKind {
+    /// A read fill was requested below L1.
+    FillShared,
+    /// An ownership fill (RFO) was requested below L1.
+    FillOwned,
+    /// A store performed into L1.
+    StorePerformed,
+    /// The line was invalidated by a remote exclusive request.
+    Invalidated,
+    /// The line was downgraded to shared by a remote read.
+    Downgraded,
+    /// The line was evicted from L1.
+    EvictedL1,
+    /// A store prefetch was queued at the L1 controller (MSHRs busy).
+    PrefetchQueued,
+    /// A store prefetch was dropped by fault injection.
+    PrefetchDropped,
+    /// An evicted-in-flight line was reinstated from its MSHR entry.
+    Reinstated,
+}
+
+impl fmt::Display for CoherenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoherenceKind::FillShared => "fill(shared)",
+            CoherenceKind::FillOwned => "fill(owned)",
+            CoherenceKind::StorePerformed => "store-performed",
+            CoherenceKind::Invalidated => "invalidated",
+            CoherenceKind::Downgraded => "downgraded",
+            CoherenceKind::EvictedL1 => "evicted-l1",
+            CoherenceKind::PrefetchQueued => "prefetch-queued",
+            CoherenceKind::PrefetchDropped => "prefetch-dropped",
+            CoherenceKind::Reinstated => "reinstated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One observed simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated cycle (episode start, for duration events).
+    pub cycle: u64,
+    /// The core the event belongs to.
+    pub core: u8,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// A coherence-protocol event (the kind the checker's ring keeps).
+    pub fn coherence(cycle: u64, core: u8, block: u64, kind: CoherenceKind) -> Event {
+        Event {
+            cycle,
+            core,
+            kind: EventKind::Coherence { block, kind },
+        }
+    }
+
+    /// The block this event acts on, when it is block-scoped.
+    pub fn block(&self) -> Option<u64> {
+        match self.kind {
+            EventKind::Coherence { block, .. }
+            | EventKind::BurstIssued { block }
+            | EventKind::MshrAlloc { block, .. } => Some(block),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the instrumented components can report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// The runner entered a new phase (warm-up, measurement).
+    PhaseBegin(Phase),
+    /// A dispatch-stall episode ended: dispatch issued nothing for
+    /// `cycles` consecutive cycles, all attributed to `cause`
+    /// (Top-Down style). `Event::cycle` is the episode's first cycle.
+    StallEpisode {
+        /// The resource that blocked dispatch.
+        cause: StallCause,
+        /// Consecutive stalled cycles in the episode.
+        cycles: u32,
+    },
+    /// A committed store entered the post-commit store buffer.
+    SbEnqueue {
+        /// Post-commit SB entries after the enqueue.
+        occupancy: u32,
+    },
+    /// The SB head drained (store performed into L1).
+    SbDrain {
+        /// Post-commit SB entries after the drain.
+        occupancy: u32,
+        /// Cycles the store spent in the SB after commit.
+        residency: u32,
+    },
+    /// The SPB detector closed over a page and handed a burst of RFO
+    /// prefetches to the L1 controller.
+    BurstDetected {
+        /// Byte address of the 4 KiB page the burst covers.
+        page: u64,
+        /// Blocks enqueued for this burst.
+        blocks: u32,
+    },
+    /// The L1 controller issued one queued burst block downstream.
+    BurstIssued {
+        /// The block issued.
+        block: u64,
+    },
+    /// A coherence-protocol action.
+    Coherence {
+        /// Block acted on.
+        block: u64,
+        /// What happened.
+        kind: CoherenceKind,
+    },
+    /// An MSHR entry was allocated.
+    MshrAlloc {
+        /// The missing block.
+        block: u64,
+        /// Outstanding entries after the allocation.
+        occupancy: u32,
+    },
+    /// Periodic sample of a core's MSHR occupancy.
+    MshrOccupancy {
+        /// Outstanding entries at the sample point.
+        occupancy: u32,
+    },
+    /// Periodic sample of DRAM channel-queue pressure.
+    DramQueue {
+        /// Channels still busy at the sample point.
+        busy: u32,
+    },
+}
+
+impl EventKind {
+    /// A short stable label for summaries and trace names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::PhaseBegin(_) => "phase",
+            EventKind::StallEpisode { .. } => "stall",
+            EventKind::SbEnqueue { .. } => "sb-enqueue",
+            EventKind::SbDrain { .. } => "sb-drain",
+            EventKind::BurstDetected { .. } => "spb-burst",
+            EventKind::BurstIssued { .. } => "spb-burst-issue",
+            EventKind::Coherence { .. } => "coherence",
+            EventKind::MshrAlloc { .. } => "mshr-alloc",
+            EventKind::MshrOccupancy { .. } => "mshr-occupancy",
+            EventKind::DramQueue { .. } => "dram-queue",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherence_constructor_round_trips() {
+        let ev = Event::coherence(9, 2, 0x40, CoherenceKind::FillOwned);
+        assert_eq!(ev.cycle, 9);
+        assert_eq!(ev.core, 2);
+        assert_eq!(ev.block(), Some(0x40));
+        assert_eq!(ev.kind.label(), "coherence");
+    }
+
+    #[test]
+    fn block_is_none_for_core_events() {
+        let ev = Event {
+            cycle: 1,
+            core: 0,
+            kind: EventKind::SbEnqueue { occupancy: 4 },
+        };
+        assert_eq!(ev.block(), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let ev = Event {
+            cycle: 0,
+            core: 0,
+            kind: EventKind::StallEpisode {
+                cause: StallCause::StoreBuffer,
+                cycles: 12,
+            },
+        };
+        assert_eq!(ev.kind.label(), "stall");
+        assert_eq!(CoherenceKind::StorePerformed.to_string(), "store-performed");
+        assert_eq!(Phase::Warmup.to_string(), "warmup");
+    }
+}

@@ -1,0 +1,346 @@
+//! Exporters: Chrome `trace_event` JSON and a compact text summary.
+//!
+//! The Chrome exporter emits the [trace-event format] consumed by
+//! `chrome://tracing` and Perfetto. Mapping:
+//!
+//! - `ts` is the **simulated cycle** (the viewer displays it as µs; read
+//!   1 µs = 1 cycle), `tid` is the core, `pid` is 0.
+//! - Stall episodes become complete (`"X"`) slices named
+//!   `stall:<cause>` with `dur` = stalled cycles.
+//! - SPB bursts become `spb-burst` slices spanning detection-to-last
+//!   block at the configured issue rate is not modelled here; the slice
+//!   marks the detection point with the block count in `args`, and each
+//!   issued block is an instant `spb-burst-issue` event.
+//! - Coherence messages become instant (`"i"`) events named
+//!   `coh:<kind>` in category `coherence`.
+//! - SB/MSHR/DRAM occupancies become counter (`"C"`) events, one
+//!   counter series per core.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::{Event, EventKind, StallCause};
+use spb_stats::json::Json;
+
+fn stall_name(cause: StallCause) -> &'static str {
+    match cause {
+        StallCause::StoreBuffer => "stall:store-buffer",
+        StallCause::Rob => "stall:rob",
+        StallCause::IssueQueue => "stall:issue-queue",
+        StallCause::LoadQueue => "stall:load-queue",
+        StallCause::Registers => "stall:registers",
+        StallCause::FrontEnd => "stall:front-end",
+    }
+}
+
+fn base(name: &str, ph: &str, cat: &str, ev: &Event) -> Vec<(String, Json)> {
+    vec![
+        ("name".to_string(), Json::str(name)),
+        ("ph".to_string(), Json::str(ph)),
+        ("cat".to_string(), Json::str(cat)),
+        ("ts".to_string(), Json::from(ev.cycle)),
+        ("pid".to_string(), Json::from(0u64)),
+        ("tid".to_string(), Json::from(u64::from(ev.core))),
+    ]
+}
+
+fn push_args(pairs: &mut Vec<(String, Json)>, args: Vec<(&str, Json)>) {
+    pairs.push(("args".to_string(), Json::obj(args)));
+}
+
+fn counter(name: String, ev: &Event, series: &str, value: u64) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::str(name)),
+        ("ph".to_string(), Json::str("C")),
+        ("ts".to_string(), Json::from(ev.cycle)),
+        ("pid".to_string(), Json::from(0u64)),
+    ];
+    push_args(&mut pairs, vec![(series, Json::from(value))]);
+    Json::Obj(pairs)
+}
+
+/// Renders one event as a Chrome trace-event object.
+fn trace_event(ev: &Event) -> Json {
+    match ev.kind {
+        EventKind::PhaseBegin(phase) => {
+            let mut p = base(&format!("phase:{phase}"), "i", "phase", ev);
+            p.push(("s".to_string(), Json::str("g"))); // global instant
+            Json::Obj(p)
+        }
+        EventKind::StallEpisode { cause, cycles } => {
+            let mut p = base(stall_name(cause), "X", "stall", ev);
+            p.push(("dur".to_string(), Json::from(u64::from(cycles))));
+            Json::Obj(p)
+        }
+        EventKind::SbEnqueue { occupancy } => counter(
+            format!("sb-occupancy/core{}", ev.core),
+            ev,
+            "entries",
+            u64::from(occupancy),
+        ),
+        EventKind::SbDrain {
+            occupancy,
+            residency,
+        } => {
+            // The drain is both a residency sample and an occupancy step;
+            // surface the residency as args on the counter update.
+            let mut pairs = vec![
+                (
+                    "name".to_string(),
+                    Json::str(format!("sb-occupancy/core{}", ev.core)),
+                ),
+                ("ph".to_string(), Json::str("C")),
+                ("ts".to_string(), Json::from(ev.cycle)),
+                ("pid".to_string(), Json::from(0u64)),
+            ];
+            push_args(
+                &mut pairs,
+                vec![
+                    ("entries", Json::from(u64::from(occupancy))),
+                    ("residency", Json::from(u64::from(residency))),
+                ],
+            );
+            Json::Obj(pairs)
+        }
+        EventKind::BurstDetected { page, blocks } => {
+            let mut p = base("spb-burst", "X", "spb", ev);
+            // Render the burst as a slice as long as its block count so
+            // bursts are visible at a glance; args carry the exact data.
+            p.push(("dur".to_string(), Json::from(u64::from(blocks.max(1)))));
+            push_args(
+                &mut p,
+                vec![
+                    ("page", Json::str(format!("{page:#x}"))),
+                    ("blocks", Json::from(u64::from(blocks))),
+                ],
+            );
+            Json::Obj(p)
+        }
+        EventKind::BurstIssued { block } => {
+            let mut p = base("spb-burst-issue", "i", "spb", ev);
+            p.push(("s".to_string(), Json::str("t")));
+            push_args(&mut p, vec![("block", Json::str(format!("{block:#x}")))]);
+            Json::Obj(p)
+        }
+        EventKind::Coherence { block, kind } => {
+            let mut p = base(&format!("coh:{kind}"), "i", "coherence", ev);
+            p.push(("s".to_string(), Json::str("t"))); // thread-scoped instant
+            push_args(&mut p, vec![("block", Json::str(format!("{block:#x}")))]);
+            Json::Obj(p)
+        }
+        EventKind::MshrAlloc { block, occupancy } => {
+            let mut p = base("mshr-alloc", "i", "mshr", ev);
+            p.push(("s".to_string(), Json::str("t")));
+            push_args(
+                &mut p,
+                vec![
+                    ("block", Json::str(format!("{block:#x}"))),
+                    ("occupancy", Json::from(u64::from(occupancy))),
+                ],
+            );
+            Json::Obj(p)
+        }
+        EventKind::MshrOccupancy { occupancy } => counter(
+            format!("mshr-occupancy/core{}", ev.core),
+            ev,
+            "entries",
+            u64::from(occupancy),
+        ),
+        EventKind::DramQueue { busy } => counter(
+            "dram-queue".to_string(),
+            ev,
+            "busy-channels",
+            u64::from(busy),
+        ),
+    }
+}
+
+/// Renders an event stream as a Chrome trace-event JSON document.
+///
+/// The result is an object with a `traceEvents` array plus metadata, the
+/// format both `chrome://tracing` and Perfetto load directly.
+pub fn chrome_trace(events: &[Event]) -> Json {
+    Json::obj([
+        ("traceEvents", Json::arr(events.iter().map(trace_event))),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([(
+                "timeUnit",
+                Json::str("1 trace microsecond = 1 simulated cycle"),
+            )]),
+        ),
+    ])
+}
+
+/// A compact, human-readable summary of an event stream.
+pub fn text_summary(events: &[Event]) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+    let span = match (events.first(), events.last()) {
+        (Some(a), Some(b)) => (a.cycle, b.cycle),
+        _ => (0, 0),
+    };
+    out.push_str(&format!(
+        "{} events over cycles {}..{}\n",
+        events.len(),
+        span.0,
+        span.1
+    ));
+
+    let mut by_label: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut stall_cycles: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut bursts = 0u64;
+    let mut burst_blocks = 0u64;
+    let mut coh: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in events {
+        *by_label.entry(ev.kind.label()).or_default() += 1;
+        match ev.kind {
+            EventKind::StallEpisode { cause, cycles } => {
+                *stall_cycles.entry(stall_name(cause)).or_default() += u64::from(cycles);
+            }
+            EventKind::BurstDetected { blocks, .. } => {
+                bursts += 1;
+                burst_blocks += u64::from(blocks);
+            }
+            EventKind::Coherence { kind, .. } => {
+                *coh.entry(kind.to_string()).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    out.push_str("event counts:\n");
+    for (label, n) in &by_label {
+        out.push_str(&format!("  {label:<16} {n}\n"));
+    }
+    if !stall_cycles.is_empty() {
+        out.push_str("stalled cycles by cause:\n");
+        for (name, n) in &stall_cycles {
+            out.push_str(&format!("  {name:<20} {n}\n"));
+        }
+    }
+    if bursts > 0 {
+        out.push_str(&format!(
+            "spb bursts: {bursts} ({burst_blocks} blocks, {:.1} blocks/burst)\n",
+            burst_blocks as f64 / bursts as f64
+        ));
+    }
+    if !coh.is_empty() {
+        out.push_str("coherence messages:\n");
+        for (name, n) in &coh {
+            out.push_str(&format!("  {name:<18} {n}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CoherenceKind, Phase};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                cycle: 0,
+                core: 0,
+                kind: EventKind::PhaseBegin(Phase::Measure),
+            },
+            Event {
+                cycle: 10,
+                core: 0,
+                kind: EventKind::StallEpisode {
+                    cause: StallCause::StoreBuffer,
+                    cycles: 25,
+                },
+            },
+            Event {
+                cycle: 12,
+                core: 1,
+                kind: EventKind::BurstDetected {
+                    page: 0x1000,
+                    blocks: 48,
+                },
+            },
+            Event {
+                cycle: 13,
+                core: 1,
+                kind: EventKind::BurstIssued { block: 0x40 },
+            },
+            Event::coherence(14, 1, 0x40, CoherenceKind::FillOwned),
+            Event {
+                cycle: 15,
+                core: 0,
+                kind: EventKind::SbDrain {
+                    occupancy: 3,
+                    residency: 7,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_parseable() {
+        let doc = chrome_trace(&sample_events());
+        let text = format!("{doc:#}");
+        let parsed = Json::parse(&text).expect("exporter output must parse");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 6);
+        for e in events {
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+            assert!(e.get("ph").and_then(Json::as_str).is_some());
+            assert!(e.get("ts").and_then(Json::as_u64).is_some());
+            assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn stall_slices_carry_duration() {
+        let doc = chrome_trace(&sample_events());
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let stall = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("stall:store-buffer"))
+            .expect("stall slice present");
+        assert_eq!(stall.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(stall.get("dur").and_then(Json::as_u64), Some(25));
+        assert_eq!(stall.get("ts").and_then(Json::as_u64), Some(10));
+    }
+
+    #[test]
+    fn burst_and_coherence_events_are_present() {
+        let doc = chrome_trace(&sample_events());
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"spb-burst"));
+        assert!(names.contains(&"spb-burst-issue"));
+        assert!(names.contains(&"coh:fill(owned)"));
+    }
+
+    #[test]
+    fn text_summary_aggregates() {
+        let s = text_summary(&sample_events());
+        assert!(s.contains("6 events"));
+        assert!(s.contains("stall:store-buffer"));
+        assert!(s.contains("25"));
+        assert!(s.contains("spb bursts: 1 (48 blocks"));
+        assert!(s.contains("fill(owned)"));
+    }
+
+    #[test]
+    fn empty_stream_summarizes_cleanly() {
+        let s = text_summary(&[]);
+        assert!(s.contains("0 events"));
+        let doc = chrome_trace(&[]);
+        assert!(doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Zero-cost-when-disabled observability for the simulator.
+//!
+//! The paper's whole argument rests on *attributing* cycles to
+//! microarchitectural events — SB-full dispatch stalls, RFO latency,
+//! burst issue at the L1 controller — but end-of-run aggregates cannot
+//! say *why* a particular prefetch arrived late. This crate adds the
+//! missing per-event timeline without costing the common case anything:
+//!
+//! - [`event::Event`] is the typed simulation-event stream: dispatch
+//!   stall episodes with their Top-Down cause, SB enqueue/drain,
+//!   SPB burst detection and issue, coherence messages, MSHR
+//!   allocations, and DRAM queue occupancy.
+//! - [`sink::Sink`] receives events; [`sink::Observer`] is the cloneable
+//!   handle the instrumented components hold. A disabled observer is a
+//!   single `Option` check and **never constructs the event payload**
+//!   (the payload closure is not called), so simulated state and timing
+//!   are bit-identical with observability off — and, because events are
+//!   a pure read of simulator state, with it on as well.
+//! - [`ring::EventLog`] is the bounded ring the coherence invariant
+//!   checker uses for per-block histories; it consumes the same
+//!   [`event::Event`] type as every other sink.
+//! - [`metrics::MetricsRegistry`] holds named counters, gauges and
+//!   histogram snapshots registered by component, serializable through
+//!   [`spb_stats::json`] into sweep reports.
+//! - [`export`] renders an event stream as Chrome `trace_event` JSON
+//!   (open in `chrome://tracing` or Perfetto) or as a compact text
+//!   summary.
+//!
+//! # Example
+//!
+//! ```
+//! use spb_obs::event::{Event, EventKind};
+//! use spb_obs::sink::{Collector, Observer};
+//!
+//! let collector = Collector::new();
+//! let obs = collector.observer();
+//! // Instrumented code emits through the observer; the closure only
+//! // runs because a sink is attached.
+//! obs.emit(|| Event { cycle: 7, core: 0, kind: EventKind::SbEnqueue { occupancy: 3 } });
+//! assert_eq!(collector.len(), 1);
+//!
+//! let off = Observer::off();
+//! off.emit(|| unreachable!("disabled observers never build events"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod ring;
+pub mod sink;
+
+pub use event::{CoherenceKind, Event, EventKind, Phase};
+pub use export::{chrome_trace, text_summary};
+pub use metrics::MetricsRegistry;
+pub use ring::EventLog;
+pub use sink::{Collector, Observer, Sink};

@@ -1,0 +1,171 @@
+//! Sinks and the zero-cost [`Observer`] handle.
+
+use crate::event::Event;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Receives observed events. Implementations must not feed anything back
+/// into the simulation: the zero-perturbation guarantee (traced runs are
+/// cycle-identical to untraced runs) holds because sinks are pure
+/// consumers.
+pub trait Sink: Send {
+    /// Called once per emitted event, in emission order.
+    fn event(&mut self, ev: &Event);
+}
+
+/// The cloneable handle instrumented components hold.
+///
+/// Disabled (the default), [`Observer::emit`] is one `Option` check and
+/// the event-building closure is **never called** — no payload is
+/// constructed, no lock is touched. Enabled, all clones of the observer
+/// feed the same sink.
+#[derive(Clone, Default)]
+pub struct Observer {
+    sink: Option<Arc<Mutex<dyn Sink>>>,
+}
+
+impl Observer {
+    /// The disabled observer (same as `Observer::default()`).
+    pub fn off() -> Observer {
+        Observer { sink: None }
+    }
+
+    /// An observer feeding `sink`.
+    pub fn new(sink: impl Sink + 'static) -> Observer {
+        Observer {
+            sink: Some(Arc::new(Mutex::new(sink))),
+        }
+    }
+
+    /// Whether a sink is attached. Instrumentation that must keep extra
+    /// state (e.g. stall-episode tracking) gates on this so the disabled
+    /// path stays free.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits the event built by `f` — if and only if a sink is attached.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            let ev = f();
+            let mut guard = sink.lock().unwrap_or_else(|p| p.into_inner());
+            guard.event(&ev);
+        }
+    }
+}
+
+impl fmt::Debug for Observer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Observer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// A sink that appends every event to a shared vector, for tests, the
+/// `spbsim trace` exporter and ad-hoc debugging.
+///
+/// Cloning is shallow: clones share the buffer, so keep one clone and
+/// hand [`Collector::observer`] to the simulation.
+#[derive(Clone, Default)]
+pub struct Collector {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// An observer feeding this collector.
+    pub fn observer(&self) -> Observer {
+        Observer::new(self.clone())
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes the collected events, leaving the collector empty.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// A copy of the events collected so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+}
+
+impl Sink for Collector {
+    fn event(&mut self, ev: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(cycle: u64) -> Event {
+        Event {
+            cycle,
+            core: 0,
+            kind: EventKind::SbEnqueue { occupancy: 1 },
+        }
+    }
+
+    #[test]
+    fn disabled_observer_never_calls_the_closure() {
+        let obs = Observer::off();
+        assert!(!obs.enabled());
+        obs.emit(|| unreachable!("must not build the payload"));
+    }
+
+    #[test]
+    fn enabled_observer_delivers_in_order() {
+        let c = Collector::new();
+        let obs = c.observer();
+        assert!(obs.enabled());
+        obs.emit(|| ev(1));
+        obs.emit(|| ev(2));
+        let got = c.take();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].cycle, 1);
+        assert_eq!(got[1].cycle, 2);
+        assert!(c.is_empty(), "take drains the buffer");
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let c = Collector::new();
+        let a = c.observer();
+        let b = a.clone();
+        a.emit(|| ev(1));
+        b.emit(|| ev(2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn debug_shows_enabled_state() {
+        assert!(format!("{:?}", Observer::off()).contains("enabled: false"));
+        let c = Collector::new();
+        assert!(format!("{:?}", c.observer()).contains("enabled: true"));
+    }
+}

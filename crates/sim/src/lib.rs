@@ -10,10 +10,12 @@
 //!   core microarchitecture, the SB size under study, and which of
 //!   {none, at-execute, at-commit, SPB, SPB-dynamic, ideal-SB} drives
 //!   store prefetching.
-//! - [`runner::run_app`] executes an application profile with warm-up
-//!   and a fixed measured µop budget (the paper's ROI methodology in
-//!   miniature) and returns a [`runner::RunResult`] with all the
-//!   counters the figures need.
+//! - [`simulation::Simulation`] executes an application profile with
+//!   warm-up and a fixed measured µop budget (the paper's ROI
+//!   methodology in miniature) and returns a [`runner::RunResult`] with
+//!   all the counters the figures need. Attach any [`spb_obs::Sink`]
+//!   with [`simulation::Simulation::observe`] to stream the run's typed
+//!   events without perturbing it.
 //! - [`suite`] runs whole benchmark suites and aggregates the "ALL" and
 //!   "SB-BOUND" geometric means the paper reports.
 //! - [`sweep`] fans independent `(application, configuration)` cells
@@ -23,13 +25,14 @@
 //! # Examples
 //!
 //! ```
-//! use spb_sim::{config::{PolicyKind, SimConfig}, runner::run_app};
+//! use spb_sim::{PolicyKind, SimConfig, Simulation};
 //! use spb_trace::profile::AppProfile;
 //!
 //! let app = AppProfile::by_name("x264").unwrap();
-//! let mut cfg = SimConfig::quick();
-//! cfg.policy = PolicyKind::Spb { n: 48, dedupe: true };
-//! let result = run_app(&app, &cfg);
+//! let result = Simulation::with_config(&app, &SimConfig::quick())
+//!     .policy(PolicyKind::Spb { n: 48, dedupe: true })
+//!     .run()
+//!     .unwrap();
 //! assert!(result.ipc() > 0.0);
 //! ```
 
@@ -39,9 +42,13 @@
 pub mod config;
 pub mod report;
 pub mod runner;
+pub mod simulation;
 pub mod suite;
 pub mod sweep;
 
 pub use config::{PolicyKind, SimConfig};
-pub use runner::{run_app, run_app_checked, RunError, RunResult};
+#[allow(deprecated)]
+pub use runner::{run_app, run_app_checked};
+pub use runner::{RunError, RunResult};
+pub use simulation::Simulation;
 pub use sweep::{CellFailure, SweepOptions, SweepReport};

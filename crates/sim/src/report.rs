@@ -144,18 +144,16 @@ pub fn render(r: &RunResult) -> String {
 mod tests {
     use super::*;
     use crate::config::{PolicyKind, SimConfig};
-    use crate::runner::run_app;
+    use crate::simulation::Simulation;
     use spb_trace::profile::AppProfile;
 
     #[test]
     fn report_contains_all_sections() {
         let app = AppProfile::by_name("x264").unwrap();
-        let r = run_app(
-            &app,
-            &SimConfig::quick()
-                .with_sb(14)
-                .with_policy(PolicyKind::spb_default()),
-        );
+        let r = Simulation::with_config(&app, &SimConfig::quick())
+            .sb_entries(14)
+            .policy(PolicyKind::spb_default())
+            .run_or_panic();
         let text = render(&r);
         for section in [
             "host wall",
@@ -177,7 +175,7 @@ mod tests {
     #[test]
     fn report_is_quiet_about_absent_counters() {
         let app = AppProfile::by_name("povray").unwrap();
-        let r = run_app(&app, &SimConfig::quick());
+        let r = Simulation::with_config(&app, &SimConfig::quick()).run_or_panic();
         let text = render(&r);
         // povray has no store-prefetch traffic and no invalidations.
         assert!(!text.contains("invalidations"));

@@ -1,11 +1,17 @@
-//! Executing one application under one configuration.
+//! Run results, run errors, and the lock-step advance loop.
+//!
+//! The execution entry point is [`crate::simulation::Simulation`]; the
+//! free functions [`run_app`]/[`run_app_checked`] remain as deprecated
+//! wrappers around it.
 
 use crate::config::SimConfig;
+use crate::simulation::Simulation;
 use spb_cpu::core::{Core, CpuStats};
-use spb_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
+use spb_energy::EnergyBreakdown;
 use spb_mem::checker::{InvariantKind, InvariantViolation};
 use spb_mem::system::MemStats;
 use spb_mem::MemorySystem;
+use spb_obs::MetricsRegistry;
 use spb_stats::{Histogram, TopDown};
 use spb_trace::profile::AppProfile;
 use std::fmt;
@@ -35,6 +41,10 @@ pub struct RunResult {
     pub burst_lengths: Histogram,
     /// Energy breakdown for the measured window.
     pub energy: EnergyBreakdown,
+    /// Named counters, gauges and histogram snapshots registered by
+    /// component (`"runner"`, `"cpu"`, `"mem"`, `"sb"`, `"spb"`), for
+    /// serialization into sweep reports and traces.
+    pub metrics: MetricsRegistry,
     /// Host wall-clock time spent simulating (warm-up + measurement),
     /// in milliseconds. Observability only: this is the one field that
     /// varies between repeated runs, so comparisons of results must
@@ -105,7 +115,7 @@ impl std::error::Error for RunError {
 /// Advances the lock-step simulation until the slowest core has
 /// committed `target` µops, polling the memory system's invariant
 /// checker and watching for forward progress.
-fn advance(
+pub(crate) fn advance(
     cores: &mut [Core],
     mem: &mut MemorySystem,
     now: &mut u64,
@@ -147,7 +157,7 @@ fn advance(
     }
 }
 
-fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
+pub(crate) fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
     into.committed_stores += from.committed_stores;
     into.committed_loads += from.committed_loads;
     into.committed_branches += from.committed_branches;
@@ -161,22 +171,22 @@ fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
     }
 }
 
-/// Runs `profile` under `cfg`: builds one core per thread over a shared
-/// memory hierarchy, warms up, measures a fixed per-core µop budget,
-/// and returns the collected counters.
+/// Runs `profile` under `cfg`.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is structurally invalid (zero queues),
 /// or with the violation's full diagnostic if the coherence checker or
-/// forward-progress watchdog aborts the run. Sweeps that must survive
-/// bad cells use [`run_app_checked`] instead.
+/// forward-progress watchdog aborts the run.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulation::with_config(profile, cfg).run_or_panic()`"
+)]
 pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
-    run_app_checked(profile, cfg).unwrap_or_else(|e| panic!("{e}"))
+    Simulation::with_config(profile, cfg).run_or_panic()
 }
 
-/// [`run_app`], but invariant violations and watchdog trips surface as a
-/// structured [`RunError`] instead of a panic.
+/// Runs `profile` under `cfg`, surfacing violations as a [`RunError`].
 ///
 /// # Errors
 ///
@@ -187,96 +197,12 @@ pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
 /// # Panics
 ///
 /// Panics if the configuration is structurally invalid (zero queues).
-pub fn run_app_checked(
-    profile: &AppProfile,
-    cfg: &SimConfig,
-) -> Result<RunResult, Box<RunError>> {
-    let wall_start = std::time::Instant::now();
-    let threads = profile.threads() as usize;
-    let mut mem_cfg = cfg.mem.clone();
-    mem_cfg.cores = threads;
-    let mut mem = MemorySystem::new(mem_cfg);
-
-    let mut core_cfg = cfg.core;
-    if let Some(sb) = cfg.policy.sb_override() {
-        core_cfg.sb_entries = sb;
-    }
-    core_cfg.validate();
-
-    let traces = profile.build_threads(cfg.seed);
-    let mut cores: Vec<Core> = traces
-        .into_iter()
-        .enumerate()
-        .map(|(i, t)| Core::new(i, core_cfg, Box::new(t), cfg.policy.build()))
-        .collect();
-
-    let fail = |violation: InvariantViolation| {
-        Box::new(RunError {
-            app: profile.name().to_string(),
-            policy: cfg.policy.label(),
-            sb_entries: cfg.effective_sb(),
-            violation,
-        })
-    };
-
-    let mut now: u64 = 0;
-    // Warm-up: run until the slowest core has committed the budget.
-    advance(&mut cores, &mut mem, &mut now, cfg.warmup_uops, cfg.watchdog_cycles)
-        .map_err(fail)?;
-    for core in &mut cores {
-        core.reset_stats();
-    }
-    mem.reset_stats();
-    let measure_start = now;
-
-    advance(&mut cores, &mut mem, &mut now, cfg.measure_uops, cfg.watchdog_cycles)
-        .map_err(fail)?;
-    if cfg.mem.checker_interval > 0 {
-        // One thorough end-of-run pass, including the expensive inverse
-        // directory check the periodic scan skips.
-        mem.check_invariants_thorough(now).map_err(fail)?;
-    }
-    mem.finalize_stats();
-
-    let cycles = now - measure_start;
-    let mut topdown = TopDown::new();
-    let mut cpu = CpuStats::default();
-    let mut uops = 0;
-    let mut sb_residency = Histogram::new("sb_residency_cycles", 16, 64);
-    for core in &cores {
-        topdown.merge(core.topdown());
-        merge_cpu_stats(&mut cpu, core.stats());
-        sb_residency.merge(core.sb_residency());
-        uops += core.committed_uops();
-    }
-
-    let mem_stats = mem.stats().clone();
-    let events = EnergyEvents {
-        cycles: cycles * threads as u64,
-        committed_uops: uops,
-        wrong_path_uops: cpu.wrong_path_uops,
-        l1_accesses: mem_stats.l1_data_accesses + cpu.wrong_path_l1_accesses,
-        l1_tag_checks: mem_stats.l1_tag_checks,
-        l2_accesses: mem_stats.l2_accesses,
-        l3_accesses: mem_stats.l3_accesses,
-        dram_accesses: mem_stats.dram_accesses + mem_stats.writebacks,
-    };
-    let energy = EnergyModel::default().evaluate(&events);
-
-    Ok(RunResult {
-        app: profile.name().to_string(),
-        policy: cfg.policy.label(),
-        sb_entries: cfg.effective_sb(),
-        cycles,
-        uops,
-        topdown,
-        cpu,
-        mem: mem_stats,
-        sb_residency,
-        burst_lengths: mem.burst_lengths().clone(),
-        energy,
-        wall_ms: wall_start.elapsed().as_secs_f64() * 1000.0,
-    })
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulation::with_config(profile, cfg).run()`"
+)]
+pub fn run_app_checked(profile: &AppProfile, cfg: &SimConfig) -> Result<RunResult, Box<RunError>> {
+    Simulation::with_config(profile, cfg).run()
 }
 
 #[cfg(test)]
@@ -287,7 +213,7 @@ mod tests {
     #[test]
     fn quick_run_produces_sane_numbers() {
         let app = AppProfile::by_name("gcc").unwrap();
-        let r = run_app(&app, &SimConfig::quick());
+        let r = Simulation::with_config(&app, &SimConfig::quick()).run_or_panic();
         assert!(r.cycles > 0);
         assert!(r.uops >= SimConfig::quick().measure_uops);
         assert!(r.ipc() > 0.05 && r.ipc() < 4.0, "ipc {}", r.ipc());
@@ -297,8 +223,8 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let app = AppProfile::by_name("x264").unwrap();
-        let a = run_app(&app, &SimConfig::quick());
-        let b = run_app(&app, &SimConfig::quick());
+        let a = Simulation::with_config(&app, &SimConfig::quick()).run_or_panic();
+        let b = Simulation::with_config(&app, &SimConfig::quick()).run_or_panic();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.uops, b.uops);
         assert_eq!(a.mem.loads, b.mem.loads);
@@ -308,7 +234,7 @@ mod tests {
     fn sb_bound_app_shows_sb_stalls_at_small_sb() {
         let app = AppProfile::by_name("bwaves").unwrap();
         let cfg = SimConfig::quick().with_sb(14);
-        let r = run_app(&app, &cfg);
+        let r = Simulation::with_config(&app, &cfg).run_or_panic();
         assert!(
             r.sb_stall_ratio() > 0.02,
             "bwaves at SB14 must be SB-bound, got {}",
@@ -319,13 +245,11 @@ mod tests {
     #[test]
     fn spb_beats_at_commit_on_sb_bound_app_with_small_sb() {
         let app = AppProfile::by_name("x264").unwrap();
-        let base = run_app(&app, &SimConfig::quick().with_sb(14));
-        let spb = run_app(
-            &app,
-            &SimConfig::quick()
-                .with_sb(14)
-                .with_policy(PolicyKind::spb_default()),
-        );
+        let base = Simulation::with_config(&app, &SimConfig::quick().with_sb(14)).run_or_panic();
+        let spb = Simulation::with_config(&app, &SimConfig::quick())
+            .sb_entries(14)
+            .policy(PolicyKind::spb_default())
+            .run_or_panic();
         assert!(
             spb.cycles < base.cycles,
             "SPB {} vs at-commit {}",
@@ -340,7 +264,7 @@ mod tests {
         let mut cfg = SimConfig::quick();
         cfg.warmup_uops = 3_000;
         cfg.measure_uops = 30_000;
-        let r = run_app(&app, &cfg);
+        let r = Simulation::with_config(&app, &cfg).run_or_panic();
         // Eight cores, each committing at least the measure budget.
         assert!(r.uops >= 8 * cfg.measure_uops);
     }
@@ -358,7 +282,7 @@ mod tests {
             ..spb_mem::FaultConfig::none()
         };
         cfg.watchdog_cycles = 5_000;
-        let err = run_app_checked(&app, &cfg).unwrap_err();
+        let err = Simulation::with_config(&app, &cfg).run().unwrap_err();
         assert_eq!(err.violation.kind, InvariantKind::ForwardProgress);
         let msg = err.to_string();
         assert!(msg.contains("gcc"), "names the app: {msg}");
@@ -374,7 +298,9 @@ mod tests {
         let app = AppProfile::by_name("x264").unwrap();
         let mut cfg = SimConfig::quick();
         cfg.mem.fault = spb_mem::FaultConfig::uniform(0.01, 7);
-        let r = run_app_checked(&app, &cfg).expect("faulty run stays coherent");
+        let r = Simulation::with_config(&app, &cfg)
+            .run()
+            .expect("faulty run stays coherent");
         assert!(
             r.mem.faults_dram_spiked > 0,
             "faults actually fired during the run"
@@ -387,8 +313,8 @@ mod tests {
         let mut off = SimConfig::quick();
         off.mem.checker_interval = 0;
         off.watchdog_cycles = 0;
-        let a = run_app(&app, &SimConfig::quick());
-        let b = run_app(&app, &off);
+        let a = Simulation::with_config(&app, &SimConfig::quick()).run_or_panic();
+        let b = Simulation::with_config(&app, &off).run_or_panic();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.uops, b.uops);
         assert_eq!(a.mem, b.mem);
@@ -397,12 +323,25 @@ mod tests {
     #[test]
     fn ideal_policy_reports_1024_entries() {
         let app = AppProfile::by_name("gcc").unwrap();
-        let r = run_app(
-            &app,
-            &SimConfig::quick()
-                .with_sb(14)
-                .with_policy(PolicyKind::IdealSb),
-        );
+        let r = Simulation::with_config(&app, &SimConfig::quick())
+            .sb_entries(14)
+            .policy(PolicyKind::IdealSb)
+            .run_or_panic();
         assert_eq!(r.sb_entries, 1024);
+    }
+
+    /// The deprecated free functions must keep producing the same
+    /// numbers as the builder they wrap.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let app = AppProfile::by_name("gcc").unwrap();
+        let cfg = SimConfig::quick();
+        let wrapped = run_app(&app, &cfg);
+        let direct = Simulation::with_config(&app, &cfg).run_or_panic();
+        assert_eq!(wrapped.cycles, direct.cycles);
+        assert_eq!(wrapped.uops, direct.uops);
+        let checked = run_app_checked(&app, &cfg).unwrap();
+        assert_eq!(checked.cycles, direct.cycles);
     }
 }

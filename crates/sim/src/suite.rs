@@ -6,7 +6,8 @@
 //! (policy, SB size) sweep over a suite and exposes those aggregates.
 
 use crate::config::SimConfig;
-use crate::runner::{run_app, RunResult};
+use crate::runner::RunResult;
+use crate::simulation::Simulation;
 use crate::sweep::{run_cells, SweepOptions};
 use spb_stats::summary::geomean;
 use spb_trace::profile::AppProfile;
@@ -31,8 +32,7 @@ impl SuiteResult {
 
     /// Runs `cfg` over all `apps` with explicit sweep options.
     pub fn run_with(apps: &[AppProfile], cfg: &SimConfig, opts: &SweepOptions) -> Self {
-        let cells: Vec<(&AppProfile, SimConfig)> =
-            apps.iter().map(|a| (a, cfg.clone())).collect();
+        let cells: Vec<(&AppProfile, SimConfig)> = apps.iter().map(|a| (a, cfg.clone())).collect();
         Self {
             runs: run_cells(&cells, opts),
             sb_bound: apps.iter().map(|a| a.is_sb_bound()).collect(),
@@ -42,7 +42,10 @@ impl SuiteResult {
     /// Runs `cfg` over all `apps` one at a time on the calling thread.
     /// Reference path for differential tests of the parallel executor.
     pub fn run_serial(apps: &[AppProfile], cfg: &SimConfig) -> Self {
-        let runs = apps.iter().map(|a| run_app(a, cfg)).collect();
+        let runs = apps
+            .iter()
+            .map(|a| Simulation::with_config(a, cfg).run_or_panic())
+            .collect();
         let sb_bound = apps.iter().map(|a| a.is_sb_bound()).collect();
         Self { runs, sb_bound }
     }

@@ -2,7 +2,7 @@
 //!
 //! Every figure in the paper is a sweep: a list of `(application,
 //! configuration)` cells, each simulated independently. The cells share
-//! no mutable state — [`crate::runner::run_app`] builds its own memory
+//! no mutable state — [`crate::simulation::Simulation`] builds its own memory
 //! system and cores from the immutable profile and config — so they can
 //! fan out across a worker pool with no effect on the simulated
 //! numbers. [`run_cells`] does exactly that on `std::thread::scope`:
@@ -33,7 +33,8 @@
 //! ```
 
 use crate::config::SimConfig;
-use crate::runner::{run_app_checked, RunResult};
+use crate::runner::RunResult;
+use crate::simulation::Simulation;
 use spb_stats::json::Json;
 use spb_trace::profile::AppProfile;
 use std::fmt;
@@ -132,7 +133,11 @@ where
         std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message)
     };
     if jobs <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| run_one(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<R, String>>>> =
@@ -253,7 +258,7 @@ pub fn run_cells_checked(
     let total = cells.len();
     let done = AtomicUsize::new(0);
     let raw = parallel_map_catch(cells, opts.jobs, |_, (app, cfg)| {
-        let res = run_app_checked(app, cfg);
+        let res = Simulation::with_config(app, cfg).run();
         if opts.progress {
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
             match &res {
@@ -413,8 +418,10 @@ impl SweepRecord {
 /// ```
 ///
 /// A sweep with failed cells additionally carries a `"failed"` array of
-/// `{app, policy, sb, reason}` objects; a fully clean report serializes
-/// without the key, byte-identical to the schema above.
+/// `{app, policy, sb, reason}` objects; a report with sweep-level
+/// metrics carries a `"metrics"` object (see
+/// [`spb_obs::MetricsRegistry`]). A fully clean, metrics-less report
+/// serializes without either key, byte-identical to the schema above.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// Report name (becomes the file stem under `results/`).
@@ -425,6 +432,9 @@ pub struct SweepReport {
     /// clean sweep). Kept in the report so `--resume` knows what to
     /// re-run.
     pub failed: Vec<CellFailure>,
+    /// Optional sweep-level metrics (executor counters, host timings),
+    /// serialized as-is under `"metrics"`.
+    pub metrics: Option<Json>,
 }
 
 impl SweepReport {
@@ -434,6 +444,7 @@ impl SweepReport {
             name: name.into(),
             records: runs.iter().map(SweepRecord::from_run).collect(),
             failed: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -447,6 +458,7 @@ impl SweepReport {
             name: name.into(),
             records: Vec::new(),
             failed: Vec::new(),
+            metrics: None,
         };
         for r in results {
             match r {
@@ -481,6 +493,9 @@ impl SweepReport {
                 Json::arr(self.failed.iter().map(CellFailure::to_json)),
             ));
         }
+        if let Some(m) = &self.metrics {
+            pairs.push(("metrics", m.clone()));
+        }
         let v = Json::obj(pairs);
         format!("{v:#}\n")
     }
@@ -513,6 +528,7 @@ impl SweepReport {
             name,
             records,
             failed,
+            metrics: v.get("metrics").cloned(),
         })
     }
 
@@ -600,7 +616,7 @@ mod tests {
         let mut quick = SimConfig::quick();
         quick.warmup_uops = 2_000;
         quick.measure_uops = 10_000;
-        // A structurally invalid config: run_app panics on the zero-entry
+        // A structurally invalid config: the run panics on the zero-entry
         // SB before simulating anything.
         let bad = quick.clone().with_sb(0);
         let cells = vec![(&app, quick.clone()), (&app, bad), (&app, quick.clone())];
@@ -617,7 +633,10 @@ mod tests {
         assert_eq!(report.failed.len(), 1);
         let policy = quick.policy.label();
         assert!(report.has_record("x264", &policy, quick.effective_sb()));
-        assert!(!report.has_record("x264", &policy, 0), "failures don't count");
+        assert!(
+            !report.has_record("x264", &policy, 0),
+            "failures don't count"
+        );
 
         let text = report.to_json_string();
         assert!(text.contains("\"failed\""));
@@ -657,6 +676,7 @@ mod tests {
                 },
             ],
             failed: vec![],
+            metrics: None,
         };
         let text = report.to_json_string();
         assert_eq!(SweepReport::parse(&text).unwrap(), report);
@@ -664,6 +684,35 @@ mod tests {
             !text.contains("failed"),
             "clean reports keep the pre-failure schema: {text}"
         );
+        assert!(
+            !text.contains("metrics"),
+            "metrics-less reports keep the pre-metrics schema: {text}"
+        );
+    }
+
+    #[test]
+    fn report_round_trips_the_metrics_section() {
+        let mut reg = spb_obs::MetricsRegistry::new();
+        reg.component("sweep")
+            .counter("cells", 230)
+            .gauge("wall_ms", 1234.5);
+        let report = SweepReport {
+            name: "with-metrics".into(),
+            records: vec![],
+            failed: vec![],
+            metrics: Some(reg.to_json()),
+        };
+        let text = report.to_json_string();
+        let back = SweepReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        let cells = back
+            .metrics
+            .as_ref()
+            .and_then(|m| m.get("sweep"))
+            .and_then(|c| c.get("counters"))
+            .and_then(|c| c.get("cells"))
+            .and_then(Json::as_u64);
+        assert_eq!(cells, Some(230));
     }
 
     #[test]
@@ -690,6 +739,7 @@ mod tests {
                 wall_ms: 3.5,
             }],
             failed: vec![],
+            metrics: None,
         };
         let path = report.save(&dir).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

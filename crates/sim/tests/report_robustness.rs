@@ -36,6 +36,7 @@ fn sample_text() -> String {
             sb: 1024,
             reason: "panic: \"quoted\" and\nnewlined".into(),
         }],
+        metrics: None,
     }
     .to_json_string()
 }
@@ -46,7 +47,10 @@ fn sample_report_round_trips() {
     let report = SweepReport::parse(&text).expect("sample is valid");
     assert_eq!(report.records.len(), 2);
     assert_eq!(report.failed.len(), 1);
-    assert_eq!(SweepReport::parse(&report.to_json_string()).unwrap(), report);
+    assert_eq!(
+        SweepReport::parse(&report.to_json_string()).unwrap(),
+        report
+    );
 }
 
 #[test]

@@ -55,8 +55,7 @@ fn parallel_suite_equals_serial_across_seeds_and_job_counts() {
         let cfg = small_cfg(seed);
         let serial = SuiteResult::run_serial(&apps(), &cfg);
         for jobs in [1usize, 2, 8] {
-            let parallel =
-                SuiteResult::run_with(&apps(), &cfg, &SweepOptions::with_jobs(jobs));
+            let parallel = SuiteResult::run_with(&apps(), &cfg, &SweepOptions::with_jobs(jobs));
             assert_eq!(parallel.sb_bound, serial.sb_bound);
             assert_eq!(parallel.runs.len(), serial.runs.len());
             for (p, s) in parallel.runs.iter().zip(&serial.runs) {

@@ -55,7 +55,11 @@ pub struct JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -512,16 +516,17 @@ mod tests {
         let v = Json::str("a\"b\\c\nd\té—ü");
         let text = v.to_string();
         assert_eq!(Json::parse(&text).unwrap(), v);
-        assert_eq!(
-            Json::parse(r#""Aé""#).unwrap(),
-            Json::str("Aé")
-        );
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::str("Aé"));
     }
 
     #[test]
     fn accessors_navigate_objects() {
         let v = Json::parse(r#"{"a": {"b": [1, 2.5, "s"]}}"#).unwrap();
-        let arr = v.get("a").and_then(|a| a.get("b")).and_then(Json::as_arr).unwrap();
+        let arr = v
+            .get("a")
+            .and_then(|a| a.get("b"))
+            .and_then(Json::as_arr)
+            .unwrap();
         assert_eq!(arr[0].as_u64(), Some(1));
         assert_eq!(arr[1].as_f64(), Some(2.5));
         assert_eq!(arr[2].as_str(), Some("s"));
@@ -532,8 +537,16 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",
-            "1 2", "[1 2]", "nulll",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "[1 2]",
+            "nulll",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }

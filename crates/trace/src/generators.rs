@@ -19,8 +19,8 @@
 
 use crate::op::{MicroOp, OpKind};
 use crate::region::CodeRegion;
-use crate::TraceSource;
 use crate::rng::TraceRng;
+use crate::TraceSource;
 
 /// Well-predicted loop-branch misprediction rate.
 const LOOP_BRANCH_MISS_RATE: f64 = 0.0005;

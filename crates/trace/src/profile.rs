@@ -105,22 +105,23 @@ impl AppProfile {
     }
 
     /// The full SPEC CPU 2017 suite (23 applications).
+    ///
+    /// Convenience for [`AppCatalog::standard`]`().suite(Suite::Spec2017)`.
     pub fn spec2017() -> Vec<AppProfile> {
-        spec2017_profiles()
+        AppCatalog::standard().suite(Suite::Spec2017)
     }
 
     /// The SB-bound subset of SPEC CPU 2017, in the paper's order.
     pub fn spec2017_sb_bound() -> Vec<AppProfile> {
-        Self::spec2017()
-            .into_iter()
-            .filter(|p| p.sb_bound)
-            .collect()
+        AppCatalog::standard().sb_bound(Suite::Spec2017)
     }
 
     /// The PARSEC suite (11 applications; `freqmine` and `raytrace` are
     /// excluded exactly as in the paper).
+    ///
+    /// Convenience for [`AppCatalog::standard`]`().suite(Suite::Parsec)`.
     pub fn parsec() -> Vec<AppProfile> {
-        parsec_profiles()
+        AppCatalog::standard().suite(Suite::Parsec)
     }
 
     /// Looks up a profile by name in both suites.
@@ -132,18 +133,90 @@ impl AppProfile {
     /// `.unwrap()`/`?` give a usable diagnostic instead of a bare
     /// `None`).
     pub fn by_name(name: &str) -> Result<AppProfile, UnknownApp> {
-        Self::spec2017()
-            .into_iter()
-            .chain(Self::parsec())
+        AppCatalog::standard().by_name(name).cloned()
+    }
+}
+
+/// The catalog of every synthetic application, with suite grouping.
+///
+/// Owns the iteration and lookup that used to be scattered across
+/// hard-coded lists: CLI commands, suite runners and experiment
+/// regenerators all pull their application sets from here, so the one
+/// place that knows which applications exist — and which of them the
+/// paper calls SB-bound — is this type. [`AppProfile::spec2017`],
+/// [`AppProfile::parsec`] and [`AppProfile::by_name`] remain as thin
+/// conveniences over [`AppCatalog::standard`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppCatalog {
+    apps: Vec<AppProfile>,
+}
+
+impl AppCatalog {
+    /// The paper's evaluation set: SPEC CPU 2017 followed by PARSEC,
+    /// each in the paper's figure order.
+    pub fn standard() -> Self {
+        let mut apps = spec2017_profiles();
+        apps.extend(parsec_profiles());
+        Self { apps }
+    }
+
+    /// A catalog over a custom application set (for experiments that
+    /// mix their own profiles with the standard ones).
+    pub fn from_apps(apps: Vec<AppProfile>) -> Self {
+        Self { apps }
+    }
+
+    /// Every application, SPEC first, in figure order.
+    pub fn all(&self) -> &[AppProfile] {
+        &self.apps
+    }
+
+    /// The applications of one suite, in figure order.
+    pub fn suite(&self, suite: Suite) -> Vec<AppProfile> {
+        self.apps
+            .iter()
+            .filter(|p| p.suite() == suite)
+            .cloned()
+            .collect()
+    }
+
+    /// Resolves a user-facing suite name (`"spec"`, `"spec2017"`,
+    /// `"parsec"`) to its applications; `None` for unknown names.
+    pub fn suite_named(&self, name: &str) -> Option<Vec<AppProfile>> {
+        match name {
+            "spec" | "spec2017" => Some(self.suite(Suite::Spec2017)),
+            "parsec" => Some(self.suite(Suite::Parsec)),
+            _ => None,
+        }
+    }
+
+    /// The SB-bound subset of one suite, in figure order.
+    pub fn sb_bound(&self, suite: Suite) -> Vec<AppProfile> {
+        self.apps
+            .iter()
+            .filter(|p| p.suite() == suite && p.is_sb_bound())
+            .cloned()
+            .collect()
+    }
+
+    /// Looks an application up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`UnknownApp`] listing every valid name.
+    pub fn by_name(&self, name: &str) -> Result<&AppProfile, UnknownApp> {
+        self.apps
+            .iter()
             .find(|p| p.name == name)
             .ok_or_else(|| UnknownApp {
                 name: name.to_string(),
-                valid: Self::spec2017()
-                    .iter()
-                    .chain(Self::parsec().iter())
-                    .map(|p| p.name.clone())
-                    .collect(),
+                valid: self.names().iter().map(ToString::to_string).collect(),
             })
+    }
+
+    /// Every application name, in catalog order.
+    pub fn names(&self) -> Vec<&str> {
+        self.apps.iter().map(|p| p.name.as_str()).collect()
     }
 }
 
@@ -1010,5 +1083,54 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_profile_rejected() {
         let _ = AppProfile::new("empty", Suite::Spec2017, false, 1, vec![]);
+    }
+
+    #[test]
+    fn catalog_groups_suites_and_resolves_names() {
+        let catalog = AppCatalog::standard();
+        assert_eq!(catalog.suite(Suite::Spec2017).len(), 23);
+        assert_eq!(catalog.suite(Suite::Parsec).len(), 11);
+        assert_eq!(
+            catalog.all().len(),
+            catalog.suite(Suite::Spec2017).len() + catalog.suite(Suite::Parsec).len()
+        );
+        assert_eq!(
+            catalog.suite_named("spec").unwrap(),
+            catalog.suite_named("spec2017").unwrap()
+        );
+        assert!(catalog.suite_named("splash").is_none());
+        assert_eq!(catalog.by_name("x264").unwrap().name(), "x264");
+        let err = catalog.by_name("quake").unwrap_err();
+        assert!(err.to_string().contains("valid names"));
+        // The paper's SB-bound SPEC set, in order.
+        let sb: Vec<_> = catalog
+            .sb_bound(Suite::Spec2017)
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        assert_eq!(
+            sb,
+            [
+                "bwaves",
+                "cactuBSSN",
+                "x264",
+                "blender",
+                "cam4",
+                "deepsjeng",
+                "fotonik3d",
+                "roms"
+            ]
+        );
+    }
+
+    #[test]
+    fn app_profile_conveniences_delegate_to_the_catalog() {
+        let catalog = AppCatalog::standard();
+        assert_eq!(AppProfile::spec2017(), catalog.suite(Suite::Spec2017));
+        assert_eq!(AppProfile::parsec(), catalog.suite(Suite::Parsec));
+        assert_eq!(
+            AppProfile::spec2017_sb_bound(),
+            catalog.sb_bound(Suite::Spec2017)
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
-use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::sim::Simulation;
 use store_prefetch_burst::trace::generators::ComputeParams;
 use store_prefetch_burst::trace::phased::PhaseSpec;
 use store_prefetch_burst::trace::profile::{AppProfile, Suite};
@@ -56,7 +56,7 @@ fn main() {
     println!("custom 'logwriter' workload, 14-entry SB:\n");
     for policy in [PolicyKind::AtCommit, PolicyKind::spb_default()] {
         let cfg = SimConfig::quick().with_sb(14).with_policy(policy);
-        let r = run_app(&profile, &cfg);
+        let r = Simulation::with_config(&profile, &cfg).run_or_panic();
         println!(
             "{:>10}: {} cycles, IPC {:.3}, SB stalls {:.1}%",
             r.policy,

@@ -12,7 +12,7 @@
 
 use store_prefetch_burst::mem::prefetch::PrefetcherKind;
 use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
-use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::sim::Simulation;
 use store_prefetch_burst::stats::Table;
 use store_prefetch_burst::trace::profile::AppProfile;
 
@@ -32,8 +32,10 @@ fn main() {
     ] {
         let mut cfg = SimConfig::quick().with_sb(14);
         cfg.mem.prefetcher = pk;
-        let ac = run_app(&app, &cfg);
-        let spb = run_app(&app, &cfg.clone().with_policy(PolicyKind::spb_default()));
+        let ac = Simulation::with_config(&app, &cfg).run_or_panic();
+        let spb =
+            Simulation::with_config(&app, &cfg.clone().with_policy(PolicyKind::spb_default()))
+                .run_or_panic();
         table.push_row(name, &[ac.cycles as f64, spb.cycles as f64]);
     }
     table.set_precision(0);

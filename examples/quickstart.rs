@@ -6,7 +6,7 @@
 //! ```
 
 use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
-use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::sim::Simulation;
 use store_prefetch_burst::stats::Table;
 use store_prefetch_burst::trace::profile::AppProfile;
 
@@ -35,7 +35,8 @@ fn main() {
     );
     let mut baseline_cycles = None;
     for policy in policies {
-        let result = run_app(&app, &base.clone().with_policy(policy));
+        let result =
+            Simulation::with_config(&app, &base.clone().with_policy(policy)).run_or_panic();
         if policy == PolicyKind::AtCommit {
             baseline_cycles = Some(result.cycles);
         }
@@ -55,7 +56,9 @@ fn main() {
     println!("{table}");
 
     if let Some(base_cycles) = baseline_cycles {
-        let spb = run_app(&app, &base.clone().with_policy(PolicyKind::spb_default()));
+        let spb =
+            Simulation::with_config(&app, &base.clone().with_policy(PolicyKind::spb_default()))
+                .run_or_panic();
         println!(
             "SPB speedup over at-commit: {:.1}%",
             (base_cycles as f64 / spb.cycles as f64 - 1.0) * 100.0

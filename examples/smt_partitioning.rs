@@ -10,7 +10,7 @@
 //! ```
 
 use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
-use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::sim::Simulation;
 use store_prefetch_burst::stats::{summary::geomean, Table};
 use store_prefetch_burst::trace::profile::AppProfile;
 
@@ -30,7 +30,11 @@ fn main() {
     let quick = SimConfig::quick();
     let ideal: Vec<u64> = apps
         .iter()
-        .map(|a| run_app(a, &quick.clone().with_policy(PolicyKind::IdealSb)).cycles)
+        .map(|a| {
+            Simulation::with_config(a, &quick.clone().with_policy(PolicyKind::IdealSb))
+                .run_or_panic()
+                .cycles
+        })
         .collect();
 
     for (smt, sb) in [
@@ -44,7 +48,9 @@ fn main() {
                 .iter()
                 .zip(&ideal)
                 .map(|(a, &ideal_cycles)| {
-                    let r = run_app(a, &quick.clone().with_sb(sb).with_policy(policy));
+                    let r =
+                        Simulation::with_config(a, &quick.clone().with_sb(sb).with_policy(policy))
+                            .run_or_panic();
                     ideal_cycles as f64 / r.cycles as f64
                 })
                 .collect();

@@ -22,14 +22,15 @@
 //! Run a store-bursty application at a small SB with and without SPB:
 //!
 //! ```
-//! use store_prefetch_burst::sim::{config::{PolicyKind, SimConfig}, run_app};
+//! use store_prefetch_burst::sim::{PolicyKind, SimConfig, Simulation};
 //! use store_prefetch_burst::trace::profile::AppProfile;
 //!
 //! let app = AppProfile::by_name("x264").expect("suite app");
-//! let mut cfg = SimConfig::quick().with_sb(14);
-//! let baseline = run_app(&app, &cfg);
-//! cfg = cfg.with_policy(PolicyKind::spb_default());
-//! let spb = run_app(&app, &cfg);
+//! let cfg = SimConfig::quick().with_sb(14);
+//! let baseline = Simulation::with_config(&app, &cfg).run_or_panic();
+//! let spb = Simulation::with_config(&app, &cfg)
+//!     .policy(PolicyKind::spb_default())
+//!     .run_or_panic();
 //! assert!(spb.cycles < baseline.cycles, "SPB speeds up store bursts");
 //! ```
 //!

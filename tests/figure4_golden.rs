@@ -59,7 +59,7 @@ fn figure4_protocol_sequence() {
 
     // …and the burst floods the L1 controller with GetPFx requests for
     // blocks 0x080.. — all fresh ownership prefetches.
-    mem.enqueue_burst(0, burst.blocks());
+    mem.enqueue_burst(0, burst.blocks(), 0);
     let mut issued = 0;
     let mut now = 9;
     while mem.burst_queue_len(0) > 0 {

@@ -2,7 +2,7 @@
 //! budgets (the full budgets are exercised by `spb-experiments`).
 
 use store_prefetch_burst::sim::config::{PolicyKind, SimConfig};
-use store_prefetch_burst::sim::run_app;
+use store_prefetch_burst::sim::Simulation;
 use store_prefetch_burst::stats::summary::geomean;
 use store_prefetch_burst::trace::profile::AppProfile;
 
@@ -20,7 +20,11 @@ fn sb_bound() -> Vec<AppProfile> {
 fn policy_ordering_at_sb14() {
     let app = AppProfile::by_name("x264").unwrap();
     let cfg = SimConfig::quick().with_sb(14);
-    let cycles = |p: PolicyKind| run_app(&app, &cfg.clone().with_policy(p)).cycles;
+    let cycles = |p: PolicyKind| {
+        Simulation::with_config(&app, &cfg.clone().with_policy(p))
+            .run_or_panic()
+            .cycles
+    };
     let none = cycles(PolicyKind::None);
     let at_commit = cycles(PolicyKind::AtCommit);
     let spb = cycles(PolicyKind::spb_default());
@@ -41,7 +45,11 @@ fn policy_ordering_at_sb14() {
 #[test]
 fn sb_stalls_monotone_in_sb_size() {
     for app in sb_bound() {
-        let stall = |sb: usize| run_app(&app, &SimConfig::quick().with_sb(sb)).sb_stall_ratio();
+        let stall = |sb: usize| {
+            Simulation::with_config(&app, &SimConfig::quick().with_sb(sb))
+                .run_or_panic()
+                .sb_stall_ratio()
+        };
         let (s14, s28, s56) = (stall(14), stall(28), stall(56));
         assert!(
             s14 > s28 && s28 > s56,
@@ -59,13 +67,14 @@ fn sb20_with_spb_matches_sb56_at_commit() {
     let speedups: Vec<f64> = apps
         .iter()
         .map(|app| {
-            let base = run_app(app, &SimConfig::quick().with_sb(56));
-            let spb20 = run_app(
+            let base = Simulation::with_config(app, &SimConfig::quick().with_sb(56)).run_or_panic();
+            let spb20 = Simulation::with_config(
                 app,
                 &SimConfig::quick()
                     .with_sb(20)
                     .with_policy(PolicyKind::spb_default()),
-            );
+            )
+            .run_or_panic();
             base.cycles as f64 / spb20.cycles as f64
         })
         .collect();
@@ -82,13 +91,14 @@ fn sb20_with_spb_matches_sb56_at_commit() {
 fn spb_is_neutral_on_non_bursty_apps() {
     for name in ["mcf", "povray", "leela"] {
         let app = AppProfile::by_name(name).unwrap();
-        let base = run_app(&app, &SimConfig::quick().with_sb(56));
-        let spb = run_app(
+        let base = Simulation::with_config(&app, &SimConfig::quick().with_sb(56)).run_or_panic();
+        let spb = Simulation::with_config(
             &app,
             &SimConfig::quick()
                 .with_sb(56)
                 .with_policy(PolicyKind::spb_default()),
-        );
+        )
+        .run_or_panic();
         let ratio = spb.cycles as f64 / base.cycles as f64;
         assert!(
             (0.99..=1.01).contains(&ratio),
@@ -104,8 +114,9 @@ fn spb_success_rate_beats_at_commit() {
     use store_prefetch_burst::mem::RfoOrigin;
     let app = AppProfile::by_name("bwaves").unwrap();
     let cfg = SimConfig::quick().with_sb(56);
-    let ac = run_app(&app, &cfg);
-    let spb = run_app(&app, &cfg.clone().with_policy(PolicyKind::spb_default()));
+    let ac = Simulation::with_config(&app, &cfg).run_or_panic();
+    let spb = Simulation::with_config(&app, &cfg.clone().with_policy(PolicyKind::spb_default()))
+        .run_or_panic();
     let rate = |r: &store_prefetch_burst::sim::RunResult, o: RfoOrigin| {
         let i = o.index();
         let classified = r.mem.prefetch_successful[i]
@@ -130,8 +141,10 @@ fn at_commit_beats_no_prefetching_noticeably() {
     let speedups: Vec<f64> = apps
         .iter()
         .map(|app| {
-            let none = run_app(app, &SimConfig::quick().with_policy(PolicyKind::None));
-            let ac = run_app(app, &SimConfig::quick());
+            let none =
+                Simulation::with_config(app, &SimConfig::quick().with_policy(PolicyKind::None))
+                    .run_or_panic();
+            let ac = Simulation::with_config(app, &SimConfig::quick()).run_or_panic();
             none.cycles as f64 / ac.cycles as f64
         })
         .collect();
