@@ -1,6 +1,6 @@
 //! Command execution for `spbsim`.
 
-use crate::{find_app, CliError, Command, RunOpts};
+use crate::{find_app, CliError, Command, RunOpts, VerifyCmd};
 use spb_sim::config::SimConfig;
 use spb_sim::suite::SuiteResult;
 use spb_sim::sweep::{run_cells_checked, SweepRecord, SweepReport};
@@ -39,6 +39,51 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
         } => sweep(&app, &sbs, &policies, &cfg, chart, resume),
         Command::Trace { app, cfg, out } => trace_cmd(&app, &cfg, &out),
         Command::Experiment { name, quick } => experiment(&name, quick),
+        Command::Verify(v) => verify(v),
+    }
+}
+
+/// `spbsim verify fuzz` / `spbsim verify oracle`.
+fn verify(cmd: VerifyCmd) -> Result<(), CliError> {
+    match cmd {
+        VerifyCmd::Fuzz { config, count } => match spb_verify::run_seeds(&config, count) {
+            Ok(s) => {
+                println!(
+                    "fuzz: {count} seed(s) from {} clean — {} steps, {} loads, {} drains, \
+                     {} prefetches, {} bursts, {} cycles, 0 violations",
+                    config.seed, s.steps, s.loads, s.drains, s.prefetches, s.bursts, s.cycles
+                );
+                Ok(())
+            }
+            Err(f) => Err(CliError(format!("{f}"))),
+        },
+        VerifyCmd::Oracle { app, cfg } => {
+            let profile = find_app(&app)?;
+            let sim_cfg = cfg.to_sim_config();
+            match spb_verify::check_app(&profile, &sim_cfg) {
+                Ok(out) => {
+                    let totals = out.oracle.measured_totals();
+                    println!(
+                        "oracle: {} / {} / sb={} agrees — {} µops ({} stores, {} loads, \
+                         {} branches) exactly as replayed, {} drains over {} blocks within \
+                         bounds, cycles {} ≥ lower bound {}",
+                        out.run.app,
+                        out.run.policy,
+                        out.run.sb_entries,
+                        out.run.uops,
+                        totals.stores,
+                        totals.loads,
+                        totals.branches,
+                        out.drains,
+                        out.blocks,
+                        out.run.cycles,
+                        out.oracle.min_cycles,
+                    );
+                    Ok(())
+                }
+                Err(f) => Err(CliError(format!("{f}"))),
+            }
+        }
     }
 }
 
@@ -467,5 +512,67 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown experiment"));
+    }
+
+    #[test]
+    fn unknown_experiment_error_lists_valid_choices() {
+        let err = execute(Command::Experiment {
+            name: "fig99".into(),
+            quick: true,
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        for id in ["fig05", "tab1", "variance"] {
+            assert!(msg.contains(id), "error {msg:?} does not offer {id}");
+        }
+    }
+
+    #[test]
+    fn unknown_app_error_lists_valid_choices() {
+        let err = execute(Command::Run {
+            app: "quake".into(),
+            cfg: RunOpts::default(),
+            chart: false,
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        for name in ["x264", "bwaves", "dedup"] {
+            assert!(msg.contains(name), "error {msg:?} does not offer {name}");
+        }
+        // Same for the verify oracle path.
+        let err = execute(Command::Verify(VerifyCmd::Oracle {
+            app: "quake".into(),
+            cfg: RunOpts::default(),
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("x264"));
+    }
+
+    #[test]
+    fn verify_fuzz_runs_a_clean_seed_and_reports_a_mutated_one() {
+        let clean = spb_verify::FuzzConfig {
+            seed: 5,
+            steps: 256,
+            ..spb_verify::FuzzConfig::default()
+        };
+        assert!(execute(Command::Verify(VerifyCmd::Fuzz {
+            config: clean,
+            count: 1,
+        }))
+        .is_ok());
+
+        let mutated = spb_verify::FuzzConfig {
+            mutate_at: Some(64),
+            steps: 1_024,
+            ..clean
+        };
+        let err = execute(Command::Verify(VerifyCmd::Fuzz {
+            config: mutated,
+            count: 1,
+        }))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("replay: spbsim verify fuzz"), "{msg}");
+        assert!(msg.contains("--mutate-at 64"), "{msg}");
     }
 }

@@ -119,8 +119,31 @@ pub enum Command {
         /// Use the quick budget.
         quick: bool,
     },
+    /// Replay coherence-fuzzer schedules (`verify fuzz`) or diff one
+    /// application against the executable oracles (`verify oracle`).
+    Verify(VerifyCmd),
     /// Print usage.
     Help,
+}
+
+/// The `verify` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyCmd {
+    /// Run (or replay) interleaving-fuzzer schedules.
+    Fuzz {
+        /// Base schedule; failures print a replay command with these
+        /// exact parameters.
+        config: spb_verify::FuzzConfig,
+        /// Consecutive seeds to run starting at `config.seed`.
+        count: u64,
+    },
+    /// Differential check of one application against the oracles.
+    Oracle {
+        /// Application name.
+        app: String,
+        /// Run configuration.
+        cfg: RunOpts,
+    },
 }
 
 /// Options shared by run-like commands.
@@ -490,6 +513,71 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let quick = it.any(|a| a == "--quick");
             Ok(Command::Experiment { name, quick })
         }
+        "verify" => match it.next() {
+            Some("fuzz") => {
+                let mut config = spb_verify::FuzzConfig::default();
+                let mut count = 1u64;
+                while let Some(a) = it.next() {
+                    let parse_num = |flag: &str, v: &str| -> Result<u64, CliError> {
+                        v.parse()
+                            .map_err(|_| CliError(format!("{flag} expects a number, got {v:?}")))
+                    };
+                    match a {
+                        "--seed" => {
+                            config.seed = parse_num("--seed", take_value("--seed", &mut it)?)?
+                        }
+                        "--steps" => {
+                            config.steps =
+                                parse_num("--steps", take_value("--steps", &mut it)?)? as u32;
+                        }
+                        "--cores" => {
+                            let v = take_value("--cores", &mut it)?;
+                            config.cores = v
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&c| (1..=8).contains(&c))
+                                .ok_or_else(|| {
+                                    CliError(format!("--cores expects 1..=8, got {v:?}"))
+                                })?;
+                        }
+                        "--fault-rate-e4" => {
+                            config.fault_rate_e4 = parse_num(
+                                "--fault-rate-e4",
+                                take_value("--fault-rate-e4", &mut it)?,
+                            )? as u32;
+                        }
+                        "--mutate-at" => {
+                            config.mutate_at = Some(parse_num(
+                                "--mutate-at",
+                                take_value("--mutate-at", &mut it)?,
+                            )? as u32);
+                        }
+                        "--count" => count = parse_num("--count", take_value("--count", &mut it)?)?,
+                        other => return Err(CliError(format!("unknown argument {other:?}"))),
+                    }
+                }
+                Ok(Command::Verify(VerifyCmd::Fuzz { config, count }))
+            }
+            Some("oracle") => {
+                let mut opts = RunOpts::default();
+                let mut app = None;
+                let rest = parse_run_opts(&mut it, &mut opts)?;
+                let mut rest_it = rest.iter();
+                while let Some(a) = rest_it.next() {
+                    match a.as_str() {
+                        "--app" => app = rest_it.next().cloned(),
+                        other => return Err(CliError(format!("unknown argument {other:?}"))),
+                    }
+                }
+                Ok(Command::Verify(VerifyCmd::Oracle {
+                    app: app.ok_or_else(|| CliError("verify oracle requires --app NAME".into()))?,
+                    cfg: opts,
+                }))
+            }
+            other => Err(CliError(format!(
+                "verify requires a subcommand: fuzz | oracle (got {other:?})"
+            ))),
+        },
         other => Err(CliError(format!(
             "unknown command {other:?}; try `spbsim help`"
         ))),
@@ -515,6 +603,10 @@ USAGE:
   spbsim sweep --app NAME [--sb 14,20,28,56] [--policy at-commit,spb] [--chart] [--resume]
   spbsim trace --app NAME [--out trace.json] [opts]   export a Chrome trace of a run
   spbsim experiment NAME [--quick]              regenerate a paper experiment
+  spbsim verify fuzz [--seed N] [--steps M] [--cores 1..8] [--count K]
+                     [--fault-rate-e4 R] [--mutate-at S]
+                                                run/replay coherence-fuzzer schedules
+  spbsim verify oracle --app NAME [opts]        diff one run against the oracles
 
 RUN OPTIONS:
   --policy none|at-execute|at-commit|spb|spb-dynamic|ideal   (default at-commit)
@@ -721,5 +813,86 @@ mod tests {
     fn bad_numbers_are_reported() {
         assert!(parse(["run", "--app", "x", "--sb", "lots"]).is_err());
         assert!(parse(["record", "--app", "x", "--ops", "many", "--out", "f"]).is_err());
+    }
+
+    #[test]
+    fn malformed_fault_rate_and_jobs_fail_without_panicking() {
+        // Each of these must come back as Err (→ exit 2 in main), and
+        // the message must name the offending flag.
+        for bad in [
+            vec!["run", "--app", "gcc", "--fault-rate", "abc"],
+            vec!["run", "--app", "gcc", "--fault-rate", "-0.5"],
+            vec!["run", "--app", "gcc", "--fault-rate", "2.0"],
+            vec!["run", "--app", "gcc", "--jobs", "many"],
+            vec!["run", "--app", "gcc", "--jobs", "-3"],
+            vec!["sweep", "--app", "x264", "--fault-rate", "nope"],
+            vec!["sweep", "--app", "x264", "--jobs", "0.5"],
+        ] {
+            let flag = bad[3];
+            let err = parse(bad.clone()).expect_err(&format!("{bad:?} must fail"));
+            assert!(
+                err.to_string().contains(flag.trim_start_matches('-')),
+                "error {err} does not name {flag}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_verify_fuzz_roundtrip() {
+        let cmd = parse([
+            "verify",
+            "fuzz",
+            "--seed",
+            "7",
+            "--steps",
+            "512",
+            "--cores",
+            "2",
+            "--fault-rate-e4",
+            "250",
+            "--mutate-at",
+            "100",
+            "--count",
+            "4",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Verify(VerifyCmd::Fuzz { config, count }) => {
+                assert_eq!(config.seed, 7);
+                assert_eq!(config.steps, 512);
+                assert_eq!(config.cores, 2);
+                assert_eq!(config.fault_rate_e4, 250);
+                assert_eq!(config.mutate_at, Some(100));
+                assert_eq!(count, 4);
+                // The failure-replay string round-trips through the parser.
+                let replay = config.repro();
+                let args: Vec<&str> = replay.split_whitespace().skip(1).collect();
+                match parse(args).unwrap() {
+                    Command::Verify(VerifyCmd::Fuzz { config: c2, .. }) => {
+                        assert_eq!(c2, config)
+                    }
+                    other => panic!("replay parsed as {other:?}"),
+                }
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_error_paths_fail_cleanly() {
+        assert!(parse(["verify"]).is_err());
+        assert!(parse(["verify", "shake"]).is_err());
+        assert!(parse(["verify", "fuzz", "--cores", "0"]).is_err());
+        assert!(parse(["verify", "fuzz", "--cores", "9"]).is_err());
+        assert!(parse(["verify", "fuzz", "--steps", "lots"]).is_err());
+        assert!(parse(["verify", "oracle"]).is_err());
+        let cmd = parse(["verify", "oracle", "--app", "x264", "--sb", "14"]).unwrap();
+        match cmd {
+            Command::Verify(VerifyCmd::Oracle { app, cfg }) => {
+                assert_eq!(app, "x264");
+                assert_eq!(cfg.sb, 14);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 }

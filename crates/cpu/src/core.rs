@@ -787,6 +787,55 @@ mod tests {
         assert_eq!(core.committed_uops(), 0);
         assert_eq!(core.topdown().cycles(), 0);
     }
+
+    /// The contract the `spb-verify` oracles rest on: commit is in
+    /// order and wrong-path µops are synthesized, so the committed µop
+    /// stream is *exactly* a prefix of the trace — replaying the same
+    /// workload predicts the per-kind committed counts bit-exactly.
+    #[test]
+    fn committed_stream_is_exactly_a_trace_prefix() {
+        let specs = vec![
+            PhaseSpec::Memset {
+                bytes: 2048,
+                region: CodeRegion::Memset,
+                footprint_pages: 8,
+            },
+            PhaseSpec::Compute(ComputeParams {
+                count: 300,
+                ..Default::default()
+            }),
+            PhaseSpec::PointerChase {
+                count: 40,
+                pool_pages: 4,
+            },
+        ];
+        let trace = PhasedWorkload::new(specs.clone(), 11);
+        let mut core = Core::new(
+            0,
+            CoreConfig::skylake(),
+            Box::new(trace),
+            Box::new(AtCommitPolicy::new()),
+        );
+        let mut m = mem();
+        let _ = core.run_until_committed(&mut m, 5_000);
+        let n = core.committed_uops();
+        assert!(n >= 5_000);
+        // Replay the same workload: committed per-kind counts must equal
+        // the counts over exactly the first `n` trace entries.
+        let mut reference = PhasedWorkload::new(specs, 11);
+        let (mut stores, mut loads, mut branches) = (0u64, 0u64, 0u64);
+        for _ in 0..n {
+            match reference.next_op().unwrap().kind() {
+                OpKind::Store { .. } => stores += 1,
+                OpKind::Load { .. } => loads += 1,
+                OpKind::Branch { .. } => branches += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(core.stats().committed_stores, stores);
+        assert_eq!(core.stats().committed_loads, loads);
+        assert_eq!(core.stats().committed_branches, branches);
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! at the end of the store's life; SPB bursts run a page ahead and reach
 //! 45–50% success on SB-bound applications.
 
+use crate::grid::Grid;
 use crate::Budget;
 use spb_mem::RfoOrigin;
 use spb_sim::config::PolicyKind;
@@ -38,9 +39,8 @@ fn fractions(r: &RunResult, origins: &[RfoOrigin]) -> [f64; 4] {
     ]
 }
 
-/// Runs the experiment at `budget` (SB56, the default configuration).
-pub fn run(budget: Budget) -> Vec<Table> {
-    let cfg = budget.sim_config();
+/// Builds the table from matched per-app at-commit and SPB runs (SB56).
+fn tables_from_runs(apps: &[AppProfile], ac: &[RunResult], spb: &[RunResult]) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 11 — store-prefetch outcome fractions at L1D (SB56; ac = at-commit, spb = SPB policy)",
         &[
@@ -48,20 +48,13 @@ pub fn run(budget: Budget) -> Vec<Table> {
             "spb never",
         ],
     );
-    let apps = AppProfile::spec2017();
     let mut all_rows: Vec<[f64; 8]> = Vec::new();
     let mut bound_rows: Vec<[f64; 8]> = Vec::new();
-    for app in &apps {
-        let ac = spb_sim::Simulation::with_config(app, &cfg).run_or_panic();
-        let spb = spb_sim::Simulation::with_config(
-            app,
-            &cfg.clone().with_policy(PolicyKind::spb_default()),
-        )
-        .run_or_panic();
-        let f_ac = fractions(&ac, &[RfoOrigin::AtCommit]);
+    for (a, app) in apps.iter().enumerate() {
+        let f_ac = fractions(&ac[a], &[RfoOrigin::AtCommit]);
         // The SPB policy's prefetching is its bursts plus the underlying
         // per-store at-commit requests.
-        let f_spb = fractions(&spb, &[RfoOrigin::SpbBurst, RfoOrigin::AtCommit]);
+        let f_spb = fractions(&spb[a], &[RfoOrigin::SpbBurst, RfoOrigin::AtCommit]);
         let row = [
             f_ac[0], f_ac[1], f_ac[2], f_ac[3], f_spb[0], f_spb[1], f_spb[2], f_spb[3],
         ];
@@ -78,4 +71,31 @@ pub fn run(budget: Budget) -> Vec<Table> {
     t.push_row("SB-BOUND", &bound);
     t.push_row("ALL", &all);
     vec![t]
+}
+
+/// Re-renders the figure from the shared grid's SB56 column (at-commit
+/// and SPB views).
+pub fn tables_from_grid(grid: &Grid) -> Vec<Table> {
+    tables_from_runs(&grid.apps, &grid.at(1, 2).runs, &grid.at(2, 2).runs)
+}
+
+/// Runs the experiment at `budget` (SB56, the default configuration).
+pub fn run(budget: Budget) -> Vec<Table> {
+    let cfg = budget.sim_config();
+    let apps = AppProfile::spec2017();
+    let ac: Vec<RunResult> = apps
+        .iter()
+        .map(|app| spb_sim::Simulation::with_config(app, &cfg).run_or_panic())
+        .collect();
+    let spb: Vec<RunResult> = apps
+        .iter()
+        .map(|app| {
+            spb_sim::Simulation::with_config(
+                app,
+                &cfg.clone().with_policy(PolicyKind::spb_default()),
+            )
+            .run_or_panic()
+        })
+        .collect();
+    tables_from_runs(&apps, &ac, &spb)
 }

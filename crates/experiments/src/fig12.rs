@@ -6,9 +6,11 @@
 //! adds modest traffic (a few percent overall; 8–19% REQ for SB-bound
 //! apps) because it is only enabled on detected bursts.
 
+use crate::grid::Grid;
 use crate::Budget;
 use spb_mem::RfoOrigin;
 use spb_sim::config::PolicyKind;
+use spb_sim::RunResult;
 use spb_stats::summary::geomean;
 use spb_stats::Table;
 use spb_trace::profile::AppProfile;
@@ -30,9 +32,12 @@ fn store_prefetch_traffic(r: &spb_sim::RunResult) -> (u64, u64) {
     (req, miss)
 }
 
-/// Runs the experiment at `budget` (SB56).
-pub fn run(budget: Budget) -> Vec<Table> {
-    let cfg = budget.sim_config();
+/// Builds the table from matched per-app at-commit and SPB runs (SB56).
+fn tables_from_runs(
+    apps: &[AppProfile],
+    ac_runs: &[RunResult],
+    spb_runs: &[RunResult],
+) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 12 — SPB prefetch traffic normalized to at-commit (SB56)",
         &["REQ", "MISS"],
@@ -41,15 +46,9 @@ pub fn run(budget: Budget) -> Vec<Table> {
     let mut all_miss = Vec::new();
     let mut bound_req = Vec::new();
     let mut bound_miss = Vec::new();
-    for app in AppProfile::spec2017() {
-        let ac = spb_sim::Simulation::with_config(&app, &cfg).run_or_panic();
-        let spb = spb_sim::Simulation::with_config(
-            &app,
-            &cfg.clone().with_policy(PolicyKind::spb_default()),
-        )
-        .run_or_panic();
-        let (req_ac, miss_ac) = store_prefetch_traffic(&ac);
-        let (req_spb, miss_spb) = store_prefetch_traffic(&spb);
+    for (a, app) in apps.iter().enumerate() {
+        let (req_ac, miss_ac) = store_prefetch_traffic(&ac_runs[a]);
+        let (req_spb, miss_spb) = store_prefetch_traffic(&spb_runs[a]);
         if req_ac < 100 {
             // Effectively store-free application: a traffic *ratio* is
             // meaningless noise, skip it (matches the paper's plotting
@@ -73,4 +72,31 @@ pub fn run(budget: Budget) -> Vec<Table> {
     t.push_row("SB-BOUND", &[geomean(&bound_req), geomean(&bound_miss)]);
     t.push_row("ALL", &[geomean(&all_req), geomean(&all_miss)]);
     vec![t]
+}
+
+/// Re-renders the figure from the shared grid's SB56 column (at-commit
+/// and SPB views).
+pub fn tables_from_grid(grid: &Grid) -> Vec<Table> {
+    tables_from_runs(&grid.apps, &grid.at(1, 2).runs, &grid.at(2, 2).runs)
+}
+
+/// Runs the experiment at `budget` (SB56).
+pub fn run(budget: Budget) -> Vec<Table> {
+    let cfg = budget.sim_config();
+    let apps = AppProfile::spec2017();
+    let ac: Vec<RunResult> = apps
+        .iter()
+        .map(|app| spb_sim::Simulation::with_config(app, &cfg).run_or_panic())
+        .collect();
+    let spb: Vec<RunResult> = apps
+        .iter()
+        .map(|app| {
+            spb_sim::Simulation::with_config(
+                app,
+                &cfg.clone().with_policy(PolicyKind::spb_default()),
+            )
+            .run_or_panic()
+        })
+        .collect();
+    tables_from_runs(&apps, &ac, &spb)
 }

@@ -73,7 +73,7 @@ pub const REGISTRY: &[FigureDef] = &[
         title: "Figure 3",
         claim: "where the stores causing SB-induced stalls live",
         aliases: &["fig3"],
-        from_grid: None,
+        from_grid: Some(crate::fig03::tables_from_grid),
         run: crate::fig03::run,
     },
     FigureDef {
@@ -129,7 +129,7 @@ pub const REGISTRY: &[FigureDef] = &[
         title: "Figure 11",
         claim: "breakdown of store-prefetch outcomes at the L1D",
         aliases: &[],
-        from_grid: None,
+        from_grid: Some(crate::fig11::tables_from_grid),
         run: crate::fig11::run,
     },
     FigureDef {
@@ -137,7 +137,7 @@ pub const REGISTRY: &[FigureDef] = &[
         title: "Figure 12",
         claim: "prefetch traffic of SPB normalized to at-commit",
         aliases: &[],
-        from_grid: None,
+        from_grid: Some(crate::fig12::tables_from_grid),
         run: crate::fig12::run,
     },
     FigureDef {
@@ -285,5 +285,35 @@ mod tests {
         assert_eq!(REGISTRY.first().unwrap().id, "tab1");
         assert_eq!(REGISTRY.last().unwrap().id, "variance");
         assert_eq!(REGISTRY.len(), 24);
+    }
+
+    #[test]
+    fn titles_and_claims_are_unique_and_nonempty() {
+        let mut titles = std::collections::HashSet::new();
+        let mut claims = std::collections::HashSet::new();
+        for d in REGISTRY {
+            assert!(!d.title.is_empty() && !d.claim.is_empty(), "{}", d.id);
+            assert!(titles.insert(d.title), "duplicate title {}", d.title);
+            assert!(claims.insert(d.claim), "duplicate claim for {}", d.id);
+        }
+    }
+
+    #[test]
+    fn every_grid_projection_is_registered_for_a_grid_figure() {
+        // The figures known to be pure projections of the main SPEC
+        // grid must expose `from_grid`, so `all` never re-simulates
+        // them. (Registry says 13 of 24 artifacts reuse the grid.)
+        let with_grid: Vec<&str> = REGISTRY
+            .iter()
+            .filter(|d| d.from_grid.is_some())
+            .map(|d| d.id)
+            .collect();
+        for id in [
+            "fig01", "fig03", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15",
+        ] {
+            assert!(with_grid.contains(&id), "{id} should project from the grid");
+        }
+        assert_eq!(with_grid.len(), 13);
     }
 }

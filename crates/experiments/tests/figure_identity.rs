@@ -1,0 +1,86 @@
+//! Grid-projection identity: a figure rendered from the shared sweep
+//! grid must be bit-identical to one rendered from dedicated,
+//! serially-computed simulator runs of the same cells.
+//!
+//! This is what licenses the `all` binary's central optimization —
+//! computing the SPEC grid once and projecting 13 figures out of it
+//! instead of re-simulating each. If sweep parallelism, cell ordering,
+//! or config assembly ever perturbed a run, these tables would diverge.
+
+use spb_experiments::grid::{policies, Grid, SB_SIZES};
+use spb_experiments::{fig03, fig11, fig12, Budget};
+use spb_sim::config::PolicyKind;
+use spb_sim::suite::SuiteResult;
+use spb_sim::Simulation;
+use spb_trace::profile::AppProfile;
+
+/// Hand-assembles a [`Grid`] whose at-commit/SB56 and SPB/SB56 cells
+/// (the only ones fig03/fig11/fig12 project) come from direct serial
+/// runs. Unused cells stay empty — a projection touching one would
+/// panic, which is itself part of the check.
+fn direct_grid(apps: &[AppProfile], budget: Budget) -> Grid {
+    let base = budget.sim_config();
+    let sb_bound: Vec<bool> = apps.iter().map(AppProfile::is_sb_bound).collect();
+    let suite_for = |cfg: &spb_sim::SimConfig| SuiteResult {
+        runs: apps
+            .iter()
+            .map(|a| Simulation::with_config(a, cfg).run_or_panic())
+            .collect(),
+        sb_bound: sb_bound.clone(),
+    };
+    let empty = SuiteResult {
+        runs: Vec::new(),
+        sb_bound: Vec::new(),
+    };
+    let mut results: Vec<Vec<SuiteResult>> = policies()
+        .iter()
+        .map(|_| SB_SIZES.iter().map(|_| empty.clone()).collect())
+        .collect();
+    // at(1, 2) = at-commit @ SB56; at(2, 2) = SPB @ SB56 — assembled
+    // exactly the way Grid::compute_with assembles its configs.
+    results[1][2] = suite_for(&base.clone().with_sb(56).with_policy(PolicyKind::AtCommit));
+    results[2][2] = suite_for(
+        &base
+            .clone()
+            .with_sb(56)
+            .with_policy(PolicyKind::spb_default()),
+    );
+    Grid {
+        apps: apps.to_vec(),
+        ideal: empty,
+        results,
+    }
+}
+
+#[test]
+fn fig03_fig11_fig12_from_grid_match_direct_recompute() {
+    let apps: Vec<AppProfile> = ["x264", "povray"]
+        .iter()
+        .map(|n| AppProfile::by_name(n).unwrap())
+        .collect();
+    let swept = Grid::compute(apps.clone(), Budget::Quick);
+    let direct = direct_grid(&apps, Budget::Quick);
+
+    assert_eq!(
+        fig03::tables_from_grid(&swept),
+        fig03::tables_from_grid(&direct),
+        "fig03 projection diverges from direct recompute"
+    );
+    assert_eq!(
+        fig11::tables_from_grid(&swept),
+        fig11::tables_from_grid(&direct),
+        "fig11 projection diverges from direct recompute"
+    );
+    assert_eq!(
+        fig12::tables_from_grid(&swept),
+        fig12::tables_from_grid(&direct),
+        "fig12 projection diverges from direct recompute"
+    );
+
+    // The projected tables have real content: one per-app row per
+    // SB-bound app for fig03, per-app + 2 summary rows for fig11/12.
+    let t3 = &fig03::tables_from_grid(&swept)[0];
+    assert_eq!(t3.len(), 1, "one SB-bound app row in this mini-suite");
+    let t11 = &fig11::tables_from_grid(&swept)[0];
+    assert_eq!(t11.len(), 1 + 2, "SB-bound row + SB-BOUND + ALL");
+}

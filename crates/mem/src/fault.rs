@@ -290,6 +290,40 @@ mod tests {
     }
 
     #[test]
+    fn identical_configs_give_identical_plans() {
+        // Two plans built from the same config must agree decision for
+        // decision under an arbitrary interleaving of all four fault
+        // sites — the property resumable sweeps and the fuzzer rely on.
+        let mut a = FaultPlan::new(FaultConfig::uniform(0.3, 77));
+        let mut b = FaultPlan::new(FaultConfig::uniform(0.3, 77));
+        for i in 0..512 {
+            match i % 4 {
+                0 => assert_eq!(a.ack_delay(), b.ack_delay()),
+                1 => assert_eq!(a.dram_spike(), b.dram_spike()),
+                2 => assert_eq!(a.mshr_exhausted(), b.mshr_exhausted()),
+                _ => assert_eq!(a.drop_burst_block(), b.drop_burst_block()),
+            }
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert_ne!(
+            a.counts(),
+            FaultCounts::default(),
+            "the plan actually fired"
+        );
+    }
+
+    #[test]
+    fn seed_and_rate_both_shape_the_plan() {
+        let stream = |rate: f64, seed: u64| -> Vec<bool> {
+            let mut p = FaultPlan::new(FaultConfig::uniform(rate, seed));
+            (0..256).map(|_| p.mshr_exhausted()).collect()
+        };
+        assert_eq!(stream(0.4, 21), stream(0.4, 21));
+        assert_ne!(stream(0.4, 21), stream(0.4, 22), "seed changes the plan");
+        assert_ne!(stream(0.4, 21), stream(0.9, 21), "rate changes the plan");
+    }
+
+    #[test]
     fn reset_counts_keeps_the_stream_position() {
         let mut p = FaultPlan::new(FaultConfig::uniform(0.5, 5));
         let mut q = FaultPlan::new(FaultConfig::uniform(0.5, 5));

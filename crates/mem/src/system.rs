@@ -427,6 +427,31 @@ impl MemorySystem {
         self.pending_violation.take()
     }
 
+    /// Test-only protocol mutation: makes the directory forget the owner
+    /// of one stable, writable L1 line — the "lost owner" class of
+    /// coherence bug (a dropped invalidation ack in a real protocol).
+    /// Returns the corrupted block, or `None` if no core currently holds
+    /// a stable owned line. `spb-verify` uses this to demonstrate that
+    /// the invariant checker and the interleaving fuzzer actually catch
+    /// seeded protocol bugs; it must never be called outside tests.
+    #[doc(hidden)]
+    pub fn seed_lost_owner_mutation(&mut self, now: u64) -> Option<u64> {
+        let mut found: Option<(u8, u64)> = None;
+        for (i, c) in self.cores.iter().enumerate() {
+            if let Some(line) = c.l1.iter_valid().find(|l| {
+                l.ready <= now
+                    && l.state.writable()
+                    && self.directory.entry(l.block) == Some(DirEntry::Owned { owner: i as u8 })
+            }) {
+                found = Some((i as u8, line.block));
+                break;
+            }
+        }
+        let (owner, block) = found?;
+        self.directory.evicted(owner, block);
+        Some(block)
+    }
+
     fn violation(
         &self,
         kind: InvariantKind,

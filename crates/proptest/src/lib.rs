@@ -17,7 +17,7 @@
 //!   same inputs. Failures are therefore always reproducible.
 
 use std::ops::{Range, RangeInclusive};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Number of generated cases per property unless overridden with
 /// `#![proptest_config(ProptestConfig::with_cases(n))]`.
@@ -261,8 +261,27 @@ pub mod collection {
     }
 }
 
-/// Runs `f` once per case with a deterministic per-case RNG; on panic,
-/// reports the case index and seed before propagating the failure.
+/// Best-effort extraction of the human-readable message from a panic
+/// payload (`assert!` and `panic!` produce `String` or `&'static str`).
+#[doc(hidden)]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+        .unwrap_or("<non-string panic payload>")
+}
+
+/// Runs `f` once per case with a deterministic per-case RNG.
+///
+/// On panic the failure is re-raised with the property name, failing
+/// case index, and case seed *in the panic message itself*, so a CI log
+/// that captures nothing but the panic is enough to reproduce: seed a
+/// [`TestRng::seed_from_u64`] with the printed seed and re-run the body.
+///
+/// # Panics
+///
+/// Panics if any case's body panics.
 pub fn run_cases<F: FnMut(&mut TestRng)>(config: ProptestConfig, name: &str, mut f: F) {
     // FNV-1a over the test name so each property explores its own space.
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -275,8 +294,11 @@ pub fn run_cases<F: FnMut(&mut TestRng)>(config: ProptestConfig, name: &str, mut
         let mut rng = TestRng::seed_from_u64(seed);
         let result = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
         if let Err(payload) = result {
-            eprintln!("proptest: property {name:?} failed at case {case} (seed {seed:#x})");
-            resume_unwind(payload);
+            panic!(
+                "property {name:?} failed at case {case} of {} (seed {seed:#x}): {}",
+                config.cases,
+                panic_message(payload.as_ref()),
+            );
         }
     }
 }
@@ -313,8 +335,12 @@ macro_rules! __proptest_impl {
                         ::std::panic::AssertUnwindSafe(move || $body),
                     );
                     if let Err(payload) = __outcome {
-                        eprintln!("proptest: failing inputs: {__case}");
-                        ::std::panic::resume_unwind(payload);
+                        // Fold the generated inputs into the payload so the
+                        // outer `run_cases` panic carries inputs + seed.
+                        ::std::panic::panic_any(format!(
+                            "failing inputs {__case}: {}",
+                            $crate::panic_message(payload.as_ref()),
+                        ));
                     }
                 });
             }
@@ -392,5 +418,63 @@ mod tests {
                 prop_assert!(e < 7, "element {e} escaped range");
             }
         }
+    }
+
+    /// A failing property's panic message alone must be enough to
+    /// reproduce it: it names the property, the failing case index, and
+    /// the case seed, plus the assertion's own message.
+    #[test]
+    fn failure_panic_message_carries_seed_and_case() {
+        let payload = std::panic::catch_unwind(|| {
+            crate::run_cases(ProptestConfig::with_cases(16), "demo_property", |rng| {
+                let v = rng.below(1000);
+                assert!(v % 7 != 3, "value {v} hit the bad residue");
+            });
+        })
+        .expect_err("the property must fail within 16 cases");
+        let msg = crate::panic_message(payload.as_ref()).to_string();
+        assert!(
+            msg.contains("demo_property"),
+            "panic names the property: {msg}"
+        );
+        assert!(
+            msg.contains("failed at case "),
+            "panic carries the case index: {msg}"
+        );
+        assert!(msg.contains("seed 0x"), "panic carries the seed: {msg}");
+        assert!(
+            msg.contains("bad residue"),
+            "panic keeps the original assertion message: {msg}"
+        );
+        // The printed seed really reproduces the failure.
+        let seed_hex = msg
+            .split("seed 0x")
+            .nth(1)
+            .and_then(|s| s.split(')').next())
+            .expect("seed parses back out of the message");
+        let seed = u64::from_str_radix(seed_hex, 16).expect("hex seed");
+        let mut rng = TestRng::seed_from_u64(seed);
+        assert_eq!(rng.below(1000) % 7, 3, "replaying the seed re-fails");
+    }
+
+    /// The macro path folds the generated inputs into the panic message.
+    #[test]
+    fn macro_failure_reports_inputs_in_panic() {
+        proptest! {
+            fn inner_always_fails(x in 10u64..20) {
+                prop_assert!(x < 10, "x was {x}");
+            }
+        }
+        let payload =
+            std::panic::catch_unwind(inner_always_fails).expect_err("property always fails");
+        let msg = crate::panic_message(payload.as_ref()).to_string();
+        assert!(
+            msg.contains("failing inputs (x = "),
+            "inputs appear in the panic: {msg}"
+        );
+        assert!(
+            msg.contains("inner_always_fails"),
+            "property name appears: {msg}"
+        );
     }
 }

@@ -49,6 +49,6 @@ pub mod sweep;
 pub use config::{PolicyKind, SimConfig};
 #[allow(deprecated)]
 pub use runner::{run_app, run_app_checked};
-pub use runner::{RunError, RunResult};
+pub use runner::{CoreWindow, RunError, RunResult};
 pub use simulation::Simulation;
 pub use sweep::{CellFailure, SweepOptions, SweepReport};

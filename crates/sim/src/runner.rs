@@ -16,6 +16,38 @@ use spb_stats::{Histogram, TopDown};
 use spb_trace::profile::AppProfile;
 use std::fmt;
 
+/// Per-core commit accounting for one run.
+///
+/// Commit is in order and wrong-path µops are synthesized (they never
+/// consume trace entries), so core `c`'s committed µop stream is exactly
+/// the first `warmup_uops + uops` entries of its trace. That makes these
+/// counters an exact replay recipe: an in-order model walking the same
+/// [`spb_trace::PhasedWorkload`] predicts the committed store/load/
+/// branch counts of the measured window — the contract the `spb-verify`
+/// differential oracles check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreWindow {
+    /// µops committed during warm-up (≥ the warm-up target; the
+    /// lock-step loop can overshoot by up to the commit width, and fast
+    /// cores keep committing while the slowest catches up).
+    pub warmup_uops: u64,
+    /// µops committed during the measured window.
+    pub uops: u64,
+    /// Stores committed during the measured window.
+    pub stores: u64,
+    /// Loads committed during the measured window.
+    pub loads: u64,
+    /// Branches committed during the measured window.
+    pub branches: u64,
+}
+
+impl CoreWindow {
+    /// Total trace entries this core consumed through end of measure.
+    pub fn trace_len(&self) -> u64 {
+        self.warmup_uops + self.uops
+    }
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -35,6 +67,9 @@ pub struct RunResult {
     pub cpu: CpuStats,
     /// Memory-system counters (finalized).
     pub mem: MemStats,
+    /// Per-core commit windows (one entry per hardware thread), the
+    /// replay recipe consumed by the `spb-verify` oracles.
+    pub per_core: Vec<CoreWindow>,
     /// Post-commit SB residency distribution, merged over cores.
     pub sb_residency: Histogram,
     /// SPB burst-length distribution at the L1 controller.
@@ -339,9 +374,19 @@ mod tests {
         let cfg = SimConfig::quick();
         let wrapped = run_app(&app, &cfg);
         let direct = Simulation::with_config(&app, &cfg).run_or_panic();
+        // Bit-identical, not merely cycle-identical: the wrappers are
+        // pure sugar over the builder, so every counter must agree.
         assert_eq!(wrapped.cycles, direct.cycles);
         assert_eq!(wrapped.uops, direct.uops);
+        assert_eq!(wrapped.cpu, direct.cpu);
+        assert_eq!(wrapped.mem, direct.mem);
+        assert_eq!(wrapped.per_core, direct.per_core);
+        assert_eq!(wrapped.sb_residency, direct.sb_residency);
         let checked = run_app_checked(&app, &cfg).unwrap();
         assert_eq!(checked.cycles, direct.cycles);
+        assert_eq!(checked.cpu, direct.cpu);
+        assert_eq!(checked.mem, direct.mem);
+        assert_eq!(checked.per_core, direct.per_core);
+        assert_eq!(checked.sb_residency, direct.sb_residency);
     }
 }

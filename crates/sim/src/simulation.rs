@@ -177,6 +177,9 @@ impl Simulation {
             cfg.watchdog_cycles,
         )
         .map_err(fail)?;
+        // Trace position at the measure boundary: commit is in order, so
+        // each core has consumed exactly this many trace entries.
+        let warmup_committed: Vec<u64> = cores.iter().map(|c| c.committed_uops()).collect();
         for core in &mut cores {
             core.reset_stats();
         }
@@ -213,11 +216,19 @@ impl Simulation {
         let mut cpu = CpuStats::default();
         let mut uops = 0;
         let mut sb_residency = Histogram::new("sb_residency_cycles", 16, 64);
-        for core in &cores {
+        let mut per_core = Vec::with_capacity(cores.len());
+        for (core, &warmup) in cores.iter().zip(&warmup_committed) {
             topdown.merge(core.topdown());
             merge_cpu_stats(&mut cpu, core.stats());
             sb_residency.merge(core.sb_residency());
             uops += core.committed_uops();
+            per_core.push(crate::runner::CoreWindow {
+                warmup_uops: warmup,
+                uops: core.committed_uops(),
+                stores: core.stats().committed_stores,
+                loads: core.stats().committed_loads,
+                branches: core.stats().committed_branches,
+            });
         }
 
         let mem_stats = mem.stats().clone();
@@ -243,6 +254,7 @@ impl Simulation {
             topdown,
             cpu,
             mem: mem_stats,
+            per_core,
             sb_residency,
             burst_lengths,
             energy,

@@ -1,0 +1,312 @@
+//! The differential driver: run the real simulator, diff it against the
+//! reference oracles.
+//!
+//! One [`check_app`] call runs an application under a full
+//! [`spb_sim::Simulation`] with an event collector attached, replays the
+//! same workload through the [`crate::oracle`] models, and verifies:
+//!
+//! 1. **Committed µop mix (exact):** the merged and per-core committed
+//!    store/load/branch counts of the measured window equal the in-order
+//!    replay of each core's trace slice.
+//! 2. **Cycle lower bound:** measured cycles ≥ the commit-width bound.
+//! 3. **Store-performed stream:** every `StorePerformed` coherence event
+//!    names a (core, block) pair the oracle's flat memory allows; no
+//!    (core, block) drains more often than the trace stores to it; each
+//!    core drains at least `stores − SB capacity` of its committed
+//!    stores (nothing is lost); and the measured-window event count
+//!    equals `MemStats::stores_performed` bit-exactly.
+//! 4. **Memory image:** blocks with a unique writer in the flat memory
+//!    are only ever drained by that writer (single-writer, end to end).
+//!
+//! Any mismatch is collected into a [`DiffFailure`] that names the run
+//! and every failed check, so a CI log identifies the regression without
+//! re-running anything.
+
+use crate::oracle::{predict, OraclePrediction};
+use spb_obs::{CoherenceKind, Collector, Event, EventKind, Phase};
+use spb_sim::{RunResult, SimConfig, Simulation};
+use spb_trace::profile::AppProfile;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A successful differential check, with enough detail for smoke-test
+/// reporting.
+#[derive(Debug)]
+pub struct DiffOutcome {
+    /// The simulator run that was checked.
+    pub run: RunResult,
+    /// The oracle prediction it was checked against.
+    pub oracle: OraclePrediction,
+    /// `StorePerformed` events observed (warm-up + measure).
+    pub drains: u64,
+    /// Distinct blocks drained.
+    pub blocks: usize,
+    /// `StorePerformed` counts keyed by `(core, block)` — the run's
+    /// full drained-store stream, for cross-run comparisons.
+    pub drained: HashMap<(u8, u64), u64>,
+}
+
+/// A differential check that found at least one disagreement between
+/// the simulator and an oracle (or a run that aborted outright).
+#[derive(Debug, Clone)]
+pub struct DiffFailure {
+    /// Application name.
+    pub app: String,
+    /// Policy label.
+    pub policy: String,
+    /// Effective SB entries.
+    pub sb_entries: usize,
+    /// Every failed check, human-readable.
+    pub mismatches: Vec<String>,
+}
+
+impl fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "differential check failed [{} / {} / sb={}]:",
+            self.app, self.policy, self.sb_entries
+        )?;
+        for m in &self.mismatches {
+            writeln!(f, "  - {m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DiffFailure {}
+
+/// Runs `app` under `cfg` and diffs the run against the oracles.
+///
+/// # Errors
+///
+/// Returns a [`DiffFailure`] listing every disagreement, or the run's
+/// own abort diagnostic if the simulator did not complete.
+///
+/// # Panics
+///
+/// Panics if the configuration is structurally invalid (zero queues).
+pub fn check_app(app: &AppProfile, cfg: &SimConfig) -> Result<DiffOutcome, Box<DiffFailure>> {
+    let fail = |mismatches: Vec<String>| {
+        Box::new(DiffFailure {
+            app: app.name().to_string(),
+            policy: cfg.policy.label(),
+            sb_entries: cfg.effective_sb(),
+            mismatches,
+        })
+    };
+    let collector = Collector::new();
+    let run = Simulation::with_config(app, cfg)
+        .observer(collector.observer())
+        .run()
+        .map_err(|e| fail(vec![format!("run aborted: {e}")]))?;
+    let events = collector.take();
+    let oracle = predict(app, cfg.seed, &run.per_core, cfg.core.commit_width);
+
+    let mut mismatches = Vec::new();
+    check_commit_counts(&run, &oracle, &mut mismatches);
+    check_cycle_bound(&run, &oracle, &mut mismatches);
+    let drained = check_store_stream(cfg, &run, &oracle, &events, &mut mismatches);
+
+    if mismatches.is_empty() {
+        let blocks = drained
+            .keys()
+            .map(|&(_, b)| b)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        Ok(DiffOutcome {
+            drains: drained.values().sum(),
+            blocks,
+            run,
+            oracle,
+            drained,
+        })
+    } else {
+        Err(fail(mismatches))
+    }
+}
+
+/// Exact committed-count agreement, merged and per core.
+fn check_commit_counts(run: &RunResult, oracle: &OraclePrediction, out: &mut Vec<String>) {
+    let totals = oracle.measured_totals();
+    if run.uops != totals.uops {
+        out.push(format!(
+            "committed µops: simulator {} vs oracle {}",
+            run.uops, totals.uops
+        ));
+    }
+    for (what, sim, orc) in [
+        ("stores", run.cpu.committed_stores, totals.stores),
+        ("loads", run.cpu.committed_loads, totals.loads),
+        ("branches", run.cpu.committed_branches, totals.branches),
+    ] {
+        if sim != orc {
+            out.push(format!("committed {what}: simulator {sim} vs oracle {orc}"));
+        }
+    }
+    for (c, (w, p)) in run.per_core.iter().zip(&oracle.per_core).enumerate() {
+        for (what, sim, orc) in [
+            ("stores", w.stores, p.measured.stores),
+            ("loads", w.loads, p.measured.loads),
+            ("branches", w.branches, p.measured.branches),
+        ] {
+            if sim != orc {
+                out.push(format!(
+                    "core {c} committed {what}: simulator {sim} vs oracle {orc}"
+                ));
+            }
+        }
+    }
+}
+
+/// Measured cycles can never undercut the commit-width bound.
+fn check_cycle_bound(run: &RunResult, oracle: &OraclePrediction, out: &mut Vec<String>) {
+    if run.cycles < oracle.min_cycles {
+        out.push(format!(
+            "cycles {} below the in-order commit-width lower bound {}",
+            run.cycles, oracle.min_cycles
+        ));
+    }
+}
+
+/// Diffs the `StorePerformed` event stream against the flat memory.
+fn check_store_stream(
+    cfg: &SimConfig,
+    run: &RunResult,
+    oracle: &OraclePrediction,
+    events: &[Event],
+    out: &mut Vec<String>,
+) -> HashMap<(u8, u64), u64> {
+    let measure_start = events
+        .iter()
+        .find(|e| e.kind == EventKind::PhaseBegin(Phase::Measure))
+        .map(|e| e.cycle);
+    let mut drains: HashMap<(u8, u64), u64> = HashMap::new();
+    let mut measured_drains = 0u64;
+    for e in events {
+        if let EventKind::Coherence {
+            block,
+            kind: CoherenceKind::StorePerformed,
+        } = e.kind
+        {
+            *drains.entry((e.core, block)).or_insert(0) += 1;
+            if measure_start.is_some_and(|m| e.cycle >= m) {
+                measured_drains += 1;
+            }
+        }
+    }
+
+    // Observability agrees with the stats counter, bit-exactly.
+    if measured_drains != run.mem.stores_performed {
+        out.push(format!(
+            "measured StorePerformed events {} vs MemStats::stores_performed {}",
+            measured_drains, run.mem.stores_performed
+        ));
+    }
+
+    let mut per_core_drains = vec![0u64; oracle.per_core.len()];
+    for (&(core, block), &n) in &drains {
+        let Some(p) = oracle.per_core.get(core as usize) else {
+            out.push(format!("drain on core {core}, beyond the thread count"));
+            continue;
+        };
+        per_core_drains[core as usize] += n;
+        match p.store_blocks.get(&block) {
+            None => out.push(format!(
+                "core {core} drained block {block:#x}, which its trace never stores to"
+            )),
+            Some(&max) if n > max => out.push(format!(
+                "core {core} drained block {block:#x} {n} times, trace stores only {max}"
+            )),
+            _ => {}
+        }
+        if let Some(img) = oracle.image.get(&block) {
+            if let Some(w) = img.unique_writer {
+                if w != core {
+                    out.push(format!(
+                        "block {block:#x} drained by core {core} but owned by writer {w} \
+                         in the flat memory image"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Nothing lost: every committed store either drained or still sits
+    // in the (bounded) store buffer. Coalescing merges drains, so the
+    // tight bound only holds with it off (the paper's default).
+    if !cfg.core.coalescing {
+        let sb = cfg.effective_sb() as u64;
+        for (c, p) in oracle.per_core.iter().enumerate() {
+            let drained = per_core_drains[c];
+            if drained + sb < p.total_stores {
+                out.push(format!(
+                    "core {c} committed {} stores but drained only {drained} \
+                     (> {sb} unaccounted — stores lost)",
+                    p.total_stores
+                ));
+            }
+            if drained > p.total_stores {
+                out.push(format!(
+                    "core {c} drained {drained} stores but its trace prefix commits only {}",
+                    p.total_stores
+                ));
+            }
+        }
+    }
+
+    drains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spb_sim::PolicyKind;
+
+    fn small() -> SimConfig {
+        let mut cfg = SimConfig::quick();
+        cfg.warmup_uops = 8_000;
+        cfg.measure_uops = 60_000;
+        cfg
+    }
+
+    #[test]
+    fn spec_app_agrees_with_the_oracles_under_spb() {
+        let app = AppProfile::by_name("x264").unwrap();
+        let cfg = small().with_sb(14).with_policy(PolicyKind::spb_default());
+        let out = check_app(&app, &cfg).expect("differential check passes");
+        assert!(out.drains > 0, "the run drained stores");
+        assert!(out.blocks > 1);
+    }
+
+    #[test]
+    fn parsec_app_agrees_with_the_oracles() {
+        let app = AppProfile::by_name("dedup").unwrap();
+        let mut cfg = small().with_sb(14);
+        cfg.warmup_uops = 2_000;
+        cfg.measure_uops = 12_000;
+        let out = check_app(&app, &cfg).expect("differential check passes");
+        assert_eq!(out.run.per_core.len(), 8);
+    }
+
+    #[test]
+    fn a_corrupted_committed_count_is_caught() {
+        // Sanity for the checker itself: perturb the window the oracle
+        // replays and the diff must light up.
+        let app = AppProfile::by_name("gcc").unwrap();
+        let cfg = small();
+        let collector = Collector::new();
+        let mut run = Simulation::with_config(&app, &cfg)
+            .observer(collector.observer())
+            .run()
+            .unwrap();
+        run.per_core[0].warmup_uops += 1; // off-by-one replay window
+        let oracle = predict(&app, cfg.seed, &run.per_core, cfg.core.commit_width);
+        let mut mismatches = Vec::new();
+        check_commit_counts(&run, &oracle, &mut mismatches);
+        assert!(
+            !mismatches.is_empty(),
+            "a shifted window must desynchronize the committed counts"
+        );
+    }
+}

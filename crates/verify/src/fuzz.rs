@@ -1,0 +1,404 @@
+//! A seeded coherence interleaving fuzzer for [`spb_mem::MemorySystem`].
+//!
+//! The fuzzer bypasses the CPU model entirely and drives the memory
+//! system's public API — loads, store drains, RFO prefetches from every
+//! origin, SPB page bursts, and time advances — in a pseudo-random but
+//! fully deterministic interleaving derived from a single seed. A pool
+//! of *shared* blocks (fought over by every core) and *private* blocks
+//! (per core) steers the schedule toward the interesting coherence
+//! traffic: invalidations, ownership downgrades, remote forwards, and
+//! racing RFOs.
+//!
+//! After **every** step the full coherence invariant checker runs
+//! ([`spb_mem::MemorySystem::check_invariants`]), and a thorough sweep
+//! ([`spb_mem::MemorySystem::check_invariants_thorough`]) closes the
+//! run. A bounded [`FaultConfig`] can be layered on top, and
+//! [`FuzzConfig::mutate_at`] arms a test-only "lost directory owner"
+//! protocol mutation mid-run to prove the checker actually bites.
+//!
+//! Failures are deterministic: a [`FuzzFailure`] carries the seed and
+//! step, [`minimize`] shrinks the schedule to (near-)minimal length,
+//! and `spbsim verify fuzz --seed N --steps M` replays it exactly.
+
+use spb_mem::{FaultConfig, MemoryConfig, MemorySystem, RfoOrigin};
+use std::fmt;
+
+/// Blocks in the contended pool that every core touches.
+const SHARED_BLOCKS: u64 = 24;
+/// Private blocks per core.
+const PRIVATE_BLOCKS: u64 = 24;
+/// Base block of the shared pool (arbitrary, away from zero).
+const SHARED_BASE: u64 = 0x4000;
+/// Base block of core `c`'s private pool: `PRIVATE_BASE + c * 0x1000`.
+const PRIVATE_BASE: u64 = 0x8000;
+
+/// One fuzzing schedule, fully determined by its fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Seed for the action/operand stream.
+    pub seed: u64,
+    /// Number of scheduler steps.
+    pub steps: u32,
+    /// Cores in the memory system.
+    pub cores: usize,
+    /// Uniform fault rate in 1e-4 units (0 disables fault injection;
+    /// e.g. `250` = 2.5 % per fault site). Kept integral so the config
+    /// stays `Eq` and bit-replayable.
+    pub fault_rate_e4: u32,
+    /// Arm the test-only "lost directory owner" protocol mutation at
+    /// this step, if set. Kept as an absolute step (not a fraction of
+    /// `steps`) so that shrinking the schedule replays the same prefix.
+    pub mutate_at: Option<u32>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 1,
+            steps: 2_048,
+            cores: 4,
+            fault_rate_e4: 0,
+            mutate_at: None,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The exact CLI invocation that replays this schedule.
+    pub fn repro(&self) -> String {
+        let mut s = format!(
+            "spbsim verify fuzz --seed {} --steps {} --cores {}",
+            self.seed, self.steps, self.cores
+        );
+        if self.fault_rate_e4 > 0 {
+            s.push_str(&format!(" --fault-rate-e4 {}", self.fault_rate_e4));
+        }
+        if let Some(at) = self.mutate_at {
+            s.push_str(&format!(" --mutate-at {at}"));
+        }
+        s
+    }
+}
+
+/// Counters for one completed (violation-free) fuzz run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzStats {
+    /// Steps executed.
+    pub steps: u32,
+    /// Demand loads issued.
+    pub loads: u64,
+    /// Store drains attempted.
+    pub drains: u64,
+    /// RFO prefetches issued (all origins).
+    pub prefetches: u64,
+    /// Page bursts enqueued.
+    pub bursts: u64,
+    /// Cycles advanced.
+    pub cycles: u64,
+}
+
+impl FuzzStats {
+    /// Merge another run's counters into this one.
+    pub fn absorb(&mut self, other: &FuzzStats) {
+        self.steps += other.steps;
+        self.loads += other.loads;
+        self.drains += other.drains;
+        self.prefetches += other.prefetches;
+        self.bursts += other.bursts;
+        self.cycles += other.cycles;
+    }
+}
+
+/// A coherence invariant violation found by the fuzzer, with everything
+/// needed to replay it.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The schedule that failed.
+    pub config: FuzzConfig,
+    /// Step at which the violation was detected (== `config.steps` when
+    /// only the closing thorough sweep caught it).
+    pub step: u32,
+    /// Human-readable violation report from the checker.
+    pub violation: String,
+    /// Smallest failing step count found by [`minimize`], if it ran.
+    pub minimized_steps: Option<u32>,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "coherence violation at step {} of seed {:#x}:",
+            self.step, self.config.seed
+        )?;
+        writeln!(f, "  {}", self.violation)?;
+        if let Some(n) = self.minimized_steps {
+            let short = FuzzConfig {
+                steps: n,
+                ..self.config
+            };
+            writeln!(f, "  minimized to {n} steps")?;
+            writeln!(f, "  replay: {}", short.repro())?;
+        } else {
+            writeln!(f, "  replay: {}", self.config.repro())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FuzzFailure {}
+
+/// splitmix64 — the same generator family the fault plan uses, seeded
+/// independently per run.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635_16f9_a3c1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Runs one fuzzing schedule to completion.
+///
+/// # Errors
+///
+/// Returns a [`FuzzFailure`] (without minimization — see [`minimize`])
+/// if any step trips the coherence invariant checker, if the memory
+/// system's own periodic checker latched a violation, or if the closing
+/// thorough sweep fails.
+///
+/// # Panics
+///
+/// Panics if `config.cores` is zero.
+pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
+    assert!(config.cores > 0, "fuzzing needs at least one core");
+    let mem_cfg = MemoryConfig {
+        cores: config.cores,
+        // The schedule checks invariants after every step itself; the
+        // periodic checker stays on as a belt-and-braces latch.
+        checker_interval: 1_024,
+        fault: if config.fault_rate_e4 > 0 {
+            FaultConfig::uniform(
+                f64::from(config.fault_rate_e4) / 10_000.0,
+                config.seed ^ 0xFA17,
+            )
+        } else {
+            FaultConfig::none()
+        },
+        ..MemoryConfig::default()
+    };
+    let mut mem = MemorySystem::new(mem_cfg);
+    let mut rng = Rng::new(config.seed);
+    let mut stats = FuzzStats::default();
+    let mut now = 0u64;
+    let mut mutation_armed = false;
+    mem.tick(now);
+
+    for step in 0..config.steps {
+        // Arm at the first step >= mutate_at where a stable writable
+        // line exists (early on, every line is still in flight).
+        if !mutation_armed && config.mutate_at.is_some_and(|at| step >= at) {
+            mutation_armed = mem.seed_lost_owner_mutation(now).is_some();
+        }
+        let core = rng.below(config.cores as u64) as usize;
+        let addr = pick_block(&mut rng, core) * 64 + (rng.below(8) * 8);
+        match rng.below(100) {
+            0..=34 => {
+                mem.load(core, addr, now);
+                stats.loads += 1;
+            }
+            35..=62 => {
+                mem.store_drain(core, addr, now);
+                stats.drains += 1;
+            }
+            63..=76 => {
+                let origin = RfoOrigin::ALL[rng.below(3) as usize]; // skip CachePrefetcher
+                mem.store_prefetch(core, addr, addr >> 4, now, origin);
+                stats.prefetches += 1;
+            }
+            77..=84 => {
+                let base = pick_block(&mut rng, core);
+                let len = 1 + rng.below(8);
+                mem.enqueue_burst(core, base..base + len, now);
+                stats.bursts += 1;
+            }
+            _ => {
+                for _ in 0..=rng.below(8) {
+                    now += 1;
+                    mem.tick(now);
+                    stats.cycles += 1;
+                }
+            }
+        }
+        stats.steps += 1;
+        let fail = |violation: String| {
+            Box::new(FuzzFailure {
+                config: *config,
+                step,
+                violation,
+                minimized_steps: None,
+            })
+        };
+        if let Err(v) = mem.check_invariants(now) {
+            return Err(fail(v.to_string()));
+        }
+        if let Some(v) = mem.take_violation() {
+            return Err(fail(v.to_string()));
+        }
+    }
+
+    if let Err(v) = mem.check_invariants_thorough(now) {
+        return Err(Box::new(FuzzFailure {
+            config: *config,
+            step: config.steps,
+            violation: v.to_string(),
+            minimized_steps: None,
+        }));
+    }
+    Ok(stats)
+}
+
+/// Picks a block: half the time from the shared (contended) pool, half
+/// from the core's private region.
+fn pick_block(rng: &mut Rng, core: usize) -> u64 {
+    if rng.below(2) == 0 {
+        SHARED_BASE + rng.below(SHARED_BLOCKS)
+    } else {
+        PRIVATE_BASE + core as u64 * 0x1000 + rng.below(PRIVATE_BLOCKS)
+    }
+}
+
+/// Shrinks a failing schedule to (near-)minimal length.
+///
+/// The scheduler is a pure function of `(seed, step)`, so truncating
+/// `steps` replays an identical prefix; the smallest failing length is
+/// found by bisection. (The closing thorough sweep can make shorter
+/// prefixes fail too — bisection still converges on *a* minimal failing
+/// length, just not always the globally smallest one.)
+///
+/// Returns the failure annotated with `minimized_steps`, or the
+/// original failure if the full run no longer reproduces (which would
+/// itself indicate nondeterminism and should never happen).
+pub fn minimize(failure: &FuzzFailure) -> FuzzFailure {
+    let mut lo = 1u32;
+    // The violation was detected at `failure.step`, so steps = step + 1
+    // must already fail; start the bracket there.
+    let mut hi = (failure.step + 1).min(failure.config.steps.max(1));
+    let fails_at = |steps: u32| {
+        run_one(&FuzzConfig {
+            steps,
+            ..failure.config
+        })
+        .err()
+    };
+    if fails_at(hi).is_none() {
+        return failure.clone();
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails_at(mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut minimized = fails_at(lo).map(|f| *f).unwrap_or_else(|| failure.clone());
+    minimized.minimized_steps = Some(lo);
+    minimized
+}
+
+/// Runs `count` schedules with consecutive seeds starting at
+/// `base.seed`, stopping (and minimizing) at the first failure.
+///
+/// # Errors
+///
+/// The first failing seed's minimized [`FuzzFailure`].
+pub fn run_seeds(base: &FuzzConfig, count: u64) -> Result<FuzzStats, Box<FuzzFailure>> {
+    let mut total = FuzzStats::default();
+    for i in 0..count {
+        let cfg = FuzzConfig {
+            seed: base.seed + i,
+            ..*base
+        };
+        match run_one(&cfg) {
+            Ok(s) => total.absorb(&s),
+            Err(f) => return Err(Box::new(minimize(&f))),
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_is_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            steps: 512,
+            ..FuzzConfig::default()
+        };
+        let a = run_one(&cfg).expect("clean schedule");
+        let b = run_one(&cfg).expect("clean schedule");
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.drains, b.drains);
+        assert_eq!(a.prefetches, b.prefetches);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn a_batch_of_seeds_is_violation_free() {
+        let base = FuzzConfig {
+            seed: 100,
+            steps: 384,
+            ..FuzzConfig::default()
+        };
+        let stats = run_seeds(&base, 8).expect("no violations");
+        assert_eq!(stats.steps, 8 * 384);
+        assert!(stats.drains > 0 && stats.loads > 0 && stats.bursts > 0);
+    }
+
+    #[test]
+    fn faulty_seeds_stay_coherent() {
+        // Fault injection perturbs timing, never correctness.
+        let base = FuzzConfig {
+            seed: 900,
+            steps: 384,
+            fault_rate_e4: 250,
+            ..FuzzConfig::default()
+        };
+        run_seeds(&base, 4).expect("faults must not break coherence");
+    }
+
+    #[test]
+    fn the_lost_owner_mutation_is_caught_and_minimized() {
+        let cfg = FuzzConfig {
+            seed: 3,
+            steps: 1_024,
+            mutate_at: Some(200),
+            ..FuzzConfig::default()
+        };
+        let failure = run_one(&cfg).expect_err("a lost owner must trip the checker");
+        assert!(failure.step >= 200);
+        let minimized = minimize(&failure);
+        let n = minimized.minimized_steps.expect("minimization ran");
+        assert!(n <= failure.step + 1);
+        // The minimized schedule replays.
+        let replay = run_one(&FuzzConfig { steps: n, ..cfg });
+        assert!(replay.is_err(), "minimized schedule must still fail");
+        assert!(minimized.to_string().contains("replay: spbsim verify fuzz"));
+    }
+}
