@@ -8,33 +8,43 @@
 use spb_bench::harness::{Criterion, Throughput};
 use spb_bench::{criterion_group, criterion_main};
 use spb_core::detector::{SpbConfig, SpbDetector};
-use spb_cpu::policy::AtCommitPolicy;
-use spb_cpu::{config::CoreConfig, core::Core};
 use spb_mem::cache::{CacheArray, CacheGeometry};
 use spb_mem::line::CoherenceState;
 use spb_mem::{MemoryConfig, MemorySystem};
+use spb_sim::{KernelMode, SimConfig, Simulation};
 use spb_trace::profile::AppProfile;
 use std::hint::black_box;
 
 fn kernels(c: &mut Criterion) {
-    // Full-stack simulation throughput (µops/second).
+    // Full-stack simulation throughput (µops/second) through the
+    // public `Simulation` entry point — the same code path every
+    // experiment takes — under each kernel. A hand-rolled
+    // mem.tick/core.cycle loop here would silently drift from the real
+    // runner (and did: it skipped warm-up and the invariant checker),
+    // so instead the bench pins both kernels to the cycle count of a
+    // reference `Simulation` run.
     let mut g = c.benchmark_group("sim_throughput");
     const UOPS: u64 = 100_000;
     g.throughput(Throughput::Elements(UOPS));
     for name in ["x264", "povray"] {
-        g.bench_function(format!("core_cycle_loop_{name}"), |b| {
-            b.iter(|| {
-                let app = AppProfile::by_name(name).unwrap();
-                let mut mem = MemorySystem::new(MemoryConfig::default());
-                let mut core = Core::new(
-                    0,
-                    CoreConfig::skylake(),
-                    Box::new(app.build(1)),
-                    Box::new(AtCommitPolicy::new()),
-                );
-                black_box(core.run_until_committed(&mut mem, UOPS))
+        let app = AppProfile::by_name(name).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.measure_uops = UOPS;
+        let reference = Simulation::with_config(&app, &cfg).run_or_panic().cycles;
+        for kernel in [KernelMode::Tick, KernelMode::Event] {
+            let cfg = cfg.clone().with_kernel(kernel);
+            g.bench_function(format!("{}_{name}", kernel.label()), |b| {
+                b.iter(|| {
+                    let r = Simulation::with_config(&app, &cfg).run_or_panic();
+                    assert_eq!(
+                        r.cycles, reference,
+                        "{name}: {} kernel diverged from the reference run",
+                        kernel.label()
+                    );
+                    black_box(r.cycles)
+                });
             });
-        });
+        }
     }
     g.finish();
 

@@ -1,0 +1,170 @@
+//! Wall-time snapshots of the quick SPEC grid, and snapshot comparison.
+//!
+//! Two modes:
+//!
+//! ```text
+//! bench_snapshot --kernel tick|event --out BENCH_X.json [--samples N]
+//! bench_snapshot --compare BENCH_BASELINE.json BENCH_NEW.json
+//! ```
+//!
+//! The first times every SPEC app under the quick budget (at-commit and
+//! SPB policies, SB 14) through the public `Simulation` entry point and
+//! writes an `spb-bench-v1` snapshot. The second schema-validates both
+//! files, prints the per-cell ratios and the geometric-mean speedup,
+//! and warns — without failing — about cells that regressed more than
+//! the tolerance. Only a schema/parse problem exits non-zero, so CI
+//! treats performance as advisory and correctness as binding.
+
+use spb_bench::snapshot::{BenchRecord, BenchSnapshot, REGRESSION_TOLERANCE, SCHEMA};
+use spb_sim::{KernelMode, PolicyKind, SimConfig, Simulation};
+use spb_trace::profile::AppProfile;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_snapshot --kernel tick|event --out FILE [--samples N]\n       bench_snapshot --compare BASELINE NEW"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernel = None;
+    let mut out = None;
+    let mut samples = 3usize;
+    let mut compare = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kernel" => {
+                kernel = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--out" => {
+                out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--samples" => {
+                samples = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--compare" => {
+                let a = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                let b = args.get(i + 2).cloned().unwrap_or_else(|| usage());
+                compare = Some((a, b));
+                i += 3;
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some((base_path, new_path)) = compare {
+        compare_snapshots(&base_path, &new_path);
+        return;
+    }
+
+    let (Some(kernel), Some(out)) = (kernel, out) else {
+        usage()
+    };
+    let mode = KernelMode::parse(&kernel).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot: {e}");
+        std::process::exit(2);
+    });
+    let snap = run_quick_grid(mode, samples.max(1));
+    std::fs::write(&out, snap.to_json_string()).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot: writing {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out} ({} benches, kernel {kernel})", snap.records.len());
+}
+
+/// Times every SPEC app × {at-commit, spb} quick cell under `mode`.
+fn run_quick_grid(mode: KernelMode, samples: usize) -> BenchSnapshot {
+    let policies = [
+        ("at-commit", PolicyKind::AtCommit),
+        ("spb", PolicyKind::spb_default()),
+    ];
+    let mut records = Vec::new();
+    for app in AppProfile::spec2017() {
+        for (label, policy) in &policies {
+            let cfg = SimConfig::quick()
+                .with_sb(14)
+                .with_policy(policy.clone())
+                .with_kernel(mode);
+            let name = format!("quick_grid/{}-{label}-sb14", app.name());
+            let mut samples_ns = Vec::with_capacity(samples);
+            let mut uops = 0;
+            // One untimed warm-up run, then `samples` timed runs.
+            for timed in 0..=samples {
+                let start = Instant::now();
+                let r = Simulation::with_config(&app, &cfg).run_or_panic();
+                let elapsed = start.elapsed();
+                if timed > 0 {
+                    samples_ns.push(elapsed.as_nanos() as u64);
+                }
+                uops = r.uops;
+            }
+            let rec = BenchRecord {
+                name,
+                samples_ns,
+                elements: Some(uops),
+            };
+            println!("{}", rec.to_json());
+            records.push(rec);
+        }
+    }
+    BenchSnapshot {
+        kernel: mode.label().to_string(),
+        records,
+    }
+}
+
+/// Loads, validates, and diffs two snapshots; never fails on slowness.
+fn compare_snapshots(base_path: &str, new_path: &str) {
+    let load = |path: &str| -> BenchSnapshot {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_snapshot: reading {path}: {e}");
+            std::process::exit(1);
+        });
+        BenchSnapshot::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench_snapshot: {path} is not a valid {SCHEMA} snapshot: {e}");
+            std::process::exit(1);
+        })
+    };
+    let base = load(base_path);
+    let new = load(new_path);
+    println!(
+        "comparing {} (kernel {}) -> {} (kernel {})",
+        base_path, base.kernel, new_path, new.kernel
+    );
+    for b in &base.records {
+        if let Some(n) = new.records.iter().find(|r| r.name == b.name) {
+            println!(
+                "{:<44} {:>9.2}ms -> {:>9.2}ms  ({:>5.2}x)",
+                b.name,
+                b.min_ns() as f64 / 1e6,
+                n.min_ns() as f64 / 1e6,
+                b.min_ns() as f64 / (n.min_ns() as f64).max(1.0)
+            );
+        }
+    }
+    match base.geomean_speedup(&new) {
+        Some(g) => println!("geomean speedup: {g:.2}x"),
+        None => println!("geomean speedup: no common benchmarks"),
+    }
+    let warnings = base.regressions(&new);
+    if warnings.is_empty() {
+        println!("no regressions beyond {REGRESSION_TOLERANCE}x tolerance");
+    } else {
+        for w in &warnings {
+            println!("warning: regression: {w}");
+        }
+        println!(
+            "{} benchmark(s) regressed beyond {REGRESSION_TOLERANCE}x (non-blocking)",
+            warnings.len()
+        );
+    }
+}

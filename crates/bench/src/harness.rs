@@ -9,6 +9,7 @@
 //! and reports mean/min wall time per iteration plus throughput when the
 //! group declared one.
 
+use crate::snapshot::BenchRecord;
 use std::time::{Duration, Instant};
 
 /// Throughput annotation for a benchmark group.
@@ -99,14 +100,34 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`: one untimed warm-up call, then `sample_size` timed
     /// calls.
+    ///
+    /// Calling `iter` again **accumulates** further samples into the
+    /// same benchmark (Criterion semantics); it must never discard the
+    /// samples an earlier call collected.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         std::hint::black_box(f());
-        self.samples.clear();
+        self.samples.reserve(self.sample_size);
         for _ in 0..self.sample_size {
             let start = Instant::now();
             std::hint::black_box(f());
             self.samples.push(start.elapsed());
         }
+    }
+
+    /// Samples collected so far (all `iter` calls combined).
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
+    }
+}
+
+/// Builds the machine-readable record for one finished benchmark.
+fn record(name: &str, samples: &[Duration], throughput: Option<Throughput>) -> BenchRecord {
+    BenchRecord {
+        name: name.to_string(),
+        samples_ns: samples.iter().map(|d| d.as_nanos() as u64).collect(),
+        elements: throughput.map(|t| match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }),
     }
 }
 
@@ -115,23 +136,28 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
         println!("{name:<44} (no samples)");
         return;
     }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = *samples.iter().min().expect("non-empty");
+    let rec = record(name, samples, throughput);
+    let mean = Duration::from_nanos(rec.mean_ns() as u64);
+    let median = Duration::from_nanos(rec.median_ns() as u64);
+    let min = Duration::from_nanos(rec.min_ns());
     let rate = throughput.map(|t| {
-        let (n, unit) = match t {
-            Throughput::Elements(n) => (n, "elem/s"),
-            Throughput::Bytes(n) => (n, "B/s"),
+        let unit = match t {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
         };
-        let per_sec = n as f64 / mean.as_secs_f64();
-        format!("  {:>12.3e} {unit}", per_sec)
+        let per_sec = rec.per_sec().expect("throughput declared");
+        format!("  {per_sec:>12.3e} {unit}")
     });
     println!(
-        "{name:<44} mean {:>10.3?}  min {:>10.3?}{}",
+        "{name:<44} mean {:>10.3?}  median {:>10.3?}  min {:>10.3?}{}",
         mean,
+        median,
         min,
         rate.unwrap_or_default()
     );
+    // One machine-readable line per benchmark; `bench_snapshot` and the
+    // CI smoke collect these into a BENCH_*.json snapshot.
+    println!("{}", rec.to_json());
 }
 
 /// Declares a bench group function calling each target with a shared
@@ -167,6 +193,20 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn iter_accumulates_across_calls() {
+        // Regression test: a second `iter` call used to clear the
+        // samples of the first, silently halving long benchmarks.
+        let mut b = Bencher {
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples().len(), 3);
+        b.iter(|| 2 + 2);
+        assert_eq!(b.samples().len(), 6, "second iter must accumulate");
+    }
 
     #[test]
     fn bencher_collects_samples_and_reports() {

@@ -15,6 +15,7 @@
 //! bench code stays declarative.
 
 pub mod harness;
+pub mod snapshot;
 
 use spb_sim::config::{PolicyKind, SimConfig};
 use spb_trace::profile::AppProfile;

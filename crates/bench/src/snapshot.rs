@@ -1,0 +1,267 @@
+//! Machine-readable benchmark snapshots (`BENCH_*.json`).
+//!
+//! The harness prints one JSON line per benchmark; this module gives
+//! that line a schema (`spb-bench-v1`), collects lines into a snapshot
+//! file tagged with the kernel that produced it, and compares two
+//! snapshots (the committed `BENCH_BASELINE.json` against a fresh run)
+//! with non-blocking regression warnings.
+
+use spb_stats::json::Json;
+
+/// Snapshot schema identifier; bump on layout changes.
+pub const SCHEMA: &str = "spb-bench-v1";
+
+/// Warn when a benchmark's minimum regresses by more than this factor.
+pub const REGRESSION_TOLERANCE: f64 = 1.15;
+
+/// One benchmark's timing samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (`group/id`).
+    pub name: String,
+    /// Wall time of each timed iteration, in nanoseconds.
+    pub samples_ns: Vec<u64>,
+    /// Logical elements processed per iteration, if the group declared
+    /// a throughput.
+    pub elements: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Fastest sample, in nanoseconds.
+    pub fn min_ns(&self) -> u64 {
+        self.samples_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Arithmetic mean, in (fractional) nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().map(|&n| n as f64).sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Median sample, in nanoseconds (midpoint average for even counts).
+    pub fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_unstable();
+        let mid = s.len() / 2;
+        if s.len() % 2 == 1 {
+            s[mid] as f64
+        } else {
+            (s[mid - 1] + s[mid]) as f64 / 2.0
+        }
+    }
+
+    /// Elements per second at the median, if a throughput was declared.
+    pub fn per_sec(&self) -> Option<f64> {
+        let med = self.median_ns();
+        self.elements
+            .filter(|_| med > 0.0)
+            .map(|n| n as f64 / (med / 1e9))
+    }
+
+    /// The record as a JSON value (one line when rendered compact).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::str(&*self.name)),
+            (
+                "samples_ns",
+                Json::arr(self.samples_ns.iter().map(|&n| Json::from(n))),
+            ),
+            ("min_ns", Json::from(self.min_ns())),
+            ("mean_ns", Json::from(self.mean_ns())),
+            ("median_ns", Json::from(self.median_ns())),
+        ];
+        if let Some(n) = self.elements {
+            pairs.push(("elements", Json::from(n)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Parses a record back from [`BenchRecord::to_json`]'s layout.
+    pub fn from_json(v: &Json) -> Result<BenchRecord, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("record missing \"name\"")?
+            .to_string();
+        let samples_ns = v
+            .get("samples_ns")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("record {name} missing \"samples_ns\""))?
+            .iter()
+            .map(|s| s.as_u64().ok_or_else(|| format!("{name}: bad sample")))
+            .collect::<Result<Vec<u64>, _>>()?;
+        if samples_ns.is_empty() {
+            return Err(format!("record {name} has no samples"));
+        }
+        let elements = v.get("elements").and_then(Json::as_u64);
+        Ok(BenchRecord {
+            name,
+            samples_ns,
+            elements,
+        })
+    }
+}
+
+/// A set of benchmark records produced by one binary/kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Simulation kernel label (`tick` / `event`) the run used.
+    pub kernel: String,
+    /// One record per benchmark.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchSnapshot {
+    /// Renders the snapshot as pretty-printed `spb-bench-v1` JSON.
+    pub fn to_json_string(&self) -> String {
+        let v = Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("kernel", Json::str(&*self.kernel)),
+            (
+                "benches",
+                Json::arr(self.records.iter().map(BenchRecord::to_json)),
+            ),
+        ]);
+        format!("{v:#}\n")
+    }
+
+    /// Parses and schema-validates a snapshot file's contents.
+    pub fn parse(text: &str) -> Result<BenchSnapshot, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        match v.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            other => return Err(format!("expected schema {SCHEMA:?}, found {other:?}")),
+        }
+        let kernel = v
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or("snapshot missing \"kernel\"")?
+            .to_string();
+        let records = v
+            .get("benches")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot missing \"benches\"")?
+            .iter()
+            .map(BenchRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if records.is_empty() {
+            return Err("snapshot has no benchmark records".into());
+        }
+        Ok(BenchSnapshot {
+            kernel,
+            records,
+        })
+    }
+
+    /// Geometric-mean speedup of `new` over `self`, across benchmarks
+    /// present in both (>1 means `new` is faster). Compares the
+    /// **minimum** samples: benches run on shared machines, and
+    /// contention only ever inflates a sample, so the minimum is the
+    /// least-noisy estimate of true cost.
+    pub fn geomean_speedup(&self, new: &BenchSnapshot) -> Option<f64> {
+        let mut log_sum = 0.0;
+        let mut n = 0u32;
+        for base in &self.records {
+            let Some(fresh) = new.records.iter().find(|r| r.name == base.name) else {
+                continue;
+            };
+            let (b, f) = (base.min_ns() as f64, fresh.min_ns() as f64);
+            if b > 0.0 && f > 0.0 {
+                log_sum += (b / f).ln();
+                n += 1;
+            }
+        }
+        (n > 0).then(|| (log_sum / f64::from(n)).exp())
+    }
+
+    /// Per-benchmark regression warnings: `new` minima more than
+    /// [`REGRESSION_TOLERANCE`] above this baseline's. Informational —
+    /// callers print them without failing the build.
+    pub fn regressions(&self, new: &BenchSnapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        for base in &self.records {
+            let Some(fresh) = new.records.iter().find(|r| r.name == base.name) else {
+                out.push(format!("{}: missing from new snapshot", base.name));
+                continue;
+            };
+            let (b, f) = (base.min_ns() as f64, fresh.min_ns() as f64);
+            if b > 0.0 && f > b * REGRESSION_TOLERANCE {
+                out.push(format!(
+                    "{}: min {:.2}ms vs baseline {:.2}ms ({:+.1}%)",
+                    base.name,
+                    f / 1e6,
+                    b / 1e6,
+                    (f / b - 1.0) * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, samples: &[u64]) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            samples_ns: samples.to_vec(),
+            elements: Some(1000),
+        }
+    }
+
+    #[test]
+    fn stats_are_exact_on_small_samples() {
+        let r = rec("a", &[30, 10, 20]);
+        assert_eq!(r.min_ns(), 10);
+        assert_eq!(r.mean_ns(), 20.0);
+        assert_eq!(r.median_ns(), 20.0);
+        let even = rec("b", &[10, 20, 30, 100]);
+        assert_eq!(even.median_ns(), 25.0);
+        assert_eq!(rec("c", &[2_000_000]).per_sec(), Some(500_000.0));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = BenchSnapshot {
+            kernel: "event".into(),
+            records: vec![rec("grid/mcf", &[5, 6, 7]), rec("grid/xz", &[1, 2, 3])],
+        };
+        let text = snap.to_json_string();
+        assert_eq!(BenchSnapshot::parse(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_empty_snapshots() {
+        assert!(BenchSnapshot::parse("{\"schema\":\"v0\"}").is_err());
+        assert!(
+            BenchSnapshot::parse("{\"schema\":\"spb-bench-v1\",\"kernel\":\"tick\",\"benches\":[]}")
+                .is_err()
+        );
+        assert!(BenchSnapshot::parse("not json").is_err());
+    }
+
+    #[test]
+    fn compare_warns_on_regressions_and_computes_geomean() {
+        let base = BenchSnapshot {
+            kernel: "tick".into(),
+            records: vec![rec("a", &[100]), rec("b", &[100]), rec("gone", &[1])],
+        };
+        let new = BenchSnapshot {
+            kernel: "event".into(),
+            records: vec![rec("a", &[50]), rec("b", &[130])],
+        };
+        let warnings = base.regressions(&new);
+        assert_eq!(warnings.len(), 2, "{warnings:?}"); // b regressed, gone missing
+        assert!(warnings.iter().any(|w| w.starts_with("b:")));
+        // geomean of 100/50 and 100/130
+        let g = base.geomean_speedup(&new).unwrap();
+        assert!((g - (2.0f64 * (100.0 / 130.0)).sqrt()).abs() < 1e-9);
+    }
+}

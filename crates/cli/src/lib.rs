@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use spb_sim::config::{PolicyKind, SimConfig};
+use spb_sim::config::{KernelMode, PolicyKind, SimConfig};
 use spb_trace::profile::AppProfile;
 use std::fmt;
 
@@ -165,6 +165,9 @@ pub struct RunOpts {
     pub fault_rate: f64,
     /// Fault-injection seed (independent of the workload seed).
     pub fault_seed: u64,
+    /// Execution kernel (skip-ahead `event` by default; `tick` keeps
+    /// the legacy lock-step reference for equivalence checks).
+    pub kernel: KernelMode,
 }
 
 impl Default for RunOpts {
@@ -179,6 +182,7 @@ impl Default for RunOpts {
             jobs: None,
             fault_rate: 0.0,
             fault_seed: 1,
+            kernel: KernelMode::Event,
         }
     }
 }
@@ -192,6 +196,7 @@ impl RunOpts {
         cfg.measure_uops = self.uops;
         cfg.warmup_uops = self.warmup;
         cfg.seed = self.seed;
+        cfg.kernel = self.kernel;
         if self.fault_rate > 0.0 {
             cfg.mem.fault = spb_mem::FaultConfig::uniform(self.fault_rate, self.fault_seed);
         }
@@ -293,6 +298,11 @@ fn parse_run_opts<'a>(
                 opts.fault_seed = v
                     .parse()
                     .map_err(|_| CliError(format!("--fault-seed expects a number, got {v:?}")))?;
+            }
+            "--kernel" => {
+                args.next();
+                let v = take_value("--kernel", args)?;
+                opts.kernel = KernelMode::parse(v).map_err(|e| CliError(format!("--kernel: {e}")))?;
             }
             _ => {
                 leftovers.push(args.next().unwrap().to_string());
@@ -467,6 +477,11 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                                 .map_err(|_| CliError(format!("bad --jobs {v:?}")))?,
                         );
                     }
+                    "--kernel" => {
+                        let v = take_value("--kernel", &mut it)?;
+                        opts.kernel = KernelMode::parse(v)
+                            .map_err(|e| CliError(format!("--kernel: {e}")))?;
+                    }
                     other => return Err(CliError(format!("unknown argument {other:?}"))),
                 }
             }
@@ -617,6 +632,8 @@ RUN OPTIONS:
   --jobs N        sweep worker threads            (default $SPB_JOBS or all cores)
   --fault-rate R  uniform memory fault-injection rate in [0,1] (default 0 = off)
   --fault-seed N  fault-injection seed            (default 1)
+  --kernel K      execution kernel: event (skip-ahead, default) or tick
+                  (legacy lock-step reference; bit-identical results)
 
 Suite and sweep runs fan out over a worker pool (results are identical
 to a serial run) and write a machine-readable JSON report under
@@ -638,6 +655,26 @@ small while still covering the store-burst phases.
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parses_kernel_flag_and_rejects_bad_values() {
+        let cmd = parse(["run", "--app", "x264", "--kernel", "tick"]).unwrap();
+        match cmd {
+            Command::Run { cfg, .. } => {
+                assert_eq!(cfg.kernel, KernelMode::Tick);
+                assert_eq!(cfg.to_sim_config().kernel, KernelMode::Tick);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(RunOpts::default().kernel, KernelMode::Event);
+        let err = parse(["run", "--app", "x264", "--kernel", "warp"]).unwrap_err();
+        assert!(err.to_string().contains("--kernel"), "{err}");
+        // The sweep arm duplicates flag parsing; cover it separately.
+        match parse(["sweep", "--app", "x264", "--kernel", "tick"]).unwrap() {
+            Command::Sweep { cfg, .. } => assert_eq!(cfg.kernel, KernelMode::Tick),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
 
     #[test]
     fn parses_run_with_options() {

@@ -1,13 +1,15 @@
 //! The out-of-order core: dispatch, completion, commit, and SB drain.
 
 use crate::config::CoreConfig;
+use crate::rob::{RobEntry, RobRing, SbRing};
+use spb_mem::blockmap::BlockMap;
 use crate::policy::StorePrefetchPolicy;
 use spb_mem::MemorySystem;
 use spb_obs::{Event, EventKind, Observer};
 use spb_stats::{Histogram, StallCause, TopDown};
 use spb_trace::{CodeRegion, MicroOp, OpKind, TraceSource};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::BinaryHeap;
 
 /// Size of the completion ring (max dependency distance honoured).
 const RING: usize = 1024;
@@ -56,17 +58,6 @@ impl CpuStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct RobEntry {
-    complete_at: u64,
-    addr: u64,
-    pc: u64,
-    size: u8,
-    is_store: bool,
-    is_load: bool,
-    is_branch: bool,
-}
-
 /// One simulated out-of-order core.
 ///
 /// Drive it by calling [`Core::cycle`] once per cycle (after
@@ -77,19 +68,19 @@ pub struct Core {
     config: CoreConfig,
     trace: Box<dyn TraceSource + Send>,
     policy: Box<dyn StorePrefetchPolicy + Send>,
-    rob: VecDeque<RobEntry>,
+    rob: RobRing,
     pending_op: Option<MicroOp>,
     completion_ring: [u64; RING],
     seq: u64,
     iq: BinaryHeap<Reverse<u64>>,
     loads_in_flight: usize,
     stores_in_machine: usize,
-    sb_pending: VecDeque<(u64, u64, u64)>, // (addr, pc, commit cycle)
+    sb_pending: SbRing, // (addr, pc, commit cycle)
     /// Post-commit SB residency (cycles from commit to drain).
     sb_residency: Histogram,
     /// Qword addresses with at least one store still in the machine
     /// (dispatched, not yet drained), for store-to-load forwarding.
-    pending_store_qwords: HashMap<u64, u32>,
+    pending_store_qwords: BlockMap<u32>,
     sb_next_attempt: u64,
     fetch_resume_at: u64,
     last_store_addr: u64,
@@ -100,6 +91,10 @@ pub struct Core {
     /// Open dispatch-stall episode: (cause, start cycle, stalled cycles).
     /// Tracked only while an observer is attached.
     stall_episode: Option<(StallCause, u64, u32)>,
+    /// Dispatch-stall cause (and blocking code-region index for SB
+    /// stalls) captured by the last idle [`Core::next_event_at`] probe,
+    /// replayed over the skipped span by [`Core::skip_span`].
+    skip_stall: Option<(StallCause, usize)>,
 }
 
 impl std::fmt::Debug for Core {
@@ -133,16 +128,16 @@ impl Core {
             config,
             trace,
             policy,
-            rob: VecDeque::with_capacity(config.rob_entries),
+            rob: RobRing::new(config.rob_entries),
             pending_op: None,
             completion_ring: [0; RING],
             seq: 0,
             iq: BinaryHeap::new(),
             loads_in_flight: 0,
             stores_in_machine: 0,
-            sb_pending: VecDeque::new(),
+            sb_pending: SbRing::new(config.sb_entries),
             sb_residency: Histogram::new("sb_residency_cycles", 16, 64),
-            pending_store_qwords: HashMap::new(),
+            pending_store_qwords: BlockMap::new(),
             sb_next_attempt: 0,
             fetch_resume_at: 0,
             last_store_addr: 0,
@@ -151,6 +146,7 @@ impl Core {
             stats: CpuStats::default(),
             obs: Observer::off(),
             stall_episode: None,
+            skip_stall: None,
         }
     }
 
@@ -275,22 +271,146 @@ impl Core {
         now
     }
 
+    /// Probes whether this core has same-cycle work at `now`, and if
+    /// not, when its state can next change (the skip-ahead kernel's
+    /// per-core horizon).
+    ///
+    /// Returns `Some(now)` when the core would commit, drain, or
+    /// dispatch this cycle (the kernel must run a normal cycle);
+    /// `Some(t)` with `t > now` when the core is provably idle at every
+    /// cycle in `now..t` (`t` is the earliest ROB-head completion, SB
+    /// retry time, fetch-redirect resume, or issue-queue reclaim time);
+    /// and `None` when the core is idle with no pending events at all
+    /// (e.g. fully drained).
+    ///
+    /// An idle probe also captures the dispatch-stall cause for the
+    /// span, which [`Core::skip_span`] replays. The probe performs
+    /// exactly the state transitions dispatch itself would perform at
+    /// `now` — pulling the next µop into the pending slot, reclaiming
+    /// issued IQ entries, latching end-of-trace — so running a normal
+    /// cycle at `now` after a probe is bit-identical to running one
+    /// without it.
+    pub fn next_event_at(&mut self, now: u64) -> Option<u64> {
+        if let Some(t) = self.rob.head_complete_at() {
+            if t <= now {
+                return Some(now); // commit has work this cycle
+            }
+        }
+        let drain_waiting = !self.sb_pending.is_empty();
+        if drain_waiting && now >= self.sb_next_attempt {
+            return Some(now); // the SB head would attempt a drain
+        }
+        // Commit and drain are idle, so dispatch sees exactly the state
+        // it would see inside `cycle()`; replicate its gating.
+        self.skip_stall = None;
+        let mut iq_wake: Option<u64> = None;
+        if now < self.fetch_resume_at {
+            self.skip_stall = Some((StallCause::FrontEnd, 0));
+        } else {
+            match self.pending_op.take().or_else(|| self.trace.next_op()) {
+                None => self.trace_done = true,
+                Some(op) => match self.blocking_resource(&op, now) {
+                    None => {
+                        self.pending_op = Some(op);
+                        return Some(now); // dispatch would issue this cycle
+                    }
+                    Some(cause) => {
+                        let region = if cause == StallCause::StoreBuffer {
+                            let pc = self.sb_pending.front_pc().unwrap_or(op.pc());
+                            let region = CodeRegion::of_pc(pc);
+                            CodeRegion::ALL.iter().position(|r| *r == region).unwrap()
+                        } else {
+                            0
+                        };
+                        self.skip_stall = Some((cause, region));
+                        self.pending_op = Some(op);
+                        // An IssueQueue stall can clear as soon as an
+                        // in-flight µop's issue time passes (IQ
+                        // reclaim), so never skip past the earliest
+                        // one. Every other cause is a function of ROB
+                        // occupancy and in-flight load/store counts,
+                        // which only commit, drain, or issue can change
+                        // — all covered by the other wake candidates.
+                        if cause == StallCause::IssueQueue {
+                            iq_wake = self.iq.peek().map(|&Reverse(t)| t).filter(|&t| t > now);
+                        }
+                    }
+                },
+            }
+        }
+        let mut next: Option<u64> = None;
+        let mut merge = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+        if let Some(t) = self.rob.head_complete_at() {
+            merge(t);
+        }
+        if drain_waiting {
+            merge(self.sb_next_attempt);
+        }
+        if self.fetch_resume_at > now {
+            merge(self.fetch_resume_at);
+        }
+        if let Some(t) = iq_wake {
+            merge(t);
+        }
+        next
+    }
+
+    /// Replays, in O(1), the per-cycle accounting that the `until - now`
+    /// consecutive idle cycles established by [`Core::next_event_at`]
+    /// would have produced under the lock-step kernel: cycle ticks, the
+    /// captured dispatch-stall cause (and its Figure 3 region charge),
+    /// L1D-miss-pending execution stalls, and the open stall episode.
+    pub fn skip_span(&mut self, mem: &MemorySystem, now: u64, until: u64) {
+        let n = until - now;
+        self.topdown.tick_n(n);
+        if let Some((cause, region)) = self.skip_stall {
+            self.topdown.record_stall_n(cause, n);
+            if cause == StallCause::StoreBuffer {
+                self.stats.sb_stall_by_region[region] += n;
+            }
+        }
+        if !self.rob.is_empty() || !self.sb_pending.is_empty() {
+            // `demand_miss_until` cannot change over a span in which no
+            // core touches the memory system, so the per-cycle check
+            // collapses to a range intersection.
+            let pending = mem
+                .demand_miss_until(self.id)
+                .min(until)
+                .saturating_sub(now);
+            self.topdown.record_l1d_miss_pending_stall_n(pending);
+        }
+        if self.obs.enabled() {
+            match (self.stall_episode.as_mut(), self.skip_stall) {
+                (Some((cause, _, cycles)), Some((new_cause, _))) if *cause == new_cause => {
+                    *cycles += n as u32;
+                }
+                (_, stalled) => {
+                    self.flush_stall_episode();
+                    if let Some((cause, _)) = stalled {
+                        self.stall_episode = Some((cause, now, n as u32));
+                    }
+                }
+            }
+        }
+    }
+
     fn commit(&mut self, mem: &mut MemorySystem, now: u64) -> u64 {
         let mut committed = 0;
         while committed < u64::from(self.config.commit_width) {
-            let Some(head) = self.rob.front() else { break };
-            if head.complete_at > now {
+            let Some(t) = self.rob.head_complete_at() else {
+                break;
+            };
+            if t > now {
                 break;
             }
-            let e = *head;
-            self.rob.pop_front();
+            let e = self.rob.pop_front().expect("head exists");
             if e.is_store {
                 self.stats.committed_stores += 1;
                 let coalesced = self.config.coalescing
                     && self
                         .sb_pending
-                        .back()
-                        .is_some_and(|&(prev, _, _)| prev / 64 == e.addr / 64);
+                        .back_addr()
+                        .is_some_and(|prev| prev / 64 == e.addr / 64);
                 if coalesced {
                     // The store merges into the tail entry: its SB slot
                     // frees immediately and the group drains as one
@@ -298,14 +418,14 @@ impl Core {
                     self.stats.coalesced_stores += 1;
                     self.stores_in_machine -= 1;
                     let q = e.addr & !7;
-                    if let Some(n) = self.pending_store_qwords.get_mut(&q) {
+                    if let Some(n) = self.pending_store_qwords.get_mut(q) {
                         *n -= 1;
                         if *n == 0 {
-                            self.pending_store_qwords.remove(&q);
+                            self.pending_store_qwords.remove(q);
                         }
                     }
                 } else {
-                    self.sb_pending.push_back((e.addr, e.pc, now));
+                    self.sb_pending.push_back(e.addr, e.pc, now);
                     self.obs.emit(|| Event {
                         cycle: now,
                         core: self.id as u8,
@@ -331,7 +451,7 @@ impl Core {
         if now < self.sb_next_attempt {
             return;
         }
-        let Some(&(addr, _pc, committed_at)) = self.sb_pending.front() else {
+        let Some((addr, _pc, committed_at)) = self.sb_pending.front() else {
             return;
         };
         match mem.store_drain(self.id, addr, now) {
@@ -348,10 +468,10 @@ impl Core {
                 });
                 self.stores_in_machine -= 1;
                 let q = addr & !7;
-                if let Some(n) = self.pending_store_qwords.get_mut(&q) {
+                if let Some(n) = self.pending_store_qwords.get_mut(q) {
                     *n -= 1;
                     if *n == 0 {
-                        self.pending_store_qwords.remove(&q);
+                        self.pending_store_qwords.remove(q);
                     }
                 }
                 // Pipelined L1 store port: one drain per cycle.
@@ -383,11 +503,7 @@ impl Core {
                 if cause == StallCause::StoreBuffer {
                     // Figure 3: charge the stall to the code region of the
                     // store blocking the SB head.
-                    let pc = self
-                        .sb_pending
-                        .front()
-                        .map(|&(_, pc, _)| pc)
-                        .unwrap_or(op.pc());
+                    let pc = self.sb_pending.front_pc().unwrap_or(op.pc());
                     let region = CodeRegion::of_pc(pc);
                     let idx = CodeRegion::ALL.iter().position(|r| *r == region).unwrap();
                     self.stats.sb_stall_by_region[idx] += 1;
@@ -481,7 +597,7 @@ impl Core {
                 // Store-to-load forwarding: a load whose qword has an
                 // older store still in the SB reads the store's data
                 // directly (one cycle, no L1 access).
-                if self.pending_store_qwords.contains_key(&(addr & !7)) {
+                if self.pending_store_qwords.contains(addr & !7) {
                     self.stats.store_forwards += 1;
                     (issue_at + 1, false, true, false, addr, size)
                 } else {
@@ -493,7 +609,12 @@ impl Core {
                 self.policy
                     .on_store_execute(mem, self.id, addr, size, op.pc(), issue_at);
                 self.stores_in_machine += 1;
-                *self.pending_store_qwords.entry(addr & !7).or_insert(0) += 1;
+                let q = addr & !7;
+                if let Some(n) = self.pending_store_qwords.get_mut(q) {
+                    *n += 1;
+                } else {
+                    self.pending_store_qwords.insert(q, 1);
+                }
                 self.last_store_addr = addr;
                 (issue_at, true, false, false, addr, size)
             }

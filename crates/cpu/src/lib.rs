@@ -45,6 +45,7 @@
 pub mod config;
 pub mod core;
 pub mod policy;
+mod rob;
 pub mod smt;
 
 pub use crate::core::Core;

@@ -1,0 +1,285 @@
+//! A flat open-addressing map keyed by cache-block number.
+//!
+//! The directory (and the invariant checker that cross-examines it once
+//! per checking interval) does a map operation per miss, per eviction,
+//! and per valid private-cache line scanned. `std::collections::HashMap`
+//! pays SipHash plus per-process-randomized iteration order for that;
+//! this map instead uses Fibonacci multiplicative hashing over a
+//! power-of-two table with linear probing and backward-shift deletion
+//! (no tombstones), which makes probes short, scans branch-predictable,
+//! and iteration order a pure function of the insertion/removal history
+//! — the same determinism contract the rest of the simulator keeps.
+//!
+//! Keys are block numbers (`address / block_bytes`), so `u64::MAX` is
+//! unreachable and serves as the empty-slot sentinel.
+
+/// Slot sentinel: no real block number reaches `u64::MAX`.
+const EMPTY: u64 = u64::MAX;
+
+/// A `u64 → V` map specialised for cache-block keys.
+///
+/// # Examples
+///
+/// ```
+/// use spb_mem::blockmap::BlockMap;
+///
+/// let mut m: BlockMap<u32> = BlockMap::new();
+/// m.insert(0x40, 7);
+/// assert_eq!(m.get(0x40), Some(&7));
+/// assert_eq!(m.remove(0x40), Some(7));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockMap<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    len: usize,
+}
+
+impl<V: Copy + Default> Default for BlockMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy + Default> BlockMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self {
+            keys: vec![EMPTY; 16],
+            vals: vec![V::default(); 16],
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The slot a key ideally lands in (Fibonacci hashing).
+    #[inline]
+    fn ideal(&self, key: u64) -> usize {
+        let shift = 64 - self.keys.len().trailing_zeros();
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+    }
+
+    /// The slot holding `key`, if present.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let mask = self.keys.len() - 1;
+        let mut i = self.ideal(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Returns the value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key).map(|i| &self.vals[i])
+    }
+
+    /// Returns a mutable reference to the value for `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.find(key).map(|i| &mut self.vals[i])
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Inserts or overwrites, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty-slot sentinel");
+        if (self.len + 1) * 8 >= self.keys.len() * 7 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = self.ideal(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(std::mem::replace(&mut self.vals[i], val));
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    ///
+    /// Uses backward-shift deletion: every displaced follower in the
+    /// probe chain slides back one slot, so lookups never need
+    /// tombstones and the table layout stays a pure function of the
+    /// operation history.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mut i = self.find(key)?;
+        let val = self.vals[i];
+        let mask = self.keys.len() - 1;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            // Move `k` back unless it already sits at or after its ideal
+            // slot within the (i, j] probe window.
+            let ideal = self.ideal(k);
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.keys[i] = k;
+                self.vals[i] = self.vals[j];
+                i = j;
+            }
+        }
+        self.keys[i] = EMPTY;
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Doubles the table and re-inserts every entry.
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; 0]);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.keys = vec![EMPTY; old_keys.len() * 2];
+        self.vals = vec![V::default(); old_keys.len() * 2];
+        let mask = self.keys.len() - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == EMPTY {
+                continue;
+            }
+            let mut i = self.ideal(k);
+            while self.keys[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.vals[i] = v;
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in table order (deterministic
+    /// for a given operation history).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: BlockMap<u64> = BlockMap::new();
+        for k in 0..100u64 {
+            assert_eq!(m.insert(k * 3, k), None);
+        }
+        assert_eq!(m.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(m.get(k * 3), Some(&k));
+        }
+        assert_eq!(m.get(1), None);
+        for k in 0..50u64 {
+            assert_eq!(m.remove(k * 3), Some(k));
+        }
+        assert_eq!(m.len(), 50);
+        for k in 50..100u64 {
+            assert_eq!(m.get(k * 3), Some(&k), "survivors intact after deletions");
+        }
+        assert_eq!(m.remove(1), None);
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut m: BlockMap<u8> = BlockMap::new();
+        assert_eq!(m.insert(9, 1), None);
+        assert_eq!(m.insert(9, 2), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(9), Some(&2));
+    }
+
+    #[test]
+    fn backward_shift_keeps_probe_chains_reachable() {
+        // Force collisions by using keys that share low-entropy spacing,
+        // delete from the middle of chains, and verify every survivor.
+        let mut m: BlockMap<u64> = BlockMap::new();
+        let keys: Vec<u64> = (0..512u64).map(|i| i * 16).collect();
+        for &k in &keys {
+            m.insert(k, k + 1);
+        }
+        for &k in keys.iter().step_by(3) {
+            assert_eq!(m.remove(k), Some(k + 1));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(m.get(k), None);
+            } else {
+                assert_eq!(m.get(k), Some(&(k + 1)), "key {k} lost after deletions");
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_matches_contents() {
+        let mut m: BlockMap<u64> = BlockMap::new();
+        for k in 0..40u64 {
+            m.insert(k * 7, k);
+        }
+        m.remove(7);
+        let mut got: Vec<(u64, u64)> = m.iter().map(|(k, &v)| (k, v)).collect();
+        got.sort_unstable();
+        let want: Vec<(u64, u64)> = (0..40u64).filter(|&k| k != 1).map(|k| (k * 7, k)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_std_hashmap_under_random_churn() {
+        use std::collections::HashMap;
+        let mut m: BlockMap<u64> = BlockMap::new();
+        let mut h: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 997;
+            match x >> 62 {
+                0 | 1 => {
+                    assert_eq!(m.insert(key, step), h.insert(key, step));
+                }
+                2 => {
+                    assert_eq!(m.remove(key), h.remove(&key));
+                }
+                _ => {
+                    assert_eq!(m.get(key), h.get(&key));
+                }
+            }
+            assert_eq!(m.len(), h.len());
+        }
+    }
+}

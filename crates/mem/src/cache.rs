@@ -1,6 +1,24 @@
 //! Set-associative cache arrays with LRU replacement.
+//!
+//! # Layout
+//!
+//! The array is struct-of-arrays: parallel lanes (`tag`, `state`,
+//! `ready`, `dirty`, `used`, `prefetch`, `lru`) indexed by
+//! `set * ways + way`. A tag match scans 8 bytes per way instead of a
+//! whole [`CacheLine`], and the periodic invariant checker's sweep over
+//! every line touches only the lanes it reads. `u64::MAX` in the tag
+//! lane marks an invalid way (no real block number reaches it); the
+//! state lane is kept in sync ([`CoherenceState::Invalid`] ⟺ empty tag).
+//!
+//! [`CacheLine`] remains the exchange type: [`CacheArray::peek`],
+//! [`CacheArray::invalidate`] and [`CacheArray::iter_valid`] hand out
+//! assembled copies, while [`CacheArray::lookup`] returns a [`LineMut`]
+//! proxy whose setters write the lanes in place.
 
 use crate::line::{CacheLine, CoherenceState, RfoOrigin};
+
+/// Tag-lane sentinel for an invalid way.
+const NO_TAG: u64 = u64::MAX;
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,17 +94,88 @@ pub struct Eviction {
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     geometry: CacheGeometry,
-    lines: Vec<CacheLine>,
+    tag: Vec<u64>,
+    state: Vec<CoherenceState>,
+    ready: Vec<u64>,
+    dirty: Vec<bool>,
+    used: Vec<bool>,
+    prefetch: Vec<Option<RfoOrigin>>,
+    lru: Vec<u64>,
     lru_clock: u64,
     tag_checks: u64,
+}
+
+/// A mutable handle to one valid line, writing the SoA lanes in place.
+#[derive(Debug)]
+pub struct LineMut<'a> {
+    arr: &'a mut CacheArray,
+    idx: usize,
+}
+
+impl LineMut<'_> {
+    /// The block held by this line.
+    pub fn block(&self) -> u64 {
+        self.arr.tag[self.idx]
+    }
+
+    /// The line's coherence state.
+    pub fn state(&self) -> CoherenceState {
+        self.arr.state[self.idx]
+    }
+
+    /// Rewrites the coherence state (e.g. an in-place upgrade to M).
+    pub fn set_state(&mut self, state: CoherenceState) {
+        debug_assert!(
+            state != CoherenceState::Invalid,
+            "invalidate lines via CacheArray::invalidate"
+        );
+        self.arr.state[self.idx] = state;
+    }
+
+    /// The cycle the line's fill completes.
+    pub fn ready(&self) -> u64 {
+        self.arr.ready[self.idx]
+    }
+
+    /// Moves the fill-completion cycle (upgrade in flight).
+    pub fn set_ready(&mut self, ready: u64) {
+        self.arr.ready[self.idx] = ready;
+    }
+
+    /// Whether the line holds dirty data.
+    pub fn dirty(&self) -> bool {
+        self.arr.dirty[self.idx]
+    }
+
+    /// Marks the line dirty (or clean).
+    pub fn set_dirty(&mut self, dirty: bool) {
+        self.arr.dirty[self.idx] = dirty;
+    }
+
+    /// The line's prefetch origin, if it was filled by a prefetch.
+    pub fn prefetch(&self) -> Option<RfoOrigin> {
+        self.arr.prefetch[self.idx]
+    }
+
+    /// Whether a demand access has touched the line since its fill.
+    pub fn used(&self) -> bool {
+        self.arr.used[self.idx]
+    }
 }
 
 impl CacheArray {
     /// Creates an empty (all-invalid) cache with the given geometry.
     pub fn new(geometry: CacheGeometry) -> Self {
+        let n = geometry.lines();
         Self {
             geometry,
-            lines: vec![CacheLine::invalid(); geometry.lines()],
+            tag: vec![NO_TAG; n],
+            state: vec![CoherenceState::Invalid; n],
+            ready: vec![0; n],
+            dirty: vec![false; n],
+            used: vec![false; n],
+            prefetch: vec![None; n],
+            lru: vec![0; n],
             lru_clock: 0,
             tag_checks: 0,
         }
@@ -107,41 +196,53 @@ impl CacheArray {
         self.tag_checks = 0;
     }
 
-    fn set_range(&self, block: u64) -> std::ops::Range<usize> {
-        let set = self.geometry.set_of(block);
-        let start = set * self.geometry.ways;
-        start..start + self.geometry.ways
+    fn set_start(&self, block: u64) -> usize {
+        self.geometry.set_of(block) * self.geometry.ways
+    }
+
+    /// The lane index holding `block`, if present and valid.
+    #[inline]
+    fn find(&self, block: u64) -> Option<usize> {
+        let start = self.set_start(block);
+        self.tag[start..start + self.geometry.ways]
+            .iter()
+            .position(|&t| t == block)
+            .map(|w| start + w)
+    }
+
+    /// Assembles the exchange-type view of one valid way.
+    fn line(&self, idx: usize) -> CacheLine {
+        CacheLine {
+            block: self.tag[idx],
+            state: self.state[idx],
+            ready: self.ready[idx],
+            dirty: self.dirty[idx],
+            prefetch: self.prefetch[idx],
+            used: self.used[idx],
+            lru: self.lru[idx],
+        }
     }
 
     /// Looks up `block`, counting one tag check. Does **not** update LRU;
     /// use [`CacheArray::touch`] on a demand access.
-    pub fn lookup(&mut self, block: u64) -> Option<&mut CacheLine> {
+    pub fn lookup(&mut self, block: u64) -> Option<LineMut<'_>> {
         self.tag_checks += 1;
-        let range = self.set_range(block);
-        self.lines[range]
-            .iter_mut()
-            .find(|l| l.is_valid() && l.block == block)
+        let idx = self.find(block)?;
+        Some(LineMut { arr: self, idx })
     }
 
-    /// Peeks at `block` without counting a tag check or taking `&mut`.
-    pub fn peek(&self, block: u64) -> Option<&CacheLine> {
-        let range = self.set_range(block);
-        self.lines[range]
-            .iter()
-            .find(|l| l.is_valid() && l.block == block)
+    /// Peeks at `block` without counting a tag check, returning a copy
+    /// of the line's metadata.
+    pub fn peek(&self, block: u64) -> Option<CacheLine> {
+        self.find(block).map(|idx| self.line(idx))
     }
 
     /// Marks `block` as most recently used and demanded.
     pub fn touch(&mut self, block: u64) {
         self.lru_clock += 1;
-        let clock = self.lru_clock;
-        let range = self.set_range(block);
-        if let Some(l) = self.lines[range]
-            .iter_mut()
-            .find(|l| l.is_valid() && l.block == block)
-        {
-            l.lru = clock;
-            l.used = true;
+        if let Some(idx) = self.find(block) {
+            self.lru[idx] = self.lru_clock;
+            self.used[idx] = true;
         }
     }
 
@@ -163,72 +264,85 @@ impl CacheArray {
         prefetch: Option<RfoOrigin>,
     ) -> Option<Eviction> {
         assert!(
-            self.peek(block).is_none(),
+            self.find(block).is_none(),
             "block {block:#x} inserted twice"
         );
         self.lru_clock += 1;
         let clock = self.lru_clock;
-        let range = self.set_range(block);
-        let set = &mut self.lines[range];
+        let start = self.set_start(block);
+        let ways = self.geometry.ways;
         // Prefer an invalid way; otherwise evict the LRU way.
-        let victim_idx = set.iter().position(|l| !l.is_valid()).unwrap_or_else(|| {
-            set.iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("sets are never empty")
-        });
-        let victim = set[victim_idx];
-        let eviction = victim.is_valid().then(|| Eviction {
-            block: victim.block,
-            dirty: victim.dirty,
-            unused_prefetch: victim.prefetch.filter(|_| !victim.used),
-        });
-        set[victim_idx] = CacheLine {
-            block,
-            state,
-            ready,
-            dirty: state == CoherenceState::Modified,
-            prefetch,
-            used: false,
-            lru: clock,
+        let set_tags = &self.tag[start..start + ways];
+        let victim = match set_tags.iter().position(|&t| t == NO_TAG) {
+            Some(w) => start + w,
+            None => {
+                let lru = &self.lru[start..start + ways];
+                let w = (0..ways)
+                    .min_by_key(|&w| lru[w])
+                    .expect("sets are never empty");
+                start + w
+            }
         };
+        let eviction = (self.tag[victim] != NO_TAG).then(|| Eviction {
+            block: self.tag[victim],
+            dirty: self.dirty[victim],
+            unused_prefetch: self.prefetch[victim].filter(|_| !self.used[victim]),
+        });
+        self.tag[victim] = block;
+        self.state[victim] = state;
+        self.ready[victim] = ready;
+        self.dirty[victim] = state == CoherenceState::Modified;
+        self.prefetch[victim] = prefetch;
+        self.used[victim] = false;
+        self.lru[victim] = clock;
         eviction
     }
 
     /// Invalidates `block` (coherence invalidation or recall), returning
     /// the line it held.
     pub fn invalidate(&mut self, block: u64) -> Option<CacheLine> {
-        let range = self.set_range(block);
-        let line = self.lines[range]
-            .iter_mut()
-            .find(|l| l.is_valid() && l.block == block)?;
-        let old = *line;
-        *line = CacheLine::invalid();
+        let idx = self.find(block)?;
+        let old = self.line(idx);
+        self.tag[idx] = NO_TAG;
+        self.state[idx] = CoherenceState::Invalid;
+        self.ready[idx] = 0;
+        self.dirty[idx] = false;
+        self.used[idx] = false;
+        self.prefetch[idx] = None;
+        self.lru[idx] = 0;
         Some(old)
     }
 
     /// Downgrades `block` to `Shared` (remote read of an owned line),
     /// returning whether it was dirty.
     pub fn downgrade(&mut self, block: u64) -> Option<bool> {
-        let range = self.set_range(block);
-        let line = self.lines[range]
-            .iter_mut()
-            .find(|l| l.is_valid() && l.block == block)?;
-        let was_dirty = line.dirty;
-        line.state = CoherenceState::Shared;
-        line.dirty = false;
+        let idx = self.find(block)?;
+        let was_dirty = self.dirty[idx];
+        self.state[idx] = CoherenceState::Shared;
+        self.dirty[idx] = false;
         Some(was_dirty)
     }
 
     /// Number of valid lines (test/debug helper).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.is_valid()).count()
+        self.tag.iter().filter(|&&t| t != NO_TAG).count()
     }
 
-    /// Iterates over all valid lines.
-    pub fn iter_valid(&self) -> impl Iterator<Item = &CacheLine> {
-        self.lines.iter().filter(|l| l.is_valid())
+    /// Iterates over all valid lines as assembled [`CacheLine`] copies.
+    pub fn iter_valid(&self) -> impl Iterator<Item = CacheLine> + '_ {
+        (0..self.tag.len())
+            .filter(|&i| self.tag[i] != NO_TAG)
+            .map(|i| self.line(i))
+    }
+
+    /// Iterates `(block, state, ready)` of every valid line, touching
+    /// only those three lanes — the invariant checker's periodic sweep.
+    pub fn iter_valid_meta(&self) -> impl Iterator<Item = (u64, CoherenceState, u64)> + '_ {
+        self.tag
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t != NO_TAG)
+            .map(|(i, &t)| (t, self.state[i], self.ready[i]))
     }
 }
 
@@ -261,8 +375,8 @@ mod tests {
         let mut c = tiny();
         c.insert(4, CoherenceState::Modified, 0, None);
         let l = c.lookup(4).unwrap();
-        assert_eq!(l.state, CoherenceState::Modified);
-        assert!(l.dirty);
+        assert_eq!(l.state(), CoherenceState::Modified);
+        assert!(l.dirty());
     }
 
     #[test]
@@ -356,5 +470,32 @@ mod tests {
             let _ = c.insert(b, CoherenceState::Exclusive, 0, None);
         }
         assert!(c.valid_lines() <= c.geometry().lines());
+    }
+
+    #[test]
+    fn line_mut_writes_are_visible_through_peek() {
+        let mut c = tiny();
+        c.insert(4, CoherenceState::Shared, 7, None);
+        {
+            let mut l = c.lookup(4).unwrap();
+            l.set_state(CoherenceState::Modified);
+            l.set_ready(99);
+            l.set_dirty(true);
+            assert_eq!(l.block(), 4);
+        }
+        let l = c.peek(4).unwrap();
+        assert_eq!(l.state, CoherenceState::Modified);
+        assert_eq!(l.ready, 99);
+        assert!(l.dirty);
+    }
+
+    #[test]
+    fn meta_walk_matches_iter_valid() {
+        let mut c = tiny();
+        c.insert(0, CoherenceState::Exclusive, 5, None);
+        c.insert(3, CoherenceState::Shared, 9, None);
+        let full: Vec<_> = c.iter_valid().map(|l| (l.block, l.state, l.ready)).collect();
+        let meta: Vec<_> = c.iter_valid_meta().collect();
+        assert_eq!(full, meta);
     }
 }

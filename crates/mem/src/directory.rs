@@ -11,8 +11,9 @@
 //! evictions do not force recalls. This removes an interaction that is
 //! orthogonal to store prefetching.
 
-use std::collections::HashMap;
+use crate::blockmap::BlockMap;
 use std::fmt;
+use std::ops::Deref;
 
 /// Maximum number of cores the sharer bitmask supports.
 pub const MAX_CORES: usize = 16;
@@ -32,11 +33,60 @@ pub enum DirEntry {
     },
 }
 
+impl Default for DirEntry {
+    /// Slot filler for the backing [`BlockMap`]; never observable
+    /// through the map API.
+    fn default() -> Self {
+        DirEntry::Owned { owner: 0 }
+    }
+}
+
+/// An inline set of core ids to invalidate.
+///
+/// Exclusive requests used to heap-allocate a `Vec<u8>` per remote
+/// invalidation; the sharer mask bounds the set by [`MAX_CORES`], so it
+/// fits in a fixed array on the stack. Derefs to a slice for iteration
+/// and comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalSet {
+    cores: [u8; MAX_CORES],
+    len: u8,
+}
+
+impl InvalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self {
+            cores: [0; MAX_CORES],
+            len: 0,
+        }
+    }
+
+    /// Adds a core id.
+    pub fn push(&mut self, core: u8) {
+        self.cores[self.len as usize] = core;
+        self.len += 1;
+    }
+}
+
+impl Default for InvalSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for InvalSet {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.cores[..self.len as usize]
+    }
+}
+
 /// What a requester must do before its access can proceed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoherenceActions {
     /// Cores whose copies must be invalidated (exclusive requests).
-    pub invalidate: Vec<u8>,
+    pub invalidate: InvalSet,
     /// Core whose M/E copy must be downgraded to S (read requests).
     pub downgrade: Option<u8>,
 }
@@ -45,7 +95,7 @@ impl CoherenceActions {
     /// No remote action needed.
     pub fn none() -> Self {
         Self {
-            invalidate: Vec::new(),
+            invalidate: InvalSet::new(),
             downgrade: None,
         }
     }
@@ -73,7 +123,15 @@ impl CoherenceActions {
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
     cores: usize,
-    entries: HashMap<u64, DirEntry>,
+    entries: BlockMap<DirEntry>,
+    /// Blocks whose current entry is malformed, in write order. Every
+    /// entry write funnels through [`Directory::set`], which validates
+    /// it, so this list is the whole answer to [`find_malformed`] —
+    /// empty (the always case) makes the periodic invariant check O(1)
+    /// instead of a full table sweep.
+    ///
+    /// [`find_malformed`]: Directory::find_malformed
+    malformed: Vec<u64>,
     invalidations_sent: u64,
     downgrades_sent: u64,
     reinstates: u64,
@@ -92,7 +150,8 @@ impl Directory {
         );
         Self {
             cores,
-            entries: HashMap::new(),
+            entries: BlockMap::new(),
+            malformed: Vec::new(),
             invalidations_sent: 0,
             downgrades_sent: 0,
             reinstates: 0,
@@ -106,7 +165,7 @@ impl Directory {
 
     /// Current entry for `block`, if any core caches it.
     pub fn entry(&self, block: u64) -> Option<DirEntry> {
-        self.entries.get(&block).copied()
+        self.entries.get(block).copied()
     }
 
     /// Total invalidation messages generated.
@@ -117,6 +176,47 @@ impl Directory {
     /// Total downgrade messages generated.
     pub fn downgrades_sent(&self) -> u64 {
         self.downgrades_sent
+    }
+
+    /// Why `e` is malformed for a `cores`-core directory, if it is.
+    fn malformed_why(e: &DirEntry, cores: usize) -> Option<String> {
+        match e {
+            DirEntry::Owned { owner } if (*owner as usize) >= cores => {
+                Some(format!("owner {owner} out of range (cores={cores})"))
+            }
+            DirEntry::Shared { sharers } if *sharers == 0 => {
+                Some("shared entry with empty sharer mask".into())
+            }
+            DirEntry::Shared { sharers } if (*sharers >> cores) != 0 => {
+                Some(format!("sharer mask {sharers:#b} names out-of-range cores"))
+            }
+            _ => None,
+        }
+    }
+
+    /// Writes `block`'s entry, keeping the malformed-block list exact.
+    fn set(&mut self, block: u64, e: DirEntry) {
+        match Self::malformed_why(&e, self.cores) {
+            Some(_) => {
+                if !self.malformed.contains(&block) {
+                    self.malformed.push(block);
+                }
+            }
+            None => {
+                if !self.malformed.is_empty() {
+                    self.malformed.retain(|&b| b != block);
+                }
+            }
+        }
+        self.entries.insert(block, e);
+    }
+
+    /// Removes `block`'s entry, keeping the malformed-block list exact.
+    fn unset(&mut self, block: u64) {
+        if !self.malformed.is_empty() {
+            self.malformed.retain(|&b| b != block);
+        }
+        self.entries.remove(block);
     }
 
     /// Core `core` requests ownership of `block` (store / RFO).
@@ -130,7 +230,7 @@ impl Directory {
     pub fn request_exclusive(&mut self, core: u8, block: u64) -> CoherenceActions {
         assert!((core as usize) < self.cores, "core id out of range");
         let mut actions = CoherenceActions::none();
-        match self.entries.get(&block).copied() {
+        match self.entries.get(block).copied() {
             None => {}
             Some(DirEntry::Owned { owner }) if owner == core => {}
             Some(DirEntry::Owned { owner }) => {
@@ -145,7 +245,7 @@ impl Directory {
             }
         }
         self.invalidations_sent += actions.invalidate.len() as u64;
-        self.entries.insert(block, DirEntry::Owned { owner: core });
+        self.set(block, DirEntry::Owned { owner: core });
         actions
     }
 
@@ -157,21 +257,21 @@ impl Directory {
     pub fn request_shared(&mut self, core: u8, block: u64) -> CoherenceActions {
         assert!((core as usize) < self.cores, "core id out of range");
         let mut actions = CoherenceActions::none();
-        match self.entries.get(&block).copied() {
+        match self.entries.get(block).copied() {
             None => {
                 // First copy: grant E (recorded as Owned so a later store
                 // by the same core upgrades silently).
-                self.entries.insert(block, DirEntry::Owned { owner: core });
+                self.set(block, DirEntry::Owned { owner: core });
             }
             Some(DirEntry::Owned { owner }) if owner == core => {}
             Some(DirEntry::Owned { owner }) => {
                 actions.downgrade = Some(owner);
                 self.downgrades_sent += 1;
                 let sharers = (1u16 << owner) | (1u16 << core);
-                self.entries.insert(block, DirEntry::Shared { sharers });
+                self.set(block, DirEntry::Shared { sharers });
             }
             Some(DirEntry::Shared { sharers }) => {
-                self.entries.insert(
+                self.set(
                     block,
                     DirEntry::Shared {
                         sharers: sharers | (1 << core),
@@ -195,8 +295,8 @@ impl Directory {
     /// own.
     pub fn reinstate_owner(&mut self, core: u8, block: u64) {
         assert!((core as usize) < self.cores, "core id out of range");
-        if let std::collections::hash_map::Entry::Vacant(e) = self.entries.entry(block) {
-            e.insert(DirEntry::Owned { owner: core });
+        if !self.entries.contains(block) {
+            self.set(block, DirEntry::Owned { owner: core });
             self.reinstates += 1;
         }
     }
@@ -209,16 +309,16 @@ impl Directory {
 
     /// Core `core` evicted its copy of `block`; the directory forgets it.
     pub fn evicted(&mut self, core: u8, block: u64) {
-        match self.entries.get(&block).copied() {
+        match self.entries.get(block).copied() {
             Some(DirEntry::Owned { owner }) if owner == core => {
-                self.entries.remove(&block);
+                self.unset(block);
             }
             Some(DirEntry::Shared { sharers }) => {
                 let s = sharers & !(1 << core);
                 if s == 0 {
-                    self.entries.remove(&block);
+                    self.unset(block);
                 } else {
-                    self.entries.insert(block, DirEntry::Shared { sharers: s });
+                    self.set(block, DirEntry::Shared { sharers: s });
                 }
             }
             _ => {}
@@ -234,26 +334,19 @@ impl Directory {
 
     /// Finds the first malformed entry (owner out of range, empty or
     /// out-of-range sharer mask), if any, with a description.
+    ///
+    /// O(1) in the healthy case: every write validates its entry and
+    /// maintains the malformed-block list, so this only has work to do
+    /// when a directory bug already happened.
     pub fn find_malformed(&self) -> Option<(u64, String)> {
-        self.entries.iter().find_map(|(&block, e)| match e {
-            DirEntry::Owned { owner } if (*owner as usize) >= self.cores => Some((
-                block,
-                format!("owner {owner} out of range (cores={})", self.cores),
-            )),
-            DirEntry::Shared { sharers } if *sharers == 0 => {
-                Some((block, "shared entry with empty sharer mask".into()))
-            }
-            DirEntry::Shared { sharers } if (*sharers >> self.cores) != 0 => Some((
-                block,
-                format!("sharer mask {sharers:#b} names out-of-range cores"),
-            )),
-            _ => None,
-        })
+        let &block = self.malformed.first()?;
+        let e = self.entries.get(block)?;
+        Self::malformed_why(e, self.cores).map(|why| (block, why))
     }
 
     /// Whether the directory believes `core` holds a copy of `block`.
     pub fn tracks(&self, core: u8, block: u64) -> bool {
-        match self.entries.get(&block) {
+        match self.entries.get(block) {
             Some(DirEntry::Owned { owner }) => *owner == core,
             Some(DirEntry::Shared { sharers }) => sharers & (1 << core) != 0,
             None => false,
@@ -262,7 +355,7 @@ impl Directory {
 
     /// Iterates over all tracked blocks and their entries.
     pub fn iter_entries(&self) -> impl Iterator<Item = (u64, DirEntry)> + '_ {
-        self.entries.iter().map(|(&b, &e)| (b, e))
+        self.entries.iter().map(|(b, &e)| (b, e))
     }
 }
 
@@ -307,7 +400,7 @@ mod tests {
         d.request_shared(1, 9);
         d.request_shared(2, 9);
         let a = d.request_exclusive(3, 9);
-        let mut inv = a.invalidate.clone();
+        let mut inv = a.invalidate.to_vec();
         inv.sort_unstable();
         assert_eq!(inv, vec![0, 1, 2]);
         assert_eq!(d.entry(9), Some(DirEntry::Owned { owner: 3 }));
@@ -318,7 +411,7 @@ mod tests {
         let mut d = Directory::new(2);
         d.request_exclusive(0, 9);
         let a = d.request_exclusive(1, 9);
-        assert_eq!(a.invalidate, vec![0]);
+        assert_eq!(&a.invalidate[..], [0]);
         assert_eq!(d.entry(9), Some(DirEntry::Owned { owner: 1 }));
     }
 

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blockmap;
 pub mod cache;
 pub mod checker;
 pub mod directory;

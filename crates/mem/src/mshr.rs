@@ -5,6 +5,25 @@
 //! entry *merge* into it; when the file is full, new misses must wait
 //! for the earliest completing entry — this is what ultimately limits
 //! how aggressive a prefetch burst can be.
+//!
+//! # Layout
+//!
+//! The file is stored struct-of-arrays: fixed `capacity`-sized lanes
+//! (`block`, `ready`, `exclusive`, `prefetch`) indexed by slot, a dense
+//! `occupied` list of live slots that drives every scan, and a `free`
+//! list of reusable slots. The hot lanes (`block`, `ready`) are what
+//! `lookup` and `retire_completed` walk, so a scan touches 16 bytes per
+//! entry instead of a whole [`MshrEntry`]. A cached lower bound on the
+//! earliest outstanding completion lets `retire_completed` — called
+//! several times per core per memory-system tick — return with a single
+//! compare when nothing can have completed yet.
+//!
+//! Mutation order is part of the simulator's bit-identity contract:
+//! retirement drops slots from `occupied` in list order (so grouping
+//! several cycles of lazy reclamation into one batched call, as the
+//! skip-ahead kernel does, leaves the same list as per-cycle calls),
+//! while explicit invalidation uses `swap_remove` exactly like the
+//! historical `Vec<MshrEntry>` implementation did.
 
 use crate::line::RfoOrigin;
 
@@ -21,7 +40,7 @@ pub struct MshrEntry {
     pub prefetch: Option<RfoOrigin>,
 }
 
-/// A bounded file of [`MshrEntry`]s.
+/// A bounded file of [`MshrEntry`]s in struct-of-arrays layout.
 ///
 /// # Examples
 ///
@@ -38,7 +57,23 @@ pub struct MshrEntry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: Vec<MshrEntry>,
+    /// Hot lane: missing block address per slot.
+    block: Vec<u64>,
+    /// Hot lane: fill completion cycle per slot.
+    ready: Vec<u64>,
+    /// Cold lane: RFO flag per slot.
+    exclusive: Vec<bool>,
+    /// Cold lane: prefetch origin per slot.
+    prefetch: Vec<Option<RfoOrigin>>,
+    /// Live slots, in the order scans observe them.
+    occupied: Vec<u16>,
+    /// Reusable slots (free list).
+    free: Vec<u16>,
+    /// Lower bound on the earliest `ready` among live entries
+    /// (`u64::MAX` when provably none can complete). Only ever stale in
+    /// the safe direction: a too-small bound costs one wasted scan, so
+    /// removals and deadline extensions never bother recomputing it.
+    earliest_ready: u64,
     allocations: u64,
     merges: u64,
     full_events: u64,
@@ -52,9 +87,16 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "an MSHR file needs at least one entry");
+        assert!(capacity <= u16::MAX as usize, "slot indices are u16");
         Self {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            block: vec![0; capacity],
+            ready: vec![0; capacity],
+            exclusive: vec![false; capacity],
+            prefetch: vec![None; capacity],
+            occupied: Vec::with_capacity(capacity),
+            free: (0..capacity as u16).rev().collect(),
+            earliest_ready: u64::MAX,
             allocations: 0,
             merges: 0,
             full_events: 0,
@@ -68,12 +110,12 @@ impl MshrFile {
 
     /// Current number of outstanding entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.occupied.len()
     }
 
     /// Whether no misses are outstanding.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.occupied.is_empty()
     }
 
     /// Total allocations (for stats).
@@ -91,19 +133,55 @@ impl MshrFile {
         self.full_events
     }
 
+    /// The live slot holding `block`, if any.
+    #[inline]
+    fn find(&self, block: u64) -> Option<u16> {
+        self.occupied
+            .iter()
+            .copied()
+            .find(|&s| self.block[s as usize] == block)
+    }
+
+    /// Assembles the exchange-type view of one slot.
+    #[inline]
+    fn entry(&self, slot: u16) -> MshrEntry {
+        let s = slot as usize;
+        MshrEntry {
+            block: self.block[s],
+            ready: self.ready[s],
+            exclusive: self.exclusive[s],
+            prefetch: self.prefetch[s],
+        }
+    }
+
     /// Drops entries whose fills have completed by `now`.
     pub fn retire_completed(&mut self, now: u64) {
-        self.entries.retain(|e| e.ready > now);
+        if self.earliest_ready > now {
+            return; // nothing can have completed yet
+        }
+        let mut earliest = u64::MAX;
+        let (ready, free) = (&self.ready, &mut self.free);
+        self.occupied.retain(|&s| {
+            let r = ready[s as usize];
+            if r > now {
+                earliest = earliest.min(r);
+                true
+            } else {
+                free.push(s);
+                false
+            }
+        });
+        self.earliest_ready = earliest;
     }
 
     /// Finds the outstanding entry for `block`, if any.
-    pub fn lookup(&self, block: u64) -> Option<&MshrEntry> {
-        self.entries.iter().find(|e| e.block == block)
+    pub fn lookup(&self, block: u64) -> Option<MshrEntry> {
+        self.find(block).map(|s| self.entry(s))
     }
 
-    /// All outstanding entries (read-only; for invariant checking).
-    pub fn entries(&self) -> &[MshrEntry] {
-        &self.entries
+    /// All outstanding entries, in scan order (for invariant checking).
+    pub fn iter(&self) -> impl Iterator<Item = MshrEntry> + '_ {
+        self.occupied.iter().map(|&s| self.entry(s))
     }
 
     /// Removes the outstanding entry for `block`, returning it if it was
@@ -111,17 +189,19 @@ impl MshrFile {
     /// letting the entry live would later merge a store into a line the
     /// directory no longer grants — a stale writable copy.
     pub fn invalidate_entry(&mut self, block: u64) -> Option<MshrEntry> {
-        let i = self.entries.iter().position(|e| e.block == block)?;
-        Some(self.entries.swap_remove(i))
+        let i = self.occupied.iter().position(|&s| self.block[s as usize] == block)?;
+        let slot = self.occupied.swap_remove(i);
+        self.free.push(slot);
+        Some(self.entry(slot))
     }
 
     /// Strips write permission from an in-flight entry for `block` (a
     /// remote read downgraded the grant). Returns whether an exclusive
     /// entry was actually downgraded.
     pub fn downgrade_entry(&mut self, block: u64) -> bool {
-        match self.entries.iter_mut().find(|e| e.block == block) {
-            Some(e) if e.exclusive => {
-                e.exclusive = false;
+        match self.find(block) {
+            Some(s) if self.exclusive[s as usize] => {
+                self.exclusive[s as usize] = false;
                 true
             }
             _ => false,
@@ -131,9 +211,9 @@ impl MshrFile {
     /// Upgrades an in-flight read entry to exclusive (a store merged into
     /// a load miss); returns the entry's ready time if present.
     pub fn upgrade_to_exclusive(&mut self, block: u64) -> Option<u64> {
-        let e = self.entries.iter_mut().find(|e| e.block == block)?;
-        e.exclusive = true;
-        Some(e.ready)
+        let s = self.find(block)? as usize;
+        self.exclusive[s] = true;
+        Some(self.ready[s])
     }
 
     /// Folds an upgrade request into an existing in-flight entry: marks
@@ -142,10 +222,13 @@ impl MshrFile {
     /// allocates a fresh one). One entry per block is what the MSHR-leak
     /// invariant demands; a blind second `allocate` would duplicate.
     pub fn merge_exclusive(&mut self, block: u64, ready: u64) -> bool {
-        match self.entries.iter_mut().find(|e| e.block == block) {
-            Some(e) => {
-                e.exclusive = true;
-                e.ready = e.ready.max(ready);
+        match self.find(block) {
+            Some(s) => {
+                let s = s as usize;
+                self.exclusive[s] = true;
+                // Raising a deadline can only move the true minimum up,
+                // so the cached lower bound stays valid as-is.
+                self.ready[s] = self.ready[s].max(ready);
                 self.merges += 1;
                 true
             }
@@ -178,22 +261,24 @@ impl MshrFile {
             self.lookup(block).is_none(),
             "duplicate MSHR for block {block:#x}"
         );
-        if self.entries.len() >= self.capacity {
+        if self.occupied.len() >= self.capacity {
             self.full_events += 1;
             let earliest = self
-                .entries
+                .occupied
                 .iter()
-                .map(|e| e.ready)
+                .map(|&s| self.ready[s as usize])
                 .min()
                 .expect("full file is non-empty");
             return Err(earliest);
         }
-        self.entries.push(MshrEntry {
-            block,
-            ready,
-            exclusive,
-            prefetch,
-        });
+        let slot = self.free.pop().expect("free list tracks every vacancy");
+        let s = slot as usize;
+        self.block[s] = block;
+        self.ready[s] = ready;
+        self.exclusive[s] = exclusive;
+        self.prefetch[s] = prefetch;
+        self.occupied.push(slot);
+        self.earliest_ready = self.earliest_ready.min(ready);
         self.allocations += 1;
         Ok(())
     }
@@ -278,5 +363,54 @@ mod tests {
         assert!(m.lookup(1).is_none());
         assert!(m.lookup(2).is_some());
         assert!(m.invalidate_entry(3).is_none());
+    }
+
+    #[test]
+    fn batched_retirement_matches_per_cycle_retirement() {
+        // The skip-ahead kernel batches several cycles of lazy
+        // reclamation into one call; the surviving scan order and the
+        // free-slot reuse behaviour must match per-cycle calls.
+        let build = || {
+            let mut m = MshrFile::new(8);
+            for (b, r) in [(1u64, 10u64), (2, 30), (3, 20), (4, 40)] {
+                m.allocate(b, r, false, None, 0).unwrap();
+            }
+            m
+        };
+        let mut per_cycle = build();
+        for now in 0..=35 {
+            per_cycle.retire_completed(now);
+        }
+        let mut batched = build();
+        batched.retire_completed(35);
+        assert_eq!(
+            per_cycle.iter().collect::<Vec<_>>(),
+            batched.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(per_cycle.len(), 1);
+        // Both files now admit new entries into identical scan positions.
+        per_cycle.allocate(9, 99, false, None, 36).unwrap();
+        batched.allocate(9, 99, false, None, 36).unwrap();
+        assert_eq!(
+            per_cycle.iter().collect::<Vec<_>>(),
+            batched.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn earliest_ready_cache_survives_merges_and_invalidations() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1, 50, false, None, 0).unwrap();
+        m.allocate(2, 20, false, None, 0).unwrap();
+        // Extending entry 2's deadline leaves the cached bound stale in
+        // the safe (too-small) direction; retirement must still be exact.
+        assert!(m.merge_exclusive(2, 80));
+        m.retire_completed(50);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup(2).unwrap().ready, 80);
+        m.invalidate_entry(2).unwrap();
+        assert!(m.is_empty());
+        m.retire_completed(u64::MAX - 1);
+        assert!(m.is_empty());
     }
 }

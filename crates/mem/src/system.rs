@@ -395,9 +395,54 @@ impl MemorySystem {
         self.cores[core].demand_miss_until > now
     }
 
+    /// The cycle until which `core`'s current demand L1D miss is
+    /// outstanding (0 if none was ever recorded). Used by the
+    /// skip-ahead kernel to replay the per-cycle
+    /// [`MemorySystem::has_pending_demand_miss`] check over a span in
+    /// which no memory activity occurs.
+    pub fn demand_miss_until(&self, core: usize) -> u64 {
+        self.cores[core].demand_miss_until
+    }
+
     /// Number of blocks waiting in `core`'s SPB burst queue.
     pub fn burst_queue_len(&self, core: usize) -> usize {
         self.cores[core].burst_queue.len()
+    }
+
+    /// Probes whether [`MemorySystem::tick`] has same-cycle work at
+    /// `now`, and if not, the next cycle at which it will (the
+    /// skip-ahead kernel's memory horizon).
+    ///
+    /// Returns `Some(now)` when a tick at `now` would do real work: an
+    /// SPB burst queue has blocks to issue, `now` is an invariant-
+    /// checker boundary, or an observer is attached and `now` is an
+    /// occupancy-sample boundary. Otherwise returns the earliest future
+    /// checker/sample boundary, or `None` when neither recurs (checker
+    /// disabled and no observer). All other memory-system activity —
+    /// fills, drains, DRAM returns, fault draws — happens inside core-
+    /// initiated calls and is covered by the per-core horizons; fault
+    /// draws are keyed by per-site event counts, never by `now`, so a
+    /// skipped span leaves every fault stream untouched.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        if self.cores.iter().any(|c| !c.burst_queue.is_empty()) {
+            return Some(now);
+        }
+        let interval = self.config.checker_interval;
+        let obs_on = self.obs.enabled();
+        if (interval > 0 && now.is_multiple_of(interval))
+            || (obs_on && now.is_multiple_of(OBS_SAMPLE_INTERVAL))
+        {
+            return Some(now);
+        }
+        let mut next: Option<u64> = None;
+        if let Some(q) = now.checked_div(interval) {
+            next = Some((q + 1) * interval);
+        }
+        if obs_on {
+            let b = (now / OBS_SAMPLE_INTERVAL + 1) * OBS_SAMPLE_INTERVAL;
+            next = Some(next.map_or(b, |n| n.min(b)));
+        }
+        next
     }
 
     /// Distribution of SPB burst lengths observed at the L1 controller.
@@ -511,7 +556,7 @@ impl MemorySystem {
             return Err(self.violation(InvariantKind::DirectoryState, Some(block), None, now, why));
         }
         for (i, c) in self.cores.iter().enumerate() {
-            let entries = c.mshr.entries();
+            let entries: Vec<_> = c.mshr.iter().collect();
             if entries.len() > c.mshr.capacity() {
                 return Err(self.violation(
                     InvariantKind::MshrLeak,
@@ -548,35 +593,34 @@ impl MemorySystem {
                     ));
                 }
             }
-            for line in c.l1.iter_valid().chain(c.l2.iter_valid()) {
-                if line.ready > now {
+            for (block, state, ready) in c.l1.iter_valid_meta().chain(c.l2.iter_valid_meta()) {
+                if ready > now {
                     continue; // transient IM/PF_IM: grant already recorded
                 }
-                if line.state.writable() {
-                    if self.directory.entry(line.block) != Some(DirEntry::Owned { owner: i as u8 })
-                    {
+                if state.writable() {
+                    if self.directory.entry(block) != Some(DirEntry::Owned { owner: i as u8 }) {
                         return Err(self.violation(
                             InvariantKind::SingleWriter,
-                            Some(line.block),
+                            Some(block),
                             Some(i),
                             now,
                             format!(
                                 "core holds a stable {} copy but the directory says {:?}",
-                                line.state,
-                                self.directory.entry(line.block)
+                                state,
+                                self.directory.entry(block)
                             ),
                         ));
                     }
-                } else if !self.directory.tracks(i as u8, line.block) {
+                } else if !self.directory.tracks(i as u8, block) {
                     return Err(self.violation(
                         InvariantKind::DirectoryAgreement,
-                        Some(line.block),
+                        Some(block),
                         Some(i),
                         now,
                         format!(
                             "core holds a stable {} copy the directory does not track ({:?})",
-                            line.state,
-                            self.directory.entry(line.block)
+                            state,
+                            self.directory.entry(block)
                         ),
                     ));
                 }
@@ -601,7 +645,6 @@ impl MemorySystem {
                     || self.cores[core].l2.peek(block).is_some()
                     || self.cores[core]
                         .mshr
-                        .entries()
                         .iter()
                         .any(|e| e.block == block && e.ready > now)
             };
@@ -633,7 +676,7 @@ impl MemorySystem {
         use std::fmt::Write as _;
         let mut s = format!("memory-system snapshot at cycle {now}:\n");
         for (i, c) in self.cores.iter().enumerate() {
-            let max_ready = c.mshr.entries().iter().map(|e| e.ready).max();
+            let max_ready = c.mshr.iter().map(|e| e.ready).max();
             let _ = writeln!(
                 s,
                 "  core {i}: mshr {}/{} (latest completion {max_ready:?}), \
@@ -648,7 +691,7 @@ impl MemorySystem {
         if let Some(e) = self
             .cores
             .iter()
-            .flat_map(|c| c.mshr.entries())
+            .flat_map(|c| c.mshr.iter())
             .max_by_key(|e| e.ready)
         {
             let _ = writeln!(
@@ -729,8 +772,8 @@ impl MemorySystem {
             self.coh(now, core as u8, block, CoherenceKind::Reinstated);
         }
         if self.apply_invalidations(&actions.invalidate, block, now) {
-            if let Some(l3line) = self.l3.lookup(block) {
-                l3line.dirty = true;
+            if let Some(mut l3line) = self.l3.lookup(block) {
+                l3line.set_dirty(true);
             }
         }
     }
@@ -749,8 +792,8 @@ impl MemorySystem {
         if ev.dirty {
             // Write back into L2 (present by inclusion in the common
             // case; otherwise push further down).
-            if let Some(l2line) = self.cores[core].l2.lookup(ev.block) {
-                l2line.dirty = true;
+            if let Some(mut l2line) = self.cores[core].l2.lookup(ev.block) {
+                l2line.set_dirty(true);
                 return;
             }
             self.push_writeback_below_l2(core, ev.block, now);
@@ -774,8 +817,8 @@ impl MemorySystem {
 
     fn push_writeback_below_l2(&mut self, _core: usize, block: u64, now: u64) {
         self.stats.writebacks += 1;
-        if let Some(l3line) = self.l3.lookup(block) {
-            l3line.dirty = true;
+        if let Some(mut l3line) = self.l3.lookup(block) {
+            l3line.set_dirty(true);
         } else {
             self.dram.writeback(now, block);
         }
@@ -818,14 +861,14 @@ impl MemorySystem {
         let l2_state = self.cores[core]
             .l2
             .lookup(block)
-            .map(|l| (l.state, l.ready));
+            .map(|l| (l.state(), l.ready()));
         if let Some((state, line_ready)) = l2_state {
             if !exclusive || state.writable() {
                 let ready = line_ready.max(now) + self.config.l2_latency;
                 self.cores[core].l2.touch(block);
                 if exclusive {
-                    if let Some(l) = self.cores[core].l2.lookup(block) {
-                        l.state = CoherenceState::Modified;
+                    if let Some(mut l) = self.cores[core].l2.lookup(block) {
+                        l.set_state(CoherenceState::Modified);
                     }
                 }
                 return (ready, Level::L2);
@@ -877,9 +920,9 @@ impl MemorySystem {
                 );
             }
             let ready = now + self.config.l3_latency + remote;
-            if let Some(l) = self.cores[core].l2.lookup(block) {
-                l.state = CoherenceState::Modified;
-                l.ready = ready;
+            if let Some(mut l) = self.cores[core].l2.lookup(block) {
+                l.set_state(CoherenceState::Modified);
+                l.set_ready(ready);
             }
             self.cores[core].l2.touch(block);
             return (ready, if remote > 0 { Level::Remote } else { Level::L3 });
@@ -894,10 +937,10 @@ impl MemorySystem {
             }
         };
 
-        let (mut ready, mut level) = if let Some(l3line) = self.l3.lookup(block) {
-            let r = l3line.ready.max(now) + self.config.l3_latency;
+        let (mut ready, mut level) = if let Some(mut l3line) = self.l3.lookup(block) {
+            let r = l3line.ready().max(now) + self.config.l3_latency;
             if remote_dirty {
-                l3line.dirty = true;
+                l3line.set_dirty(true);
             }
             self.l3.touch(block);
             (r, Level::L3)
@@ -1021,7 +1064,7 @@ impl MemorySystem {
         let line_info = self.cores[core]
             .l1
             .lookup(block)
-            .map(|l| (l.state, l.ready, l.prefetch, l.used));
+            .map(|l| (l.state(), l.ready(), l.prefetch(), l.used()));
         let result = if let Some((state, line_ready, prefetch, used)) = line_info {
             if !state.readable() {
                 self.flag_violation(
@@ -1056,7 +1099,7 @@ impl MemorySystem {
         } else {
             // True L1 miss.
             self.cores[core].mshr.retire_completed(now);
-            if let Some(entry) = self.cores[core].mshr.lookup(block).copied() {
+            if let Some(entry) = self.cores[core].mshr.lookup(block) {
                 // The line was evicted while its fill was in flight;
                 // merge and reinstate it.
                 self.cores[core].mshr.record_merge();
@@ -1078,8 +1121,8 @@ impl MemorySystem {
                             d |= self.cores[o].l2.downgrade(block).unwrap_or(false);
                             self.cores[o].mshr.downgrade_entry(block);
                             if d {
-                                if let Some(l3line) = self.l3.lookup(block) {
-                                    l3line.dirty = true;
+                                if let Some(mut l3line) = self.l3.lookup(block) {
+                                    l3line.set_dirty(true);
                                 }
                             }
                         }
@@ -1172,7 +1215,7 @@ impl MemorySystem {
         let line_info = self.cores[core]
             .l1
             .lookup(block)
-            .map(|l| (l.state, l.ready, l.prefetch, l.used));
+            .map(|l| (l.state(), l.ready(), l.prefetch(), l.used()));
         match line_info {
             Some((state, line_ready, prefetch, used)) if state.writable() => {
                 if line_ready <= now {
@@ -1181,9 +1224,9 @@ impl MemorySystem {
                         self.cores[core].prefetcher.feedback_useful();
                     }
                     self.cores[core].l1.touch(block);
-                    if let Some(l) = self.cores[core].l1.lookup(block) {
-                        l.state = CoherenceState::Modified;
-                        l.dirty = true;
+                    if let Some(mut l) = self.cores[core].l1.lookup(block) {
+                        l.set_state(CoherenceState::Modified);
+                        l.set_dirty(true);
                     }
                     self.stats.stores_performed += 1;
                     self.stats.store_l1_ready_hits += 1;
@@ -1217,9 +1260,9 @@ impl MemorySystem {
                 self.stats.store_retries += 1;
                 let now_adm = self.mshr_admit(core, now);
                 let (ready, _level) = self.fill_below_l1(core, block, now_adm, Want::Own, None);
-                if let Some(l) = self.cores[core].l1.lookup(block) {
-                    l.state = CoherenceState::Modified;
-                    l.ready = ready;
+                if let Some(mut l) = self.cores[core].l1.lookup(block) {
+                    l.set_state(CoherenceState::Modified);
+                    l.set_ready(ready);
                 }
                 // A shared line can still have its read fill in flight
                 // (downgraded mid-fill, or upgrading under a load miss):
@@ -1247,8 +1290,8 @@ impl MemorySystem {
                         {
                             self.handle_l1_eviction(core, ev, now);
                         }
-                    } else if let Some(l) = self.cores[core].l1.lookup(block) {
-                        l.state = CoherenceState::Modified;
+                    } else if let Some(mut l) = self.cores[core].l1.lookup(block) {
+                        l.set_state(CoherenceState::Modified);
                     }
                     return StoreDrainOutcome::Retry { at: ready };
                 }
@@ -1300,7 +1343,7 @@ impl MemorySystem {
         self.cores[core].mshr.retire_completed(now);
         self.stats.prefetch_requests[origin.index()] += 1;
 
-        let line_state = self.cores[core].l1.lookup(block).map(|l| l.state);
+        let line_state = self.cores[core].l1.lookup(block).map(|l| l.state());
         let response = match line_state {
             Some(state) if state.writable() => RfoResponse::Discarded, // PopReq
             Some(_) => {
@@ -1313,9 +1356,9 @@ impl MemorySystem {
                     ready += extra;
                     self.stats.faults_ack_delayed += 1;
                 }
-                if let Some(l) = self.cores[core].l1.lookup(block) {
-                    l.state = CoherenceState::Modified;
-                    l.ready = ready;
+                if let Some(mut l) = self.cores[core].l1.lookup(block) {
+                    l.set_state(CoherenceState::Modified);
+                    l.set_ready(ready);
                 }
                 // The shared line's own fill may still be in flight:
                 // fold the upgrade into that entry rather than duplicate.
@@ -1329,8 +1372,8 @@ impl MemorySystem {
                     self.cores[core].mshr.record_merge();
                     self.upgrade_merged_entry(core, block, now);
                     if self.cores[core].l1.peek(block).is_some() {
-                        if let Some(l) = self.cores[core].l1.lookup(block) {
-                            l.state = CoherenceState::Modified;
+                        if let Some(mut l) = self.cores[core].l1.lookup(block) {
+                            l.set_state(CoherenceState::Modified);
                         }
                     }
                     let _ = ready;

@@ -10,6 +10,45 @@ use spb_mem::MemoryConfig;
 /// normalizes to a 1024-entry SB).
 pub const IDEAL_SB_ENTRIES: usize = 1024;
 
+/// Which execution kernel drives the cores and the memory system.
+///
+/// Both kernels produce bit-identical [`crate::RunResult`]s (pinned by
+/// the golden quick grid and the `spb-verify` kernel-equivalence
+/// property); they differ only in wall-clock time. The tick kernel is
+/// kept for one release as the reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Legacy lock-step kernel: tick every component every cycle.
+    Tick,
+    /// Discrete-event skip-ahead kernel: when every core is stalled
+    /// with no same-cycle work, jump `now` to the earliest
+    /// `next_event_at` horizon and replay the skipped span's
+    /// accounting in bulk.
+    #[default]
+    Event,
+}
+
+impl KernelMode {
+    /// Parses the CLI spelling (`tick` / `event`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "tick" => Ok(KernelMode::Tick),
+            "event" => Ok(KernelMode::Event),
+            other => Err(format!(
+                "unknown kernel '{other}' (valid: tick, event)"
+            )),
+        }
+    }
+
+    /// Display label (`tick` / `event`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelMode::Tick => "tick",
+            KernelMode::Event => "event",
+        }
+    }
+}
+
 /// Which store-prefetch strategy a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
@@ -102,6 +141,8 @@ pub struct SimConfig {
     /// cycles (0 disables — the run may then hang on a livelocked
     /// memory request).
     pub watchdog_cycles: u64,
+    /// Which execution kernel to use (bit-identical results either way).
+    pub kernel: KernelMode,
 }
 
 impl SimConfig {
@@ -116,6 +157,7 @@ impl SimConfig {
             measure_uops: 600_000,
             seed: 42,
             watchdog_cycles: 2_000_000,
+            kernel: KernelMode::Event,
         }
     }
 
@@ -142,6 +184,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different execution kernel.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -201,5 +250,14 @@ mod tests {
     #[test]
     fn quick_is_smaller_than_paper_default() {
         assert!(SimConfig::quick().measure_uops < SimConfig::paper_default().measure_uops);
+    }
+
+    #[test]
+    fn kernel_mode_parses_and_defaults_to_event() {
+        assert_eq!(SimConfig::paper_default().kernel, KernelMode::Event);
+        assert_eq!(KernelMode::parse("tick"), Ok(KernelMode::Tick));
+        assert_eq!(KernelMode::parse("event"), Ok(KernelMode::Event));
+        assert!(KernelMode::parse("warp").unwrap_err().contains("tick"));
+        assert_eq!(KernelMode::Tick.label(), "tick");
     }
 }

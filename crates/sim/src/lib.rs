@@ -46,9 +46,7 @@ pub mod simulation;
 pub mod suite;
 pub mod sweep;
 
-pub use config::{PolicyKind, SimConfig};
-#[allow(deprecated)]
-pub use runner::{run_app, run_app_checked};
+pub use config::{KernelMode, PolicyKind, SimConfig};
 pub use runner::{CoreWindow, RunError, RunResult};
 pub use simulation::Simulation;
 pub use sweep::{CellFailure, SweepOptions, SweepReport};

@@ -1,11 +1,15 @@
-//! Run results, run errors, and the lock-step advance loop.
+//! Run results, run errors, and the advance loop (both kernels).
 //!
-//! The execution entry point is [`crate::simulation::Simulation`]; the
-//! free functions [`run_app`]/[`run_app_checked`] remain as deprecated
-//! wrappers around it.
+//! The execution entry point is [`crate::simulation::Simulation`]. The
+//! loop itself comes in two bit-identical flavours selected by
+//! [`crate::config::KernelMode`]: the legacy lock-step kernel
+//! ([`advance_tick`]) ticks every component every cycle, while the
+//! skip-ahead kernel ([`advance_event`]) asks the memory system and
+//! every core for a `next_event_at` horizon and jumps the clock to the
+//! minimum whenever nobody has same-cycle work (see DESIGN.md §9 for
+//! the contract).
 
-use crate::config::SimConfig;
-use crate::simulation::Simulation;
+use crate::config::KernelMode;
 use spb_cpu::core::{Core, CpuStats};
 use spb_energy::EnergyBreakdown;
 use spb_mem::checker::{InvariantKind, InvariantViolation};
@@ -13,7 +17,6 @@ use spb_mem::system::MemStats;
 use spb_mem::MemorySystem;
 use spb_obs::MetricsRegistry;
 use spb_stats::{Histogram, TopDown};
-use spb_trace::profile::AppProfile;
 use std::fmt;
 
 /// Per-core commit accounting for one run.
@@ -147,10 +150,51 @@ impl std::error::Error for RunError {
     }
 }
 
-/// Advances the lock-step simulation until the slowest core has
-/// committed `target` µops, polling the memory system's invariant
-/// checker and watching for forward progress.
+/// Advances the simulation until the slowest core has committed
+/// `target` µops, using the selected kernel. Both kernels poll the
+/// memory system's invariant checker and watch for forward progress,
+/// and produce bit-identical results.
 pub(crate) fn advance(
+    cores: &mut [Core],
+    mem: &mut MemorySystem,
+    now: &mut u64,
+    target: u64,
+    watchdog: u64,
+    kernel: KernelMode,
+) -> Result<(), InvariantViolation> {
+    match kernel {
+        KernelMode::Tick => advance_tick(cores, mem, now, target, watchdog),
+        KernelMode::Event => advance_event(cores, mem, now, target, watchdog),
+    }
+}
+
+/// Builds the forward-progress violation both kernels report when no
+/// core commits a µop for `watchdog` consecutive cycles.
+fn watchdog_violation(
+    mem: &MemorySystem,
+    now: u64,
+    watchdog: u64,
+    min_uops: u64,
+    target: u64,
+) -> InvariantViolation {
+    InvariantViolation {
+        kind: InvariantKind::ForwardProgress,
+        block: None,
+        core: None,
+        cycle: now,
+        detail: format!(
+            "no core committed a µop for {watchdog} cycles \
+             (slowest core stuck at {min_uops}/{target} µops)\n{}",
+            mem.diagnostic_snapshot(now)
+        ),
+        history: Vec::new(),
+    }
+}
+
+/// The legacy lock-step kernel: ticks the memory system and every core
+/// once per cycle. Kept for one release as the reference the skip-ahead
+/// kernel is verified against.
+pub(crate) fn advance_tick(
     cores: &mut [Core],
     mem: &mut MemorySystem,
     now: &mut u64,
@@ -168,19 +212,114 @@ pub(crate) fn advance(
             last_min = min_uops;
             last_progress_at = *now;
         } else if watchdog > 0 && *now - last_progress_at > watchdog {
-            return Err(InvariantViolation {
-                kind: InvariantKind::ForwardProgress,
-                block: None,
-                core: None,
-                cycle: *now,
-                detail: format!(
-                    "no core committed a µop for {watchdog} cycles \
-                     (slowest core stuck at {min_uops}/{target} µops)\n{}",
-                    mem.diagnostic_snapshot(*now)
-                ),
-                history: Vec::new(),
-            });
+            return Err(watchdog_violation(mem, *now, watchdog, min_uops, target));
         }
+        mem.tick(*now);
+        for core in cores.iter_mut() {
+            core.cycle(mem, *now);
+        }
+        if let Some(v) = mem.take_violation() {
+            return Err(v);
+        }
+        *now += 1;
+    }
+}
+
+/// Longest stretch of unprobed (normally ticked) cycles the event
+/// kernel allows once probes keep finding same-cycle work.
+const MAX_PROBE_BACKOFF: u64 = 64;
+
+/// The discrete-event skip-ahead kernel.
+///
+/// Each iteration first probes the memory system and every core for a
+/// `next_event_at` horizon. If anyone has same-cycle work (or a probe
+/// finds none of the clamp events below apply), the cycle runs exactly
+/// as under [`advance_tick`]. Otherwise the clock jumps straight to the
+/// earliest horizon, after each core bulk-replays the accounting the
+/// skipped idle cycles would have produced (`Core::skip_span`). The
+/// jump target is additionally clamped to the next invariant-checker
+/// boundary, observer sample boundary, and the watchdog deadline, so
+/// checker runs, occupancy samples, and watchdog aborts happen at
+/// exactly the cycles the lock-step kernel would have executed them.
+pub(crate) fn advance_event(
+    cores: &mut [Core],
+    mem: &mut MemorySystem,
+    now: &mut u64,
+    target: u64,
+    watchdog: u64,
+) -> Result<(), InvariantViolation> {
+    let mut last_min = 0u64;
+    let mut last_progress_at = *now;
+    // Adaptive probe backoff. Skipping a probe is always sound — the
+    // cycle then runs exactly as under the lock-step kernel — so on
+    // workloads that are busy every cycle (high-IPC compute) the kernel
+    // stops paying the per-cycle probe: each consecutive busy probe
+    // doubles the distance to the next one (capped), and any idle probe
+    // resets the backoff to probing every cycle.
+    let mut next_probe_at = *now;
+    let mut busy_backoff = 0u64;
+    loop {
+        let min_uops = cores.iter().map(|c| c.committed_uops()).min().unwrap_or(0);
+        if min_uops >= target {
+            return Ok(());
+        }
+        if min_uops > last_min {
+            last_min = min_uops;
+            last_progress_at = *now;
+        } else if watchdog > 0 && *now - last_progress_at > watchdog {
+            return Err(watchdog_violation(mem, *now, watchdog, min_uops, target));
+        }
+
+        // Probe for a quiescent span: nobody may have same-cycle work.
+        let mut horizon: Option<u64> = None;
+        let merge = |h: &mut Option<u64>, t: u64| *h = Some(h.map_or(t, |n| n.min(t)));
+        let mut busy = *now < next_probe_at;
+        if !busy {
+            busy = match mem.next_event_at(*now) {
+                Some(t) if t <= *now => true,
+                Some(t) => {
+                    merge(&mut horizon, t);
+                    false
+                }
+                None => false,
+            };
+            if !busy {
+                for core in cores.iter_mut() {
+                    match core.next_event_at(*now) {
+                        Some(t) if t <= *now => {
+                            busy = true;
+                            break;
+                        }
+                        Some(t) => merge(&mut horizon, t),
+                        None => {} // no pending events on this core
+                    }
+                }
+            }
+            if busy {
+                busy_backoff = (busy_backoff * 2).clamp(1, MAX_PROBE_BACKOFF);
+                next_probe_at = *now + busy_backoff;
+            } else {
+                busy_backoff = 0;
+            }
+        }
+        if !busy {
+            if watchdog > 0 {
+                // First cycle at which the watchdog check above fires.
+                merge(&mut horizon, last_progress_at + watchdog + 1);
+            }
+            if let Some(t) = horizon {
+                debug_assert!(t > *now, "horizons must be in the future");
+                for core in cores.iter_mut() {
+                    core.skip_span(mem, *now, t);
+                }
+                *now = t;
+                continue;
+            }
+            // No pending events anywhere and no watchdog: fall through
+            // to a normal cycle, replicating the lock-step kernel's
+            // behaviour (spin until the caller's target or forever).
+        }
+
         mem.tick(*now);
         for core in cores.iter_mut() {
             core.cycle(mem, *now);
@@ -206,44 +345,12 @@ pub(crate) fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
     }
 }
 
-/// Runs `profile` under `cfg`.
-///
-/// # Panics
-///
-/// Panics if the configuration is structurally invalid (zero queues),
-/// or with the violation's full diagnostic if the coherence checker or
-/// forward-progress watchdog aborts the run.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Simulation::with_config(profile, cfg).run_or_panic()`"
-)]
-pub fn run_app(profile: &AppProfile, cfg: &SimConfig) -> RunResult {
-    Simulation::with_config(profile, cfg).run_or_panic()
-}
-
-/// Runs `profile` under `cfg`, surfacing violations as a [`RunError`].
-///
-/// # Errors
-///
-/// Returns a [`RunError`] (boxed — it carries the violation's event
-/// history and diagnostic strings) when the coherence invariant checker
-/// detects a violation or the forward-progress watchdog expires.
-///
-/// # Panics
-///
-/// Panics if the configuration is structurally invalid (zero queues).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Simulation::with_config(profile, cfg).run()`"
-)]
-pub fn run_app_checked(profile: &AppProfile, cfg: &SimConfig) -> Result<RunResult, Box<RunError>> {
-    Simulation::with_config(profile, cfg).run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::PolicyKind;
+    use crate::config::{PolicyKind, SimConfig};
+    use crate::simulation::Simulation;
+    use spb_trace::profile::AppProfile;
 
     #[test]
     fn quick_run_produces_sane_numbers() {
@@ -365,28 +472,49 @@ mod tests {
         assert_eq!(r.sb_entries, 1024);
     }
 
-    /// The deprecated free functions must keep producing the same
-    /// numbers as the builder they wrap.
+    /// The skip-ahead kernel must be indistinguishable from the
+    /// lock-step reference, bit for bit, on every counter a run
+    /// reports (the broad cross-product lives in `spb-verify`).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_builder() {
+    fn event_kernel_matches_tick_kernel_bit_for_bit() {
+        use crate::config::KernelMode;
+        let app = AppProfile::by_name("x264").unwrap();
+        let cfg = SimConfig::quick().with_sb(14);
+        let tick = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Tick))
+            .run_or_panic();
+        let event = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Event))
+            .run_or_panic();
+        assert_eq!(tick.cycles, event.cycles);
+        assert_eq!(tick.uops, event.uops);
+        assert_eq!(tick.topdown, event.topdown);
+        assert_eq!(tick.cpu, event.cpu);
+        assert_eq!(tick.mem, event.mem);
+        assert_eq!(tick.per_core, event.per_core);
+        assert_eq!(tick.sb_residency, event.sb_residency);
+        assert_eq!(tick.burst_lengths, event.burst_lengths);
+    }
+
+    /// The watchdog must fire at the same cycle under both kernels —
+    /// the skip-ahead loop clamps its jumps to the watchdog deadline.
+    #[test]
+    fn watchdog_fires_identically_under_both_kernels() {
+        use crate::config::KernelMode;
         let app = AppProfile::by_name("gcc").unwrap();
-        let cfg = SimConfig::quick();
-        let wrapped = run_app(&app, &cfg);
-        let direct = Simulation::with_config(&app, &cfg).run_or_panic();
-        // Bit-identical, not merely cycle-identical: the wrappers are
-        // pure sugar over the builder, so every counter must agree.
-        assert_eq!(wrapped.cycles, direct.cycles);
-        assert_eq!(wrapped.uops, direct.uops);
-        assert_eq!(wrapped.cpu, direct.cpu);
-        assert_eq!(wrapped.mem, direct.mem);
-        assert_eq!(wrapped.per_core, direct.per_core);
-        assert_eq!(wrapped.sb_residency, direct.sb_residency);
-        let checked = run_app_checked(&app, &cfg).unwrap();
-        assert_eq!(checked.cycles, direct.cycles);
-        assert_eq!(checked.cpu, direct.cpu);
-        assert_eq!(checked.mem, direct.mem);
-        assert_eq!(checked.per_core, direct.per_core);
-        assert_eq!(checked.sb_residency, direct.sb_residency);
+        let mut cfg = SimConfig::quick();
+        cfg.mem.fault = spb_mem::FaultConfig {
+            dram_spike_rate: 1.0,
+            dram_spike_cycles: 10_000_000,
+            ..spb_mem::FaultConfig::none()
+        };
+        cfg.watchdog_cycles = 5_000;
+        let tick = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Tick))
+            .run()
+            .unwrap_err();
+        let event = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Event))
+            .run()
+            .unwrap_err();
+        assert_eq!(tick.violation.kind, InvariantKind::ForwardProgress);
+        assert_eq!(event.violation.kind, InvariantKind::ForwardProgress);
+        assert_eq!(tick.violation.cycle, event.violation.cycle);
     }
 }

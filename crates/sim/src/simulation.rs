@@ -1,13 +1,11 @@
 //! The [`Simulation`] builder: configure, observe, run.
 //!
-//! This is the one entry point for executing an application profile.
-//! It replaces the old `run_app`/`run_app_checked` free functions
-//! (still available as thin deprecated wrappers) with a builder that
-//! makes the run's knobs — policy, SB size, fault plan, seed — explicit
-//! and adds the observability hook: attach any [`spb_obs::Sink`] and the
-//! run emits its typed event stream (dispatch stalls, SB traffic, SPB
-//! bursts, coherence messages) without changing a single simulated
-//! number.
+//! This is the one entry point for executing an application profile: a
+//! builder that makes the run's knobs — policy, SB size, fault plan,
+//! seed, execution kernel — explicit and adds the observability hook:
+//! attach any [`spb_obs::Sink`] and the run emits its typed event
+//! stream (dispatch stalls, SB traffic, SPB bursts, coherence
+//! messages) without changing a single simulated number.
 //!
 //! # Examples
 //!
@@ -175,6 +173,7 @@ impl Simulation {
             &mut now,
             cfg.warmup_uops,
             cfg.watchdog_cycles,
+            cfg.kernel,
         )
         .map_err(fail)?;
         // Trace position at the measure boundary: commit is in order, so
@@ -198,6 +197,7 @@ impl Simulation {
             &mut now,
             cfg.measure_uops,
             cfg.watchdog_cycles,
+            cfg.kernel,
         )
         .map_err(fail)?;
         for core in &mut cores {

@@ -106,6 +106,16 @@ impl TopDown {
         self.cycles += 1;
     }
 
+    /// Advances time by `n` cycles at once.
+    ///
+    /// Equivalent to calling [`TopDown::tick`] `n` times; used by the
+    /// skip-ahead kernel to account for a whole quiescent span in one
+    /// step.
+    #[inline]
+    pub fn tick_n(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
     /// Records that dispatch was blocked by `cause` this cycle.
     ///
     /// Call at most once per cycle with the *oldest* blocking resource,
@@ -116,11 +126,27 @@ impl TopDown {
         self.stalls[cause.index()] += 1;
     }
 
+    /// Records `n` consecutive cycles blocked by the same `cause`.
+    ///
+    /// Equivalent to calling [`TopDown::record_stall`] once per cycle;
+    /// valid only when the blocking resource provably cannot change
+    /// over the span (the skip-ahead kernel's quiescent-span contract).
+    #[inline]
+    pub fn record_stall_n(&mut self, cause: StallCause, n: u64) {
+        self.stalls[cause.index()] += n;
+    }
+
     /// Records one cycle in which execution was stalled while at least
     /// one L1D miss was outstanding (Figures 14/15).
     #[inline]
     pub fn record_l1d_miss_pending_stall(&mut self) {
         self.l1d_miss_pending_stalls += 1;
+    }
+
+    /// Records `n` execution-stall cycles with an L1D miss pending.
+    #[inline]
+    pub fn record_l1d_miss_pending_stall_n(&mut self, n: u64) {
+        self.l1d_miss_pending_stalls += n;
     }
 
     /// Records `n` committed µops (used for IPC).
@@ -269,6 +295,21 @@ mod tests {
         assert_eq!(a.cycles(), 3);
         assert_eq!(a.stall_cycles(StallCause::StoreBuffer), 2);
         assert_eq!(a.l1d_miss_pending_stalls(), 1);
+    }
+
+    #[test]
+    fn bulk_accounting_matches_per_cycle_accounting() {
+        let mut per_cycle = TopDown::new();
+        for _ in 0..37 {
+            per_cycle.tick();
+            per_cycle.record_stall(StallCause::StoreBuffer);
+            per_cycle.record_l1d_miss_pending_stall();
+        }
+        let mut bulk = TopDown::new();
+        bulk.tick_n(37);
+        bulk.record_stall_n(StallCause::StoreBuffer, 37);
+        bulk.record_l1d_miss_pending_stall_n(37);
+        assert_eq!(per_cycle, bulk);
     }
 
     #[test]
