@@ -1,15 +1,16 @@
 //! Command execution for `spbsim`.
 
-use crate::{find_app, CliError, Command, RunOpts, VerifyCmd};
+use crate::{find_app, CliError, ClientAction, Command, RunOpts, VerifyCmd};
 use spb_sim::config::SimConfig;
 use spb_sim::suite::SuiteResult;
-use spb_sim::sweep::{run_cells_checked, SweepRecord, SweepReport};
+use spb_sim::sweep::{run_cells_supervised, Supervision, SweepRecord, SweepReport};
+use spb_stats::json::Json;
 use spb_stats::{chart, Table};
 use spb_trace::file::{record, TraceReader};
 use spb_trace::profile::{AppCatalog, Suite};
 use spb_trace::{OpKind, TraceSource};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 
 /// Executes a parsed command; returns the process exit code.
 pub fn execute(cmd: Command) -> Result<(), CliError> {
@@ -36,11 +37,93 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             cfg,
             chart,
             resume,
-        } => sweep(&app, &sbs, &policies, &cfg, chart, resume),
+            retry,
+        } => sweep(&app, &sbs, &policies, &cfg, chart, resume, retry),
         Command::Trace { app, cfg, out } => trace_cmd(&app, &cfg, &out),
         Command::Experiment { name, quick } => experiment(&name, quick),
         Command::Verify(v) => verify(v),
+        Command::Serve {
+            addr,
+            dir,
+            jobs,
+            queue,
+            retry,
+            deadline_ms,
+        } => serve_cmd(&addr, &dir, jobs, queue, retry, deadline_ms),
+        Command::Client { addr, action } => client_cmd(&addr, action),
     }
+}
+
+/// `spbsim serve`: run the fault-tolerant sweep service until a client
+/// sends `shutdown`. Prints `serving on HOST:PORT` once the socket is
+/// bound (the smoke gate parses this line to find an ephemeral port).
+fn serve_cmd(
+    addr: &str,
+    dir: &str,
+    jobs: Option<usize>,
+    queue: usize,
+    retry: u32,
+    deadline_ms: Option<u64>,
+) -> Result<(), CliError> {
+    let mut cfg = spb_serve::ServeConfig::at(dir);
+    cfg.addr = addr.to_string();
+    if let Some(j) = jobs {
+        cfg.jobs = j.max(1);
+    }
+    cfg.queue_limit = queue;
+    cfg.retry = retry;
+    if deadline_ms.is_some() {
+        cfg.deadline_ms = deadline_ms;
+    }
+    let server = spb_serve::Server::bind(cfg).map_err(|e| CliError(format!("serve: {e}")))?;
+    let recovered = server.stats().get("jobs_recovered");
+    if recovered > 0 {
+        println!("recovered {recovered} journaled job(s); running them before new work");
+    }
+    let corrupt = server.stats().get("journal_corrupt_lines");
+    if corrupt > 0 {
+        println!("quarantined {corrupt} corrupt journal line(s) to {dir}/journal.waj.corrupt");
+    }
+    println!("serving on {}", server.addr()?);
+    std::io::stdout().flush()?;
+    server.serve()?;
+    println!("server stopped");
+    Ok(())
+}
+
+/// `spbsim client …`: one-shot requests against a running service.
+fn client_cmd(addr: &str, action: ClientAction) -> Result<(), CliError> {
+    match action {
+        ClientAction::Health => {
+            let health = spb_serve::client::health(addr).map_err(CliError)?;
+            println!("{health:#}");
+        }
+        ClientAction::Shutdown => {
+            spb_serve::client::shutdown(addr).map_err(CliError)?;
+            println!("server at {addr} is shutting down");
+        }
+        ClientAction::Sweep { job, out } => {
+            let cells = job.cells.len();
+            eprintln!("submitting {:?} ({cells} cells) to {addr}", job.name);
+            let reply = spb_serve::client::submit(addr, &job).map_err(CliError)?;
+            let stats = reply.get("stats").cloned().unwrap_or(Json::Null);
+            println!("{} done: {stats}", job.name);
+            if let Some(path) = out {
+                let report = reply
+                    .get("report")
+                    .ok_or_else(|| CliError("reply missing the report".into()))?;
+                std::fs::write(&path, format!("{report:#}\n"))?;
+                println!("wrote {path}");
+            }
+            let failed = stats.get("failed").and_then(Json::as_u64).unwrap_or(0);
+            if failed > 0 {
+                return Err(CliError(format!(
+                    "{failed} cell(s) failed; see the report's failed array"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// `spbsim verify fuzz` / `spbsim verify oracle`.
@@ -94,6 +177,7 @@ fn sweep(
     opts: &RunOpts,
     with_chart: bool,
     resume: bool,
+    retry: u32,
 ) -> Result<(), CliError> {
     let profile = find_app(app)?;
     let name = format!("sweep-{app}");
@@ -148,7 +232,19 @@ fn sweep(
         );
     }
     let cells: Vec<_> = todo.iter().map(|c| (&profile, c.clone())).collect();
-    let results = run_cells_checked(&cells, &opts.sweep_options().progress(true));
+    // With --retry N, transiently failing cells (panics, deadline
+    // overruns) re-run up to N total attempts with deterministic
+    // backoff; invariant violations still fail fast. The attempt count
+    // lands in each failure record. retry == 1 is the old single-shot
+    // behavior.
+    let results: Vec<_> = run_cells_supervised(
+        &cells,
+        &opts.sweep_options().progress(true),
+        &Supervision::with_retries(retry),
+    )
+    .into_iter()
+    .map(|(outcome, _attempts)| outcome)
+    .collect();
 
     // Merge reused and fresh cells back into grid order. `todo`
     // preserves grid order, so one forward iterator pairs each missing

@@ -101,6 +101,10 @@ pub enum Command {
         /// Reuse completed cells from the existing report under
         /// `results/`, re-running only missing or failed cells.
         resume: bool,
+        /// Total attempts per cell (1 = fail on the first transient
+        /// error, as before). Attempt counts are recorded in the
+        /// report's failure records.
+        retry: u32,
     },
     /// Run one application with event tracing on and export a Chrome
     /// `trace_event` JSON file plus a text summary.
@@ -122,8 +126,48 @@ pub enum Command {
     /// Replay coherence-fuzzer schedules (`verify fuzz`) or diff one
     /// application against the executable oracles (`verify oracle`).
     Verify(VerifyCmd),
+    /// Run the fault-tolerant sweep service (blocks until a client
+    /// sends `shutdown`).
+    Serve {
+        /// Listen address (`host:port`; port 0 picks an ephemeral one).
+        addr: String,
+        /// State directory for the cache, journal and saved reports.
+        dir: String,
+        /// Worker threads per sweep (`None` = all cores).
+        jobs: Option<usize>,
+        /// Queued jobs beyond which submissions are shed.
+        queue: usize,
+        /// Default total attempts per cell.
+        retry: u32,
+        /// Per-attempt cell deadline in milliseconds (`None` = the
+        /// server default of 5 minutes).
+        deadline_ms: Option<u64>,
+    },
+    /// Talk to a running sweep service.
+    Client {
+        /// Server address (`host:port`).
+        addr: String,
+        /// What to ask the server.
+        action: ClientAction,
+    },
     /// Print usage.
     Help,
+}
+
+/// The `client` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Submit a sweep job and wait for its report.
+    Sweep {
+        /// The job to submit.
+        job: spb_serve::JobSpec,
+        /// Write the returned (checksummed) report JSON here.
+        out: Option<String>,
+    },
+    /// Fetch the health/stats snapshot.
+    Health,
+    /// Ask the server to shut down.
+    Shutdown,
 }
 
 /// The `verify` subcommands.
@@ -212,21 +256,10 @@ impl RunOpts {
     }
 }
 
-/// Parses a policy name.
+/// Parses a policy name (one spelling table for the CLI, the wire
+/// protocol, and the library: [`PolicyKind::parse`]).
 pub fn parse_policy(s: &str) -> Result<PolicyKind, CliError> {
-    Ok(match s {
-        "none" => PolicyKind::None,
-        "at-execute" | "exe" => PolicyKind::AtExecute,
-        "at-commit" | "commit" => PolicyKind::AtCommit,
-        "spb" => PolicyKind::spb_default(),
-        "spb-dynamic" => PolicyKind::SpbDynamic { n: 48 },
-        "ideal" => PolicyKind::IdealSb,
-        other => {
-            return Err(CliError(format!(
-                "unknown policy {other:?} (expected none | at-execute | at-commit | spb | spb-dynamic | ideal)"
-            )))
-        }
-    })
+    PolicyKind::parse(s).map_err(CliError)
 }
 
 fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, CliError> {
@@ -417,6 +450,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut policies = vec![PolicyKind::AtCommit, PolicyKind::spb_default()];
             let mut chart = false;
             let mut resume = false;
+            let mut retry = 1u32;
             // Note: --sb/--policy are consumed here as comma lists, so
             // bypass parse_run_opts for those two flags.
             while let Some(a) = it.next() {
@@ -424,6 +458,14 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     "--app" => app = it.next().map(str::to_string),
                     "--chart" => chart = true,
                     "--resume" => resume = true,
+                    "--retry" => {
+                        let v = take_value("--retry", &mut it)?;
+                        retry = v
+                            .parse::<u32>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| CliError(format!("bad --retry {v:?} (expects ≥ 1)")))?;
+                    }
                     "--fault-rate" => {
                         let v = take_value("--fault-rate", &mut it)?;
                         opts.fault_rate = v
@@ -492,6 +534,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 cfg: opts,
                 chart,
                 resume,
+                retry,
             })
         }
         "trace" => {
@@ -593,6 +636,166 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 "verify requires a subcommand: fuzz | oracle (got {other:?})"
             ))),
         },
+        "serve" => {
+            let mut addr = "127.0.0.1:7433".to_string();
+            let mut dir = "serve-state".to_string();
+            let mut jobs = None;
+            let mut queue = 4usize;
+            let mut retry = 3u32;
+            let mut deadline_ms = None;
+            while let Some(a) = it.next() {
+                let parse_num = |flag: &str, v: &str| -> Result<u64, CliError> {
+                    v.parse()
+                        .map_err(|_| CliError(format!("{flag} expects a number, got {v:?}")))
+                };
+                match a {
+                    "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
+                    "--dir" => dir = take_value("--dir", &mut it)?.to_string(),
+                    "--jobs" => {
+                        jobs = Some(parse_num("--jobs", take_value("--jobs", &mut it)?)? as usize);
+                    }
+                    "--queue" => {
+                        queue = parse_num("--queue", take_value("--queue", &mut it)?)? as usize;
+                    }
+                    "--retry" => {
+                        retry = parse_num("--retry", take_value("--retry", &mut it)?)?.max(1) as u32;
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = Some(parse_num(
+                            "--deadline-ms",
+                            take_value("--deadline-ms", &mut it)?,
+                        )?);
+                    }
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                dir,
+                jobs,
+                queue,
+                retry,
+                deadline_ms,
+            })
+        }
+        "client" => {
+            let sub = it
+                .next()
+                .ok_or_else(|| CliError("client requires a subcommand: sweep | health | shutdown".into()))?;
+            let mut addr = "127.0.0.1:7433".to_string();
+            match sub {
+                "health" | "shutdown" => {
+                    while let Some(a) = it.next() {
+                        match a {
+                            "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
+                            other => return Err(CliError(format!("unknown argument {other:?}"))),
+                        }
+                    }
+                    let action = if sub == "health" {
+                        ClientAction::Health
+                    } else {
+                        ClientAction::Shutdown
+                    };
+                    Ok(Command::Client { addr, action })
+                }
+                "sweep" => {
+                    let mut name = None;
+                    let mut budget = spb_serve::Budget::Quick;
+                    let mut apps: Vec<String> = Vec::new();
+                    let mut policies: Vec<String> = Vec::new();
+                    let mut sbs: Vec<usize> = Vec::new();
+                    let mut retry = 1u32;
+                    let mut out = None;
+                    while let Some(a) = it.next() {
+                        let parse_num = |flag: &str, v: &str| -> Result<u64, CliError> {
+                            v.parse()
+                                .map_err(|_| CliError(format!("{flag} expects a number, got {v:?}")))
+                        };
+                        match a {
+                            "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
+                            "--name" => name = Some(take_value("--name", &mut it)?.to_string()),
+                            "--out" => out = Some(take_value("--out", &mut it)?.to_string()),
+                            "--budget" => {
+                                budget = spb_serve::Budget::parse(take_value("--budget", &mut it)?)
+                                    .map_err(CliError)?;
+                            }
+                            "--app" => {
+                                apps = take_value("--app", &mut it)?
+                                    .split(',')
+                                    .map(str::to_string)
+                                    .collect();
+                            }
+                            "--policy" => {
+                                let v = take_value("--policy", &mut it)?;
+                                // Validate spellings up front so typos fail
+                                // client-side, not in the server's reply.
+                                for p in v.split(',') {
+                                    parse_policy(p)?;
+                                }
+                                policies = v.split(',').map(str::to_string).collect();
+                            }
+                            "--sb" => {
+                                let v = take_value("--sb", &mut it)?;
+                                sbs = v
+                                    .split(',')
+                                    .map(|x| {
+                                        x.parse()
+                                            .map_err(|_| CliError(format!("bad SB size {x:?}")))
+                                    })
+                                    .collect::<Result<_, _>>()?;
+                            }
+                            "--retry" => {
+                                retry =
+                                    parse_num("--retry", take_value("--retry", &mut it)?)?.max(1)
+                                        as u32;
+                            }
+                            other => return Err(CliError(format!("unknown argument {other:?}"))),
+                        }
+                    }
+                    // With no cell flags the client submits the full
+                    // golden quick grid; any of --app/--policy/--sb
+                    // narrows the cross product.
+                    let mut job = if apps.is_empty() && policies.is_empty() && sbs.is_empty() {
+                        spb_serve::JobSpec::quick_grid()
+                    } else {
+                        if apps.is_empty() {
+                            return Err(CliError("client sweep needs --app NAMES with --policy/--sb".into()));
+                        }
+                        if policies.is_empty() {
+                            policies = vec!["at-commit".into(), "spb".into()];
+                        }
+                        if sbs.is_empty() {
+                            sbs = vec![14, 28, 56];
+                        }
+                        let mut cells = Vec::new();
+                        for &sb in &sbs {
+                            for p in &policies {
+                                for a in &apps {
+                                    cells.push(spb_serve::CellSpec {
+                                        app: a.clone(),
+                                        policy: p.clone(),
+                                        sb,
+                                    });
+                                }
+                            }
+                        }
+                        spb_serve::JobSpec::new("cli-sweep", budget, cells)
+                    };
+                    job.budget = budget;
+                    job.retry = retry;
+                    if let Some(n) = name {
+                        job.name = n;
+                    }
+                    Ok(Command::Client {
+                        addr,
+                        action: ClientAction::Sweep { job, out },
+                    })
+                }
+                other => Err(CliError(format!(
+                    "client requires a subcommand: sweep | health | shutdown (got {other:?})"
+                ))),
+            }
+        }
         other => Err(CliError(format!(
             "unknown command {other:?}; try `spbsim help`"
         ))),
@@ -616,12 +819,21 @@ USAGE:
   spbsim trace-info FILE                        inspect a trace file
   spbsim replay --trace FILE [opts]             replay a recorded trace
   spbsim sweep --app NAME [--sb 14,20,28,56] [--policy at-commit,spb] [--chart] [--resume]
+               [--retry N]
   spbsim trace --app NAME [--out trace.json] [opts]   export a Chrome trace of a run
   spbsim experiment NAME [--quick]              regenerate a paper experiment
   spbsim verify fuzz [--seed N] [--steps M] [--cores 1..8] [--count K]
                      [--fault-rate-e4 R] [--mutate-at S]
                                                 run/replay coherence-fuzzer schedules
   spbsim verify oracle --app NAME [opts]        diff one run against the oracles
+  spbsim serve [--addr H:P] [--dir DIR] [--jobs N] [--queue N] [--retry N]
+               [--deadline-ms MS]               run the fault-tolerant sweep service
+  spbsim client sweep [--addr H:P] [--app LIST --policy LIST --sb LIST]
+               [--budget quick|paper] [--retry N] [--name NAME] [--out FILE]
+                                                submit a sweep job (default: the
+                                                full 230-cell quick grid)
+  spbsim client health [--addr H:P]             print the service health snapshot
+  spbsim client shutdown [--addr H:P]           stop the service gracefully
 
 RUN OPTIONS:
   --policy none|at-execute|at-commit|spb|spb-dynamic|ideal   (default at-commit)
@@ -641,7 +853,18 @@ results/ (schema: {name, records: [{app, policy, sb, cycles, uops,
 ipc, wall_ms}]}; a \"failed\" array is appended when cells crashed).
 A cell that panics or trips the coherence checker fails alone: the
 other cells complete, the partial report is saved, and `sweep
---resume` re-runs only the missing or failed cells.
+--resume` re-runs only the missing or failed cells. With `--retry N`
+transiently failing cells (panics, deadline overruns) are retried up
+to N total attempts with deterministic seeded backoff; the attempt
+count is recorded in each failure record. Invariant violations never
+retry — they fail fast so a real coherence bug is never papered over.
+
+`serve` runs the same sweeps as a supervised TCP service (DESIGN.md
+§10): every cell result lands in a checksummed content-addressed
+cache, accepted jobs are journaled write-ahead so a `kill -9`
+mid-sweep is recovered on restart with only missing cells re-run, and
+a full queue sheds new submissions with an explicit `overloaded`
+rejection instead of hanging.
 
 `trace` re-runs the application with the observability layer attached
 (identical simulated numbers; see DESIGN.md §7) and writes a Chrome
@@ -872,6 +1095,113 @@ mod tests {
                 "error {err} does not name {flag}"
             );
         }
+    }
+
+    #[test]
+    fn parses_sweep_retry() {
+        match parse(["sweep", "--app", "x264", "--retry", "4"]).unwrap() {
+            Command::Sweep { retry, .. } => assert_eq!(retry, 4),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Default stays at one attempt; zero and garbage are rejected.
+        match parse(["sweep", "--app", "x264"]).unwrap() {
+            Command::Sweep { retry, .. } => assert_eq!(retry, 1),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(["sweep", "--app", "x264", "--retry", "0"]).is_err());
+        assert!(parse(["sweep", "--app", "x264", "--retry", "lots"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        match parse([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--dir",
+            "/tmp/state",
+            "--jobs",
+            "2",
+            "--queue",
+            "1",
+            "--retry",
+            "5",
+            "--deadline-ms",
+            "1000",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                dir,
+                jobs,
+                queue,
+                retry,
+                deadline_ms,
+            } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(dir, "/tmp/state");
+                assert_eq!(jobs, Some(2));
+                assert_eq!(queue, 1);
+                assert_eq!(retry, 5);
+                assert_eq!(deadline_ms, Some(1000));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(["serve", "--queue", "many"]).is_err());
+        assert!(parse(["serve", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn parses_client_subcommands() {
+        match parse(["client", "health", "--addr", "example:9"]).unwrap() {
+            Command::Client { addr, action } => {
+                assert_eq!(addr, "example:9");
+                assert_eq!(action, ClientAction::Health);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(["client", "shutdown"]).unwrap() {
+            Command::Client { action, .. } => assert_eq!(action, ClientAction::Shutdown),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // A bare `client sweep` submits the full golden quick grid.
+        match parse(["client", "sweep"]).unwrap() {
+            Command::Client {
+                action: ClientAction::Sweep { job, out },
+                ..
+            } => {
+                assert_eq!(job.cells.len(), 230);
+                assert_eq!(job.name, "sweep-grid-quick");
+                assert_eq!(out, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Cell flags narrow to a cross product, validated client-side.
+        match parse([
+            "client", "sweep", "--app", "x264,gcc", "--policy", "spb", "--sb", "14,56",
+            "--retry", "3", "--name", "mini", "--out", "r.json",
+        ])
+        .unwrap()
+        {
+            Command::Client {
+                action: ClientAction::Sweep { job, out },
+                ..
+            } => {
+                assert_eq!(job.cells.len(), 4);
+                assert_eq!(job.retry, 3);
+                assert_eq!(job.name, "mini");
+                assert_eq!(out.as_deref(), Some("r.json"));
+                assert_eq!(job.cells[0].app, "x264");
+                assert_eq!(job.cells[0].policy, "spb");
+                assert_eq!(job.cells[0].sb, 14);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(["client", "sweep", "--app", "x264", "--policy", "magic"]).is_err());
+        assert!(parse(["client", "sweep", "--policy", "spb"]).is_err());
+        assert!(parse(["client", "warp"]).is_err());
+        assert!(parse(["client"]).is_err());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! - [`metrics::MetricsRegistry`] holds named counters, gauges and
 //!   histogram snapshots registered by component, serializable through
 //!   [`spb_stats::json`] into sweep reports.
+//! - [`service::SharedCounters`] is the live, thread-shared counterpart
+//!   used by long-running services (queue depths, cache hits, retries),
+//!   snapshotted into a [`metrics::MetricsRegistry`] on demand.
 //! - [`export`] renders an event stream as Chrome `trace_event` JSON
 //!   (open in `chrome://tracing` or Perfetto) or as a compact text
 //!   summary.
@@ -50,10 +53,12 @@ pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod ring;
+pub mod service;
 pub mod sink;
 
 pub use event::{CoherenceKind, Event, EventKind, Phase};
 pub use export::{chrome_trace, text_summary};
 pub use metrics::MetricsRegistry;
 pub use ring::EventLog;
+pub use service::SharedCounters;
 pub use sink::{Collector, Observer, Sink};

@@ -1,0 +1,153 @@
+//! Shared live counters for long-running services.
+//!
+//! [`crate::metrics::MetricsRegistry`] is a point-in-time summary built
+//! by one thread at the end of a run. A server has the opposite shape:
+//! many threads (acceptor, runner, per-connection handlers) bump
+//! counters concurrently, and a health endpoint snapshots them at any
+//! moment. [`SharedCounters`] covers that: a cloneable handle over
+//! named atomics — lock-free on the hot path, first-registration order
+//! preserved so snapshots serialize deterministically — that can be
+//! rendered into a [`MetricsRegistry`] component whenever a health or
+//! stats response needs one.
+//!
+//! # Examples
+//!
+//! ```
+//! use spb_obs::service::SharedCounters;
+//!
+//! let stats = SharedCounters::new();
+//! let worker = stats.clone();
+//! worker.add("cells_computed", 3);
+//! worker.add("cache_hits", 1);
+//! assert_eq!(stats.get("cells_computed"), 3);
+//! let reg = stats.to_registry("serve");
+//! assert!(reg.to_json().get("serve").is_some());
+//! ```
+
+use crate::metrics::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The registration table: names to live atomics, in first-registration
+/// order.
+type CounterTable = Vec<(String, Arc<AtomicU64>)>;
+
+/// A set of named monotonic counters shared across threads.
+///
+/// Cloning is cheap (an [`Arc`] bump); all clones observe the same
+/// counters. Registration takes a short lock; increments on an
+/// already-registered counter are a single atomic add.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCounters {
+    inner: Arc<Mutex<CounterTable>>,
+}
+
+impl SharedCounters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The handle for `name`, registering it (at the current end of the
+    /// snapshot order) on first use.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut inner = self.inner.lock().expect("counter registry poisoned");
+        if let Some((_, c)) = inner.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        inner.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// Adds `delta` to `name` (registering it if new).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// The current value of `name` (0 if never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, c)| c.load(Ordering::Relaxed))
+    }
+
+    /// All counters in first-registration order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Renders the current values as a one-component
+    /// [`MetricsRegistry`] (ready for a health response or a report's
+    /// `"metrics"` section).
+    pub fn to_registry(&self, component: &str) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let comp = reg.component(component);
+        for (name, value) in self.snapshot() {
+            comp.counter(&name, value);
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state_and_preserve_order() {
+        let stats = SharedCounters::new();
+        stats.add("b_second", 0);
+        let clone = stats.clone();
+        clone.inc("a_first_registered_second");
+        stats.add("b_second", 5);
+        assert_eq!(stats.get("a_first_registered_second"), 1);
+        assert_eq!(clone.get("b_second"), 5);
+        assert_eq!(stats.get("never_touched"), 0);
+        let names: Vec<_> = stats.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["b_second", "a_first_registered_second"]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let stats = SharedCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let stats = stats.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        stats.inc("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.get("hits"), 8000);
+    }
+
+    #[test]
+    fn renders_into_a_metrics_registry() {
+        let stats = SharedCounters::new();
+        stats.add("jobs_accepted", 2);
+        stats.add("jobs_shed", 1);
+        let json = stats.to_registry("serve").to_json();
+        let shed = json
+            .get("serve")
+            .and_then(|c| c.get("counters"))
+            .and_then(|c| c.get("jobs_shed"))
+            .and_then(spb_stats::json::Json::as_u64);
+        assert_eq!(shed, Some(1));
+    }
+}

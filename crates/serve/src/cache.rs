@@ -1,0 +1,307 @@
+//! Persistent content-addressed result cache.
+//!
+//! Every completed cell is stored as one small JSON file keyed by the
+//! cell's *content*: application, a digest of the full [`SimConfig`]
+//! (policy, SB size, budgets, seed, kernel — everything that can change
+//! the numbers), and the simulator code version. Identical cells in
+//! later jobs — or after a crash-restart — are served from disk instead
+//! of being re-simulated, and because the simulator is deterministic a
+//! hit is bit-identical to a fresh run (modulo the non-reproducible
+//! `wall_ms` host timing, which is cached as-measured).
+//!
+//! Robustness contract:
+//!
+//! - **Atomic writes**: entries are written to a same-directory tmp
+//!   file and renamed into place, so a crash mid-store leaves either no
+//!   entry or a complete one — never a torn file.
+//! - **Per-entry checksums**: each entry embeds an FNV-1a digest of its
+//!   canonical body; [`ResultCache::lookup`] re-derives it on read.
+//! - **Corruption quarantine**: an unreadable, unparsable, mismatched
+//!   or wrong-key entry is renamed to `<name>.quarantined` (kept for
+//!   post-mortem) and reported as [`Lookup::Corrupt`] so the caller
+//!   recomputes; the service counts these in its health stats.
+
+use crate::CODE_VERSION;
+use spb_sim::config::SimConfig;
+use spb_sim::sweep::SweepRecord;
+use spb_stats::hash::{fnv1a64, hex16};
+use spb_stats::json::Json;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The content-addressed key of one cell result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Derives the key for `(app, cfg)` under the current
+    /// [`CODE_VERSION`]. The config digest covers the `Debug` rendering
+    /// of the *whole* [`SimConfig`] — any field that could change the
+    /// simulated numbers changes the key.
+    pub fn for_cell(app: &str, cfg: &SimConfig) -> Self {
+        Self(fnv1a64(
+            format!("{CODE_VERSION}|{app}|{cfg:?}").as_bytes(),
+        ))
+    }
+
+    /// The entry's file name under the cache directory.
+    pub fn file_name(&self) -> String {
+        format!("{}.json", hex16(self.0))
+    }
+}
+
+/// The outcome of a cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A validated entry: the cached record.
+    Hit(SweepRecord),
+    /// No entry on disk.
+    Miss,
+    /// An entry existed but failed validation; it has been quarantined
+    /// and the caller must recompute. The string says why.
+    Corrupt(String),
+}
+
+/// A directory of checksummed, atomically-written cell results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// The canonical entry body: key provenance plus the record. The
+    /// checksum is computed over this text.
+    fn body_text(key: CacheKey, app: &str, record: &SweepRecord) -> String {
+        let v = Json::obj([
+            ("key", Json::str(hex16(key.0))),
+            ("code_version", Json::str(CODE_VERSION)),
+            ("app", Json::str(app)),
+            ("record", record.to_json()),
+        ]);
+        format!("{v:#}\n")
+    }
+
+    /// Stores `record` under `key` with an embedded checksum, via a
+    /// same-directory tmp file and an atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a failed store leaves no partial
+    /// entry behind.
+    pub fn store(&self, key: CacheKey, app: &str, record: &SweepRecord) -> std::io::Result<()> {
+        let body = Self::body_text(key, app, record);
+        let v = Json::obj([
+            ("body", Json::parse(&body).expect("body is valid json")),
+            (
+                "checksum",
+                Json::str(format!("fnv1a64:{}", hex16(fnv1a64(body.as_bytes())))),
+            ),
+        ]);
+        let path = self.entry_path(key);
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp{}", key.file_name(), std::process::id()));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(format!("{v:#}\n").as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// Validates and returns the entry under `key`, quarantining it on
+    /// any corruption.
+    pub fn lookup(&self, key: CacheKey) -> Lookup {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Miss,
+            Err(e) => return self.quarantine(&path, format!("unreadable entry: {e}")),
+        };
+        match Self::validate(key, &text) {
+            Ok(record) => Lookup::Hit(record),
+            Err(why) => self.quarantine(&path, why),
+        }
+    }
+
+    fn validate(key: CacheKey, text: &str) -> Result<SweepRecord, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let body = v.get("body").ok_or("missing body")?;
+        let stated = v
+            .get("checksum")
+            .and_then(Json::as_str)
+            .ok_or("missing checksum")?;
+        let body_text = format!("{body:#}\n");
+        let computed = format!("fnv1a64:{}", hex16(fnv1a64(body_text.as_bytes())));
+        if stated != computed {
+            return Err(format!(
+                "checksum mismatch: entry says {stated}, content hashes to {computed}"
+            ));
+        }
+        let entry_key = body.get("key").and_then(Json::as_str).unwrap_or("");
+        if entry_key != hex16(key.0) {
+            return Err(format!(
+                "key mismatch: entry is for {entry_key}, looked up {}",
+                hex16(key.0)
+            ));
+        }
+        let version = body.get("code_version").and_then(Json::as_str).unwrap_or("");
+        if version != CODE_VERSION {
+            return Err(format!(
+                "stale code version {version:?} (current {CODE_VERSION:?})"
+            ));
+        }
+        SweepRecord::from_json(body.get("record").ok_or("missing record")?)
+    }
+
+    /// Moves a bad entry aside (never deletes evidence) and reports the
+    /// reason. If even the rename fails the entry is left in place; the
+    /// caller still recomputes.
+    fn quarantine(&self, path: &Path, why: String) -> Lookup {
+        let mut q = path.as_os_str().to_owned();
+        q.push(".quarantined");
+        let _ = std::fs::rename(path, PathBuf::from(q));
+        Lookup::Corrupt(why)
+    }
+
+    /// The number of quarantined entries currently on disk.
+    pub fn quarantined_count(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| {
+                        e.file_name()
+                            .to_string_lossy()
+                            .ends_with(".quarantined")
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spb_sim::config::PolicyKind;
+
+    fn record() -> SweepRecord {
+        SweepRecord {
+            app: "x264".into(),
+            policy: "spb".into(),
+            sb: 14,
+            cycles: 123_456,
+            uops: 300_000,
+            ipc: 300_000.0 / 123_456.0,
+            wall_ms: 10.5,
+        }
+    }
+
+    fn tmp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!("spb-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let cache = tmp_cache("roundtrip");
+        let cfg = SimConfig::quick().with_sb(14).with_policy(PolicyKind::spb_default());
+        let key = CacheKey::for_cell("x264", &cfg);
+        assert_eq!(cache.lookup(key), Lookup::Miss);
+        cache.store(key, "x264", &record()).unwrap();
+        assert_eq!(cache.lookup(key), Lookup::Hit(record()));
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn keys_separate_configs_and_apps() {
+        let base = SimConfig::quick();
+        let k = |app: &str, cfg: &SimConfig| CacheKey::for_cell(app, cfg);
+        assert_ne!(k("x264", &base), k("lbm", &base));
+        assert_ne!(k("x264", &base), k("x264", &base.clone().with_sb(14)));
+        let mut seeded = base.clone();
+        seeded.seed = 43;
+        assert_ne!(k("x264", &base), k("x264", &seeded));
+    }
+
+    #[test]
+    fn flipped_bytes_are_detected_and_quarantined() {
+        let cache = tmp_cache("flip");
+        let cfg = SimConfig::quick();
+        let key = CacheKey::for_cell("x264", &cfg);
+        cache.store(key, "x264", &record()).unwrap();
+        let path = cache.dir().join(key.file_name());
+        // Flip a digit inside the cycle count: still valid JSON.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("123456", "123457", 1)).unwrap();
+        match cache.lookup(key) {
+            Lookup::Corrupt(why) => assert!(why.contains("checksum"), "why: {why}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The bad entry is quarantined, not deleted; the slot now misses.
+        assert_eq!(cache.quarantined_count(), 1);
+        assert_eq!(cache.lookup(key), Lookup::Miss);
+        // Recompute-and-store heals the slot.
+        cache.store(key, "x264", &record()).unwrap();
+        assert_eq!(cache.lookup(key), Lookup::Hit(record()));
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_garbage_entries_quarantine() {
+        let cache = tmp_cache("garbage");
+        let cfg = SimConfig::quick();
+        let key = CacheKey::for_cell("lbm", &cfg);
+        cache.store(key, "lbm", &record()).unwrap();
+        let path = cache.dir().join(key.file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(cache.lookup(key), Lookup::Corrupt(_)));
+        std::fs::write(cache.dir().join(key.file_name()), "not json at all").unwrap();
+        assert!(matches!(cache.lookup(key), Lookup::Corrupt(_)));
+        assert_eq!(cache.quarantined_count(), 1, "second quarantine overwrote");
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_entries_quarantine() {
+        let cache = tmp_cache("wrongkey");
+        let cfg = SimConfig::quick();
+        let key_a = CacheKey::for_cell("x264", &cfg);
+        let key_b = CacheKey::for_cell("lbm", &cfg);
+        cache.store(key_a, "x264", &record()).unwrap();
+        // Simulate a mis-filed entry: key_a's content under key_b's name.
+        std::fs::copy(
+            cache.dir().join(key_a.file_name()),
+            cache.dir().join(key_b.file_name()),
+        )
+        .unwrap();
+        match cache.lookup(key_b) {
+            Lookup::Corrupt(why) => assert!(why.contains("key mismatch"), "why: {why}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+}

@@ -1,0 +1,267 @@
+//! Write-ahead job journal: crash recovery for the sweep service.
+//!
+//! The cache makes individual cell results durable; the journal makes
+//! *jobs* durable. Before a job is enqueued the server appends an
+//! `accepted` record; when its report has been computed (and every cell
+//! stored in the cache) it appends a `done` record. A server killed
+//! mid-sweep — `kill -9`, power loss — replays the journal on restart:
+//! every `accepted` without a matching `done` is requeued, and because
+//! finished cells are already in the cache only the missing cells are
+//! actually re-simulated.
+//!
+//! On-disk format: one record per line, `<hex16 checksum> <json>`,
+//! where the checksum is FNV-1a over the JSON text. Appends go through
+//! a single `write` of the full line, so a torn tail (the crash hit
+//! mid-append) is at most one line; [`Journal::open`] quarantines any
+//! line that fails its checksum — preserving it in `<journal>.corrupt`
+//! for post-mortem — and keeps going, so one mangled line never takes
+//! down recovery of the rest.
+
+use crate::spec::JobSpec;
+use spb_stats::hash::{fnv1a64, hex16};
+use spb_stats::json::Json;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// What a replay of the journal found.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Jobs accepted but never marked done, in acceptance order.
+    pub pending: Vec<(String, JobSpec)>,
+    /// Lines that failed their checksum or did not parse (quarantined
+    /// to `<journal>.corrupt`).
+    pub corrupt_lines: usize,
+    /// Total valid records replayed.
+    pub replayed: usize,
+}
+
+/// An append-only, checksummed write-ahead log of job lifecycles.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path` and replays it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors opening or reading the file.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<(Self, Recovery)> {
+        let path = path.into();
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let recovery = Self::replay(&path, &existing);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        // A crash mid-append can leave a torn tail with no trailing
+        // newline; start a fresh line so the next record never merges
+        // into the fragment.
+        if !existing.is_empty() && !existing.ends_with('\n') {
+            file.write_all(b"\n")?;
+        }
+        Ok((Self { path, file }, recovery))
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn replay(path: &Path, text: &str) -> Recovery {
+        let mut pending: Vec<(String, JobSpec)> = Vec::new();
+        let mut corrupt = Vec::new();
+        let mut replayed = 0;
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            match Self::decode(line) {
+                Some(record) => {
+                    replayed += 1;
+                    let event = record.get("event").and_then(Json::as_str).unwrap_or("");
+                    let job_id = record
+                        .get("job_id")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    match event {
+                        "accepted" => {
+                            if let Some(job) =
+                                record.get("job").and_then(|j| JobSpec::from_json(j).ok())
+                            {
+                                pending.push((job_id, job));
+                            } else {
+                                corrupt.push(line.to_string());
+                            }
+                        }
+                        "done" => pending.retain(|(id, _)| *id != job_id),
+                        _ => corrupt.push(line.to_string()),
+                    }
+                }
+                None => corrupt.push(line.to_string()),
+            }
+        }
+        let corrupt_lines = corrupt.len();
+        if corrupt_lines > 0 {
+            // Preserve the evidence next to the journal; appends below
+            // accumulate across restarts.
+            let mut q = path.as_os_str().to_owned();
+            q.push(".corrupt");
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(PathBuf::from(q))
+            {
+                for line in &corrupt {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+        }
+        Recovery {
+            pending,
+            corrupt_lines,
+            replayed,
+        }
+    }
+
+    /// Decodes one `<hex16> <json>` line, `None` if the checksum or the
+    /// JSON does not hold up.
+    fn decode(line: &str) -> Option<Json> {
+        let (stated, body) = line.split_once(' ')?;
+        if stated != hex16(fnv1a64(body.as_bytes())) {
+            return None;
+        }
+        Json::parse(body).ok()
+    }
+
+    fn append(&mut self, record: Json) -> std::io::Result<()> {
+        let body = record.to_string();
+        debug_assert!(!body.contains('\n'), "journal records are one line");
+        let line = format!("{} {}\n", hex16(fnv1a64(body.as_bytes())), body);
+        // One write call for the whole line keeps torn tails to a
+        // single trailing fragment, which replay tolerates.
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_all()
+    }
+
+    /// A stable id for `job` (its content digest — resubmitting the
+    /// identical job reuses the id, which is harmless: `done` clears
+    /// every matching `accepted`).
+    pub fn job_id(job: &JobSpec) -> String {
+        hex16(fnv1a64(job.to_json().to_string().as_bytes()))
+    }
+
+    /// Records that `job` has been accepted into the queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers treat a journal write
+    /// failure as a rejected job (never silently unjournaled work).
+    pub fn accepted(&mut self, job_id: &str, job: &JobSpec) -> std::io::Result<()> {
+        self.append(Json::obj([
+            ("event", Json::str("accepted")),
+            ("job_id", Json::str(job_id)),
+            ("job", job.to_json()),
+        ]))
+    }
+
+    /// Records that the job's report has been computed and cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn done(&mut self, job_id: &str) -> std::io::Result<()> {
+        self.append(Json::obj([
+            ("event", Json::str("done")),
+            ("job_id", Json::str(job_id)),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Budget;
+    use crate::spec::CellSpec;
+
+    fn job(name: &str) -> JobSpec {
+        JobSpec::new(
+            name,
+            Budget::Quick,
+            vec![CellSpec {
+                app: "x264".into(),
+                policy: "spb".into(),
+                sb: 14,
+            }],
+        )
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spb-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join("journal.waj")
+    }
+
+    #[test]
+    fn done_jobs_do_not_reappear_and_pending_jobs_do() {
+        let path = tmp_path("pending");
+        {
+            let (mut j, rec) = Journal::open(&path).unwrap();
+            assert_eq!(rec.replayed, 0);
+            let a = job("a");
+            let b = job("b");
+            j.accepted(&Journal::job_id(&a), &a).unwrap();
+            j.accepted(&Journal::job_id(&b), &b).unwrap();
+            j.done(&Journal::job_id(&a)).unwrap();
+        }
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.replayed, 3);
+        assert_eq!(rec.corrupt_lines, 0);
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.pending[0].1.name, "b");
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_and_flipped_bytes_are_tolerated_and_quarantined() {
+        let path = tmp_path("torn");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            let a = job("a");
+            let b = job("b");
+            j.accepted(&Journal::job_id(&a), &a).unwrap();
+            j.accepted(&Journal::job_id(&b), &b).unwrap();
+        }
+        // Flip a byte in line 1 and tear line 2 mid-record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mangled = format!(
+            "{}\n{}",
+            lines[0].replacen("accepted", "acceptXd", 1),
+            &lines[1][..lines[1].len() / 2]
+        );
+        std::fs::write(&path, mangled).unwrap();
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.pending.len(), 0, "nothing valid survives");
+        assert_eq!(rec.corrupt_lines, 2);
+        let quarantine = std::fs::read_to_string(format!("{}.corrupt", path.display())).unwrap();
+        assert_eq!(quarantine.lines().count(), 2);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn job_ids_are_stable_content_digests() {
+        assert_eq!(Journal::job_id(&job("a")), Journal::job_id(&job("a")));
+        assert_ne!(Journal::job_id(&job("a")), Journal::job_id(&job("b")));
+    }
+}

@@ -103,6 +103,27 @@ impl PolicyKind {
         matches!(self, PolicyKind::IdealSb).then_some(IDEAL_SB_ENTRIES)
     }
 
+    /// Parses the CLI/wire spelling of a policy. Accepts the same names
+    /// `spbsim` always has (`none`, `at-execute`/`exe`,
+    /// `at-commit`/`commit`, `spb`, `spb-dynamic`, `ideal`), so job
+    /// specs sent to the sweep service round-trip through
+    /// [`PolicyKind::label`] for the standard variants.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "none" => PolicyKind::None,
+            "at-execute" | "exe" => PolicyKind::AtExecute,
+            "at-commit" | "commit" => PolicyKind::AtCommit,
+            "spb" => PolicyKind::spb_default(),
+            "spb-dynamic" => PolicyKind::SpbDynamic { n: 48 },
+            "ideal" => PolicyKind::IdealSb,
+            other => {
+                return Err(format!(
+                    "unknown policy {other:?} (expected none | at-execute | at-commit | spb | spb-dynamic | ideal)"
+                ))
+            }
+        })
+    }
+
     /// Display label used in experiment tables.
     pub fn label(&self) -> String {
         match *self {
@@ -245,6 +266,19 @@ mod tests {
             "spb-dynamic"
         );
         assert_eq!(PolicyKind::IdealSb.build().name(), "at-commit");
+    }
+
+    #[test]
+    fn parse_round_trips_standard_labels() {
+        for name in ["none", "at-execute", "at-commit", "spb", "ideal"] {
+            let p = PolicyKind::parse(name).unwrap();
+            assert_eq!(p.label(), name, "label/parse round trip for {name}");
+        }
+        assert_eq!(
+            PolicyKind::parse("spb-dynamic").unwrap(),
+            PolicyKind::SpbDynamic { n: 48 }
+        );
+        assert!(PolicyKind::parse("magic").unwrap_err().contains("magic"));
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub mod sweep;
 pub use config::{KernelMode, PolicyKind, SimConfig};
 pub use runner::{CoreWindow, RunError, RunResult};
 pub use simulation::Simulation;
-pub use sweep::{CellFailure, SweepOptions, SweepReport};
+pub use sweep::{CellFailure, ChaosPlan, Supervision, SweepOptions, SweepReport};

@@ -35,13 +35,16 @@
 use crate::config::SimConfig;
 use crate::runner::RunResult;
 use crate::simulation::Simulation;
+use spb_stats::hash::{fnv1a64, hex16, mix64};
 use spb_stats::json::Json;
 use spb_trace::profile::AppProfile;
 use std::fmt;
+use std::io::Write;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// How a sweep executes: worker count and progress narration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,8 +191,9 @@ where
         .collect()
 }
 
-/// One sweep cell that failed — by panic or by a structured
-/// [`crate::runner::RunError`] — while its siblings carried on.
+/// One sweep cell that failed — by panic, deadline, injected chaos, or
+/// a structured [`crate::runner::RunError`] — while its siblings
+/// carried on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellFailure {
     /// Application name of the failed cell.
@@ -198,8 +202,13 @@ pub struct CellFailure {
     pub policy: String,
     /// Effective SB entries of the failed cell.
     pub sb: usize,
-    /// The panic message or invariant-violation diagnostic.
+    /// The panic message, deadline notice, or invariant-violation
+    /// diagnostic. The prefix encodes the failure class (see
+    /// [`CellFailure::is_transient`]).
     pub reason: String,
+    /// How many attempts this cell consumed before the supervisor gave
+    /// up (1 when no retry was configured).
+    pub attempts: u32,
 }
 
 impl fmt::Display for CellFailure {
@@ -208,21 +217,44 @@ impl fmt::Display for CellFailure {
             f,
             "[{} / {} / sb={}] {}",
             self.app, self.policy, self.sb, self.reason
-        )
+        )?;
+        if self.attempts > 1 {
+            write!(f, " (after {} attempts)", self.attempts)?;
+        }
+        Ok(())
     }
 }
 
 impl CellFailure {
-    fn to_json(&self) -> Json {
+    /// Whether a retry could plausibly succeed.
+    ///
+    /// Worker panics, missed deadlines, and injected chaos are
+    /// *transient*: they come from the harness (a poisoned worker, a
+    /// slow host, a fault plan), not from the simulated machine, so the
+    /// supervisor retries them with backoff. Invariant violations are
+    /// *deterministic* — the same cell replays to the same violation —
+    /// so they fail fast and keep their full diagnostic.
+    pub fn is_transient(&self) -> bool {
+        self.reason.starts_with("panic:")
+            || self.reason.starts_with("deadline:")
+            || self.reason.starts_with("chaos:")
+    }
+
+    /// Serializes one failure record (`{app, policy, sb, reason,
+    /// attempts}`).
+    pub fn to_json(&self) -> Json {
         Json::obj([
             ("app", Json::str(&self.app)),
             ("policy", Json::str(&self.policy)),
             ("sb", Json::from(self.sb)),
             ("reason", Json::str(&self.reason)),
+            ("attempts", Json::from(u64::from(self.attempts))),
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    /// Parses a failure record; `attempts` defaults to 1 for reports
+    /// written before the retry supervisor existed.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
         let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
         Ok(Self {
             app: field("app")?
@@ -238,8 +270,281 @@ impl CellFailure {
                 .as_str()
                 .ok_or("reason must be a string")?
                 .to_string(),
+            attempts: match v.get("attempts") {
+                None => 1,
+                Some(a) => u32::try_from(a.as_u64().ok_or("attempts must be an integer")?)
+                    .map_err(|_| "attempts out of range")?,
+            },
         })
     }
+}
+
+/// A stable fingerprint of one sweep cell, used to seed per-cell
+/// backoff jitter and chaos draws, and as the service's cache-key
+/// ingredient. Depends only on cell *content* (app, policy, SB, seed,
+/// budgets), never on position in the sweep.
+pub fn cell_fingerprint(app: &AppProfile, cfg: &SimConfig) -> u64 {
+    fnv1a64(
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            app.name(),
+            cfg.policy.label(),
+            cfg.effective_sb(),
+            cfg.seed,
+            cfg.warmup_uops,
+            cfg.measure_uops,
+        )
+        .as_bytes(),
+    )
+}
+
+/// Runs one cell to completion, converting every failure mode into a
+/// structured [`CellFailure`]: panics are caught, invariant violations
+/// carry their diagnostic, and — when `deadline_ms` is set — a cell
+/// that overruns its deadline is abandoned on a detached worker thread
+/// and reported as `deadline: …`.
+pub fn run_cell(
+    app: &AppProfile,
+    cfg: &SimConfig,
+    deadline_ms: Option<u64>,
+) -> Result<RunResult, CellFailure> {
+    let fail = |reason: String| CellFailure {
+        app: app.name().to_string(),
+        policy: cfg.policy.label(),
+        sb: cfg.effective_sb(),
+        reason,
+        attempts: 1,
+    };
+    let outcome = match deadline_ms {
+        None => std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Simulation::with_config(app, cfg).run()
+        }))
+        .map_err(panic_message),
+        Some(ms) => {
+            // The simulator has no cancellation points, so a deadline
+            // needs an owned, detachable worker: if it overruns we
+            // abandon it (it finishes in the background and its late
+            // result is dropped with the channel).
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            let (app2, cfg2) = (app.clone(), cfg.clone());
+            std::thread::Builder::new()
+                .name("spb-cell".into())
+                .spawn(move || {
+                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        Simulation::with_config(&app2, &cfg2).run()
+                    }))
+                    .map_err(panic_message);
+                    let _ = tx.send(r);
+                })
+                .expect("spawn cell worker");
+            match rx.recv_timeout(Duration::from_millis(ms)) {
+                Ok(r) => r,
+                Err(_) => {
+                    return Err(fail(format!(
+                        "deadline: cell exceeded {ms} ms; worker abandoned"
+                    )))
+                }
+            }
+        }
+    };
+    match outcome {
+        Ok(Ok(run)) => Ok(run),
+        Ok(Err(e)) => Err(CellFailure {
+            app: e.app,
+            policy: e.policy,
+            sb: e.sb_entries,
+            reason: e.violation.to_string(),
+            attempts: 1,
+        }),
+        Err(msg) => Err(fail(format!("panic: {msg}"))),
+    }
+}
+
+/// Deterministic, seeded fault injection for the *harness* (not the
+/// simulated machine): makes attempt `a` of a cell "crash" with
+/// probability `rate_e4`/10000, drawn reproducibly from the seed, the
+/// cell fingerprint, and the attempt number.
+///
+/// Because the draw includes the attempt number, a chaos failure is
+/// genuinely transient — the retry redraws — which is what the retry
+/// supervisor's tests and the `serve_smoke` CI gate use to provoke the
+/// failure modes a production sweep service must absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Failure probability in units of 1/10000 per attempt.
+    pub rate_e4: u32,
+    /// Chaos seed (independent of workload and fault seeds).
+    pub seed: u64,
+}
+
+impl ChaosPlan {
+    /// Whether this (cell, attempt) pair is sacrificed.
+    pub fn injects(&self, cell_fingerprint: u64, attempt: u32) -> bool {
+        let draw = mix64(mix64(self.seed ^ cell_fingerprint) ^ u64::from(attempt));
+        draw % 10_000 < u64::from(self.rate_e4)
+    }
+}
+
+/// Retry, deadline and chaos policy for a supervised sweep.
+///
+/// The default is exactly the old executor: one attempt, no deadline,
+/// no chaos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Total attempts per cell (at least 1; 1 = no retry).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, in milliseconds. Retry `k`
+    /// (attempt `k+1`) waits `base · 2^(k-1)` plus jitter in
+    /// `[0, base)`.
+    pub base_backoff_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Per-attempt wall-clock deadline (None = unbounded).
+    pub deadline_ms: Option<u64>,
+    /// Optional harness-level fault injection (tests, smoke gates).
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff_ms: 25,
+            max_backoff_ms: 2_000,
+            backoff_seed: 0x5bb0_ff1e,
+            deadline_ms: None,
+            chaos: None,
+        }
+    }
+}
+
+impl Supervision {
+    /// `n` total attempts with the default backoff curve.
+    pub fn with_retries(n: u32) -> Self {
+        Self {
+            max_attempts: n.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before `attempt` (2 = first retry) of the cell with this
+    /// fingerprint: deterministic exponential growth plus seeded
+    /// jitter, capped at [`Supervision::max_backoff_ms`]. Attempt 1
+    /// never waits.
+    pub fn backoff_ms(&self, cell_fingerprint: u64, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            return 0;
+        }
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << u64::from(attempt - 2).min(16));
+        let jitter = mix64(self.backoff_seed ^ cell_fingerprint ^ u64::from(attempt))
+            % self.base_backoff_ms.max(1);
+        exp.saturating_add(jitter).min(self.max_backoff_ms)
+    }
+}
+
+/// Runs every cell under full supervision: panics, deadline overruns
+/// and injected chaos become transient [`CellFailure`]s that are
+/// retried up to [`Supervision::max_attempts`] times with deterministic
+/// seeded exponential backoff, while invariant violations fail fast.
+/// Returns, **in input order**, each cell's final result and the number
+/// of attempts it consumed; failures also carry the attempt count in
+/// [`CellFailure::attempts`].
+///
+/// Retries re-run the *identical* deterministic simulation, so a cell
+/// that succeeds on any attempt yields the same [`RunResult`] a
+/// first-attempt success would have — supervision never perturbs
+/// simulated numbers.
+pub fn run_cells_supervised(
+    cells: &[(&AppProfile, SimConfig)],
+    opts: &SweepOptions,
+    sup: &Supervision,
+) -> Vec<(Result<RunResult, CellFailure>, u32)> {
+    let total = cells.len();
+    let keys: Vec<u64> = cells.iter().map(|(a, c)| cell_fingerprint(a, c)).collect();
+    let mut results: Vec<Option<Result<RunResult, CellFailure>>> =
+        (0..total).map(|_| None).collect();
+    let mut attempts_of = vec![0u32; total];
+    let mut pending: Vec<usize> = (0..total).collect();
+    let max_attempts = sup.max_attempts.max(1);
+    let settled = AtomicUsize::new(0);
+    for attempt in 1..=max_attempts {
+        if pending.is_empty() {
+            break;
+        }
+        let round = parallel_map_catch(&pending, opts.jobs, |_, &i| {
+            let (app, cfg) = &cells[i];
+            if attempt > 1 {
+                std::thread::sleep(Duration::from_millis(sup.backoff_ms(keys[i], attempt)));
+            }
+            let res = match sup.chaos {
+                Some(chaos) if chaos.injects(keys[i], attempt) => Err(CellFailure {
+                    app: app.name().to_string(),
+                    policy: cfg.policy.label(),
+                    sb: cfg.effective_sb(),
+                    reason: format!("chaos: injected worker crash (attempt {attempt})"),
+                    attempts: 1,
+                }),
+                _ => run_cell(app, cfg, sup.deadline_ms),
+            };
+            if opts.progress {
+                match &res {
+                    Ok(r) => {
+                        let k = settled.fetch_add(1, Ordering::Relaxed) + 1;
+                        eprintln!(
+                            "[{k}/{total}] {} sb={} {} {:.1}s (attempt {attempt})",
+                            r.app,
+                            r.sb_entries,
+                            r.policy,
+                            r.wall_ms / 1000.0
+                        );
+                    }
+                    Err(f) => {
+                        let first = f.reason.lines().next().unwrap_or("");
+                        eprintln!(
+                            "{} sb={} {} attempt {attempt}/{max_attempts} FAILED: {first}",
+                            f.app, f.sb, f.policy
+                        );
+                    }
+                }
+            }
+            res
+        });
+        let mut next = Vec::new();
+        for (&i, r) in pending.iter().zip(round) {
+            attempts_of[i] = attempt;
+            let res = r.unwrap_or_else(|msg| {
+                let (app, cfg) = &cells[i];
+                Err(CellFailure {
+                    app: app.name().to_string(),
+                    policy: cfg.policy.label(),
+                    sb: cfg.effective_sb(),
+                    reason: format!("panic: {msg}"),
+                    attempts: 1,
+                })
+            });
+            match res {
+                Ok(run) => results[i] = Some(Ok(run)),
+                Err(mut f) => {
+                    f.attempts = attempt;
+                    let retry = f.is_transient() && attempt < max_attempts;
+                    results[i] = Some(Err(f));
+                    if retry {
+                        next.push(i);
+                    }
+                }
+            }
+        }
+        pending = next;
+    }
+    results
+        .into_iter()
+        .zip(attempts_of)
+        .map(|(r, a)| (r.expect("every cell attempted at least once"), a))
+        .collect()
 }
 
 /// Runs every `(application, configuration)` cell, isolating failures:
@@ -288,6 +593,7 @@ pub fn run_cells_checked(
                     policy: e.policy,
                     sb: e.sb_entries,
                     reason,
+                    attempts: 1,
                 })
             }
             Err(panic_msg) => Err(CellFailure {
@@ -295,6 +601,7 @@ pub fn run_cells_checked(
                 policy: cfg.policy.label(),
                 sb: cfg.effective_sb(),
                 reason: format!("panic: {panic_msg}"),
+                attempts: 1,
             }),
         })
         .collect()
@@ -367,7 +674,9 @@ impl SweepRecord {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// Serializes one record (`{app, policy, sb, cycles, uops, ipc,
+    /// wall_ms}`).
+    pub fn to_json(&self) -> Json {
         Json::obj([
             ("app", Json::str(&self.app)),
             ("policy", Json::str(&self.policy)),
@@ -379,7 +688,8 @@ impl SweepRecord {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    /// Parses one record.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
         let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
         Ok(Self {
             app: field("app")?
@@ -478,8 +788,7 @@ impl SweepReport {
             .any(|r| r.app == app && r.policy == policy && r.sb == sb)
     }
 
-    /// Renders the report as pretty-printed JSON.
-    pub fn to_json_string(&self) -> String {
+    fn body_json(&self) -> Json {
         let mut pairs = vec![
             ("name", Json::str(&self.name)),
             (
@@ -496,11 +805,40 @@ impl SweepReport {
         if let Some(m) = &self.metrics {
             pairs.push(("metrics", m.clone()));
         }
-        let v = Json::obj(pairs);
+        Json::obj(pairs)
+    }
+
+    /// Renders the report as pretty-printed JSON (without a checksum —
+    /// this is also the canonical text the checksum is computed over).
+    pub fn to_json_string(&self) -> String {
+        format!("{:#}\n", self.body_json())
+    }
+
+    /// The report's content checksum: `fnv1a64:` plus 16 hex digits of
+    /// the digest of [`SweepReport::to_json_string`].
+    pub fn content_checksum(&self) -> String {
+        format!("fnv1a64:{}", hex16(fnv1a64(self.to_json_string().as_bytes())))
+    }
+
+    /// Renders the report with a trailing `"checksum"` field that
+    /// [`SweepReport::parse`] validates. This is what
+    /// [`SweepReport::save`] writes.
+    pub fn to_json_string_checksummed(&self) -> String {
+        let mut v = self.body_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs.push(("checksum".to_string(), Json::str(self.content_checksum())));
+        }
         format!("{v:#}\n")
     }
 
     /// Parses a report back from its JSON text.
+    ///
+    /// If the text carries a `"checksum"` field (reports saved since
+    /// the field was introduced do; older artifacts don't), the
+    /// re-serialized content is digested and compared: a mismatch —
+    /// flipped bytes, a truncated-then-patched file, a hand edit —
+    /// fails with a clear error instead of silently returning corrupt
+    /// numbers.
     pub fn parse(text: &str) -> Result<Self, String> {
         let v = Json::parse(text).map_err(|e| e.to_string())?;
         let name = v
@@ -524,16 +862,28 @@ impl SweepReport {
                 .map(CellFailure::from_json)
                 .collect::<Result<_, _>>()?,
         };
-        Ok(Self {
+        let report = Self {
             name,
             records,
             failed,
             metrics: v.get("metrics").cloned(),
-        })
+        };
+        if let Some(stated) = v.get("checksum") {
+            let stated = stated.as_str().ok_or("checksum must be a string")?;
+            let computed = report.content_checksum();
+            if stated != computed {
+                return Err(format!(
+                    "checksum mismatch: file says {stated}, content hashes to {computed} \
+                     — the report is corrupted (or was hand-edited)"
+                ));
+            }
+        }
+        Ok(report)
     }
 
     /// Writes the report as `<dir>/<name>.json` (creating `dir`) and
-    /// returns the path written.
+    /// returns the path written. See [`SweepReport::save_as`] for the
+    /// crash-safety contract.
     ///
     /// # Errors
     ///
@@ -541,8 +891,33 @@ impl SweepReport {
     pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, self.to_json_string())?;
+        self.save_as(&path)?;
         Ok(path)
+    }
+
+    /// Crash-safe write to an exact path: the checksummed text goes to
+    /// a temporary file in the same directory, is flushed to disk, and
+    /// is atomically renamed over `path` — a reader (or a restart after
+    /// `kill -9`) sees either the complete old report or the complete
+    /// new one, never a torn write, and the embedded checksum catches
+    /// anything the filesystem mangles later.
+    pub fn save_as(&self, path: &Path) -> std::io::Result<()> {
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let tmp = match dir {
+            Some(d) => d.join(format!(
+                ".{}.tmp{}",
+                path.file_name().and_then(|n| n.to_str()).unwrap_or("report"),
+                std::process::id()
+            )),
+            None => PathBuf::from(format!(".{}.tmp{}", path.display(), std::process::id())),
+        };
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(self.to_json_string_checksummed().as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 }
 
@@ -722,6 +1097,227 @@ mod tests {
             .unwrap_err()
             .contains("app"));
         assert!(SweepReport::parse("not json").is_err());
+    }
+
+    /// A tiny quick-ish config that still simulates real work.
+    fn tiny() -> SimConfig {
+        let mut cfg = SimConfig::quick();
+        cfg.warmup_uops = 2_000;
+        cfg.measure_uops = 10_000;
+        cfg
+    }
+
+    #[test]
+    fn supervised_retry_converges_under_chaos() {
+        let app = AppProfile::by_name("x264").unwrap();
+        let cells: Vec<_> = [14usize, 28, 56]
+            .iter()
+            .map(|&sb| (&app, tiny().with_sb(sb)))
+            .collect();
+        let baseline = run_cells_checked(&cells, &SweepOptions::serial());
+        // Chaos at 100%: with rate_e4 = 10_000 every attempt is
+        // sacrificed, so even generous retries end in chaos failures…
+        let all_fail = Supervision {
+            max_attempts: 3,
+            base_backoff_ms: 0,
+            chaos: Some(ChaosPlan {
+                rate_e4: 10_000,
+                seed: 7,
+            }),
+            ..Supervision::default()
+        };
+        for (res, attempts) in run_cells_supervised(&cells, &SweepOptions::with_jobs(2), &all_fail)
+        {
+            let f = res.unwrap_err();
+            assert!(f.reason.starts_with("chaos:"), "reason: {}", f.reason);
+            assert!(f.is_transient());
+            assert_eq!(attempts, 3, "all attempts consumed");
+            assert_eq!(f.attempts, 3);
+        }
+        // …while a heavy-but-partial rate converges: every cell ends in
+        // the bit-identical result of the unsupervised run. The chaos
+        // draw is deterministic, so pick (by search) a seed that
+        // sacrifices at least one cell's first attempt — guaranteeing
+        // the retry path actually runs — and predict each cell's
+        // attempt count straight from the plan.
+        let fps: Vec<u64> = cells.iter().map(|(a, c)| cell_fingerprint(a, c)).collect();
+        let plan = (0..)
+            .map(|seed| ChaosPlan {
+                rate_e4: 4_000,
+                seed,
+            })
+            .find(|p| fps.iter().any(|&fp| p.injects(fp, 1)))
+            .unwrap();
+        let expected_attempts: Vec<u32> = fps
+            .iter()
+            .map(|&fp| (1..=10).find(|&a| !plan.injects(fp, a)).unwrap())
+            .collect();
+        let flaky = Supervision {
+            max_attempts: 10,
+            base_backoff_ms: 0,
+            chaos: Some(plan),
+            ..Supervision::default()
+        };
+        let out = run_cells_supervised(&cells, &SweepOptions::with_jobs(2), &flaky);
+        for (i, ((res, attempts), base)) in out.into_iter().zip(&baseline).enumerate() {
+            let run = res.expect("10 attempts at 40% chaos converge");
+            let base = base.as_ref().unwrap();
+            assert_eq!(run.cycles, base.cycles, "retries never perturb results");
+            assert_eq!(run.uops, base.uops);
+            assert_eq!(attempts, expected_attempts[i], "attempts follow the plan");
+        }
+        assert!(
+            expected_attempts.iter().any(|&a| a > 1),
+            "the searched seed guarantees at least one retry"
+        );
+    }
+
+    #[test]
+    fn supervised_invariant_violations_fail_fast() {
+        let app = AppProfile::by_name("x264").unwrap();
+        // A watchdog this tight trips deterministically long before the
+        // budget completes — the same violation on every attempt.
+        let mut cfg = tiny();
+        cfg.watchdog_cycles = 1;
+        let cells = vec![(&app, cfg)];
+        let sup = Supervision {
+            max_attempts: 5,
+            base_backoff_ms: 0,
+            ..Supervision::default()
+        };
+        let (res, attempts) = run_cells_supervised(&cells, &SweepOptions::serial(), &sup)
+            .pop()
+            .unwrap();
+        let f = res.unwrap_err();
+        assert!(!f.is_transient(), "watchdog violations are deterministic");
+        assert_eq!(attempts, 1, "fail-fast: no retries burned");
+        assert_eq!(f.attempts, 1);
+    }
+
+    #[test]
+    fn supervised_panics_are_retried_but_still_fail_deterministic_bugs() {
+        let app = AppProfile::by_name("x264").unwrap();
+        // sb=0 panics in construction on every attempt: transient by
+        // classification (panic), so retries are burned, but the final
+        // failure records them all.
+        let cells = vec![(&app, tiny().with_sb(0))];
+        let sup = Supervision {
+            max_attempts: 3,
+            base_backoff_ms: 0,
+            ..Supervision::default()
+        };
+        let (res, attempts) = run_cells_supervised(&cells, &SweepOptions::serial(), &sup)
+            .pop()
+            .unwrap();
+        let f = res.unwrap_err();
+        assert!(f.reason.starts_with("panic:"), "reason: {}", f.reason);
+        assert_eq!(attempts, 3);
+        assert_eq!(f.attempts, 3);
+        assert!(f.to_string().contains("after 3 attempts"));
+    }
+
+    #[test]
+    fn run_cell_deadline_abandons_slow_cells() {
+        let app = AppProfile::by_name("x264").unwrap();
+        // A full paper-budget cell takes well over a millisecond even on
+        // a fast host, so a 1 ms deadline reliably fires; the abandoned
+        // worker finishes harmlessly in the background.
+        let slow = SimConfig::paper_default();
+        let f = run_cell(&app, &slow, Some(1)).unwrap_err();
+        assert!(f.reason.starts_with("deadline:"), "reason: {}", f.reason);
+        assert!(f.is_transient());
+        // A generous deadline changes nothing about the result.
+        let unbounded = run_cell(&app, &tiny(), None).unwrap();
+        let bounded = run_cell(&app, &tiny(), Some(60_000)).unwrap();
+        assert_eq!(unbounded.cycles, bounded.cycles);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let sup = Supervision::with_retries(8);
+        let fp = cell_fingerprint(
+            &AppProfile::by_name("x264").unwrap(),
+            &SimConfig::quick(),
+        );
+        assert_eq!(sup.backoff_ms(fp, 1), 0, "first attempt never waits");
+        let b2 = sup.backoff_ms(fp, 2);
+        let b3 = sup.backoff_ms(fp, 3);
+        assert_eq!(b2, sup.backoff_ms(fp, 2), "deterministic");
+        assert!(b2 >= sup.base_backoff_ms && b2 < 2 * sup.base_backoff_ms);
+        assert!(b3 > b2, "exponential growth");
+        for a in 2..40 {
+            assert!(sup.backoff_ms(fp, a) <= sup.max_backoff_ms, "capped");
+        }
+        // Different cells jitter differently (with overwhelming
+        // probability for any fixed pair).
+        assert_ne!(sup.backoff_ms(fp, 2), sup.backoff_ms(fp ^ 1, 2));
+    }
+
+    #[test]
+    fn cell_fingerprint_depends_on_content_not_position() {
+        let a = AppProfile::by_name("x264").unwrap();
+        let b = AppProfile::by_name("lbm").unwrap();
+        let cfg = SimConfig::quick();
+        assert_eq!(cell_fingerprint(&a, &cfg), cell_fingerprint(&a, &cfg));
+        assert_ne!(cell_fingerprint(&a, &cfg), cell_fingerprint(&b, &cfg));
+        assert_ne!(
+            cell_fingerprint(&a, &cfg),
+            cell_fingerprint(&a, &cfg.clone().with_sb(28))
+        );
+    }
+
+    #[test]
+    fn checksummed_report_round_trips_and_rejects_corruption() {
+        let report = SweepReport {
+            name: "chk".into(),
+            records: vec![SweepRecord {
+                app: "x264".into(),
+                policy: "spb".into(),
+                sb: 14,
+                cycles: 123_456,
+                uops: 300_000,
+                ipc: 300_000.0 / 123_456.0,
+                wall_ms: 10.5,
+            }],
+            failed: vec![],
+            metrics: None,
+        };
+        let text = report.to_json_string_checksummed();
+        assert!(text.contains("\"checksum\": \"fnv1a64:"));
+        assert_eq!(SweepReport::parse(&text).unwrap(), report);
+        // Flip one digit inside a number: still valid JSON, but the
+        // checksum catches it.
+        let corrupt = text.replacen("123456", "123457", 1);
+        let err = SweepReport::parse(&corrupt).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "err: {err}");
+        // A checksum that is not even a string errors clearly too.
+        let bad_type = text.replace(&report.content_checksum(), "");
+        assert!(SweepReport::parse(&bad_type)
+            .unwrap_err()
+            .contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn save_is_atomic_and_checksummed() {
+        let dir = std::env::temp_dir().join(format!("spb-save-atomic-{}", std::process::id()));
+        let report = SweepReport {
+            name: "atomic".into(),
+            records: vec![],
+            failed: vec![],
+            metrics: None,
+        };
+        let path = report.save(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"checksum\""), "saved reports carry one");
+        assert_eq!(SweepReport::parse(&text).unwrap(), report);
+        // No tmp litter left behind.
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(litter.is_empty(), "tmp files must be renamed away");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn sample_text() -> String {
             policy: "ideal".into(),
             sb: 1024,
             reason: "panic: \"quoted\" and\nnewlined".into(),
+            attempts: 2,
         }],
         metrics: None,
     }
@@ -84,10 +85,10 @@ proptest! {
             let i = (*p as usize) % bytes.len();
             bytes[i] = (*v % 256) as u8;
         }
-        // Mangling can break UTF-8 too; both paths must stay panic-free.
-        match String::from_utf8(bytes) {
-            Ok(text) => { let _ = SweepReport::parse(&text); }
-            Err(_) => {} // unreadable on disk -> the caller's io layer errors first
+        // Mangling can break UTF-8 too; a non-UTF-8 file errors in the
+        // caller's io layer first, so only the Ok path reaches parse.
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = SweepReport::parse(&text);
         }
     }
 

@@ -15,6 +15,9 @@
 //! - [`summary`]: normalization and geometric-mean helpers.
 //! - [`json`]: a dependency-free JSON value type ([`json::Json`]) used
 //!   for the machine-readable sweep reports.
+//! - [`hash`]: deterministic digests and mixers ([`hash::fnv1a64`],
+//!   [`hash::mix64`]) for content checksums, cache keys and seeded
+//!   jitter.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 
 pub mod chart;
 pub mod counter;
+pub mod hash;
 pub mod histogram;
 pub mod json;
 pub mod summary;

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Chaos smoke for the fault-tolerant sweep service (DESIGN.md §10).
+#
+# Builds `spbsim` + `serve_smoke` and runs the kill -9 scenario: two
+# overlapping quick-grid clients, SIGKILL mid-sweep, restart on the
+# same state directory, journal recovery with only the missing cells
+# recomputed, and a final 230-record grid bit-identical to the golden
+# results/sweep-grid-quick.json. See crates/cli/src/bin/serve_smoke.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p spb-cli --bin spbsim --bin serve_smoke
+exec ./target/release/serve_smoke "${1:-results/sweep-grid-quick.json}"
