@@ -157,10 +157,7 @@ fn figures(c: &mut Criterion) {
     // §IV-C sensitivity: one off-default N.
     c.bench_function("sens_n_window_24", |b| {
         let app = &bench_sb_bound_apps()[0];
-        let cfg = bench_config().with_sb(14).with_policy(PolicyKind::Spb {
-            n: 24,
-            dedupe: true,
-        });
+        let cfg = bench_config().with_sb(14).with_policy(PolicyKind::spb(24, true));
         b.iter(|| black_box(Simulation::with_config(app, &cfg).run_or_panic()));
     });
 

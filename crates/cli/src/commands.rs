@@ -1,6 +1,6 @@
 //! Command execution for `spbsim`.
 
-use crate::{find_app, CliError, ClientAction, Command, RunOpts, VerifyCmd};
+use crate::{find_app, CliError, ClientAction, Command, RunOpts, TuneCmd, VerifyCmd};
 use spb_sim::config::SimConfig;
 use spb_sim::suite::SuiteResult;
 use spb_sim::sweep::{run_cells_supervised, Supervision, SweepRecord, SweepReport};
@@ -51,7 +51,94 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             deadline_ms,
         } => serve_cmd(&addr, &dir, jobs, queue, retry, deadline_ms),
         Command::Client { addr, action } => client_cmd(&addr, action),
+        Command::Tune(o) => tune_cmd(&o),
     }
+}
+
+/// Resolves the `--apps` spelling of `spbsim tune`.
+///
+/// Cache entries are keyed by app *name*, and `x264` exists in both
+/// suites, so every spelling resolves to the same profile `by_name`
+/// would pick (SPEC first) — the tuner must never write a cell under a
+/// name that a later name-resolved lookup would read as a different
+/// profile.
+fn resolve_tune_apps(spec: &str) -> Result<Vec<spb_trace::profile::AppProfile>, CliError> {
+    let catalog = AppCatalog::standard();
+    match spec {
+        "sb-bound" => Ok(catalog.sb_bound(Suite::Spec2017)),
+        "spec" => Ok(catalog.suite(Suite::Spec2017)),
+        list => list.split(',').map(find_app).collect(),
+    }
+}
+
+/// `spbsim tune`: explore the policy design space through the
+/// content-addressed cell cache and report the Pareto frontier.
+fn tune_cmd(o: &TuneCmd) -> Result<(), CliError> {
+    let apps = resolve_tune_apps(&o.apps)?;
+    if apps.is_empty() {
+        return Err(CliError(format!("--apps {:?} matches no applications", o.apps)));
+    }
+    let mut base_cfg = match o.budget.as_str() {
+        "paper" => SimConfig::paper_default(),
+        _ => SimConfig::quick(),
+    };
+    if let Some(w) = o.warmup {
+        base_cfg.warmup_uops = w;
+    }
+    if let Some(u) = o.uops {
+        base_cfg.measure_uops = u;
+    }
+    let mut space = spb_tune::TuneSpace::default();
+    if let Some(sbs) = &o.sbs {
+        space.sb = sbs.clone();
+    }
+    let sweep = match o.jobs {
+        Some(n) => spb_sim::sweep::SweepOptions::with_jobs(n),
+        None => spb_sim::sweep::SweepOptions::from_env(),
+    };
+    let opts = spb_tune::TuneOptions {
+        strategy: o.strategy,
+        seed: o.seed,
+        points: o.points,
+        space,
+        base_cfg: base_cfg.clone(),
+        apps: apps.clone(),
+        sweep,
+        supervision: Supervision::with_retries(o.retry),
+    };
+    let cache = spb_serve::ResultCache::open(&o.cache)?;
+    let outcome = spb_tune::run_tune(&opts, &cache);
+    let stats = outcome.stats;
+    let name = o
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("tune-{}-s{}-p{}", o.strategy.label(), o.seed, o.points));
+    let report = spb_tune::TuneReport {
+        name,
+        strategy: o.strategy.label().into(),
+        seed: o.seed,
+        points_requested: o.points,
+        warmup_uops: base_cfg.warmup_uops,
+        measure_uops: base_cfg.measure_uops,
+        workload_seed: base_cfg.seed,
+        apps: apps.iter().map(|a| a.name().to_string()).collect(),
+        outcome,
+    };
+    print!("{}", report.to_text());
+    // Cache traffic goes to the terminal only — the saved report must
+    // stay byte-identical between a cold and a fully cached run.
+    println!("cache: {} hit(s), {} computed", stats.cache_hits, stats.computed);
+    match report.save(std::path::Path::new(&o.out)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write tune report: {e}"),
+    }
+    if report.outcome.points.is_empty() {
+        return Err(CliError(format!(
+            "no point evaluated successfully ({} failed)",
+            report.outcome.failed.len()
+        )));
+    }
+    Ok(())
 }
 
 /// `spbsim serve`: run the fault-tolerant sweep service until a client
@@ -375,6 +462,12 @@ fn run(app: &str, opts: &RunOpts, with_chart: bool) -> Result<(), CliError> {
     let profile = find_app(app)?;
     let result = spb_sim::Simulation::with_config(&profile, &opts.to_sim_config()).run_or_panic();
     print!("{}", spb_sim::report::render(&result));
+    println!(
+        "EDP: {:.3e} nJ·cycles ({:.1} nJ over {} cycles)",
+        result.energy.edp(result.cycles),
+        result.energy.total_nj(),
+        result.cycles
+    );
     if with_chart {
         let mut t = Table::new("headline", &["value"]);
         t.push_row("IPC", &[result.ipc()]);

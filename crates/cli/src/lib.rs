@@ -150,8 +150,65 @@ pub enum Command {
         /// What to ask the server.
         action: ClientAction,
     },
+    /// Explore the parameterized policy design space and report the
+    /// Pareto frontier (cycles × energy × coherence traffic).
+    Tune(TuneCmd),
     /// Print usage.
     Help,
+}
+
+/// Options for `spbsim tune`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneCmd {
+    /// Candidate-selection strategy.
+    pub strategy: spb_tune::Strategy,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Candidate points (0 = the whole space).
+    pub points: usize,
+    /// App-set spelling: `sb-bound` (the paper's SPEC SB-bound set),
+    /// `spec`, or a comma list of names.
+    pub apps: String,
+    /// SB-size override for the space (default 14, 28, 56).
+    pub sbs: Option<Vec<usize>>,
+    /// Per-cell budget: `quick` or `paper`.
+    pub budget: String,
+    /// Warm-up override (µops).
+    pub warmup: Option<u64>,
+    /// Measured-µops override.
+    pub uops: Option<u64>,
+    /// Content-addressed cell-cache directory.
+    pub cache: String,
+    /// Report output directory.
+    pub out: String,
+    /// Report name (default `tune-{strategy}-s{seed}-p{points}`).
+    pub name: Option<String>,
+    /// Worker threads for cache misses.
+    pub jobs: Option<usize>,
+    /// Total attempts per cell.
+    pub retry: u32,
+}
+
+impl Default for TuneCmd {
+    fn default() -> Self {
+        Self {
+            strategy: spb_tune::Strategy::Grid,
+            seed: 42,
+            points: 60,
+            // The three most SB-bound cross-suite apps: enough signal
+            // to rank policies without paying for a full-suite cell.
+            apps: "bwaves,x264,roms".into(),
+            sbs: None,
+            budget: "quick".into(),
+            warmup: None,
+            uops: None,
+            cache: "tune-state/cache".into(),
+            out: "results".into(),
+            name: None,
+            jobs: None,
+            retry: 3,
+        }
+    }
 }
 
 /// The `client` subcommands.
@@ -796,6 +853,66 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 ))),
             }
         }
+        "tune" => {
+            let mut o = TuneCmd::default();
+            while let Some(a) = it.next() {
+                let parse_num = |flag: &str, v: &str| -> Result<u64, CliError> {
+                    v.parse()
+                        .map_err(|_| CliError(format!("{flag} expects a number, got {v:?}")))
+                };
+                match a {
+                    "--strategy" => {
+                        o.strategy = spb_tune::Strategy::parse(take_value("--strategy", &mut it)?)
+                            .map_err(CliError)?;
+                    }
+                    "--seed" => o.seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
+                    "--points" => {
+                        o.points =
+                            parse_num("--points", take_value("--points", &mut it)?)? as usize;
+                    }
+                    "--apps" => o.apps = take_value("--apps", &mut it)?.to_string(),
+                    "--sb" => {
+                        let v = take_value("--sb", &mut it)?;
+                        o.sbs = Some(
+                            v.split(',')
+                                .map(|x| {
+                                    x.parse()
+                                        .map_err(|_| CliError(format!("bad SB size {x:?}")))
+                                })
+                                .collect::<Result<_, _>>()?,
+                        );
+                    }
+                    "--budget" => {
+                        let v = take_value("--budget", &mut it)?;
+                        if v != "quick" && v != "paper" {
+                            return Err(CliError(format!(
+                                "--budget expects quick or paper, got {v:?}"
+                            )));
+                        }
+                        o.budget = v.to_string();
+                    }
+                    "--warmup" => {
+                        o.warmup = Some(parse_num("--warmup", take_value("--warmup", &mut it)?)?);
+                    }
+                    "--uops" => {
+                        o.uops = Some(parse_num("--uops", take_value("--uops", &mut it)?)?);
+                    }
+                    "--cache" => o.cache = take_value("--cache", &mut it)?.to_string(),
+                    "--out" => o.out = take_value("--out", &mut it)?.to_string(),
+                    "--name" => o.name = Some(take_value("--name", &mut it)?.to_string()),
+                    "--jobs" => {
+                        o.jobs =
+                            Some(parse_num("--jobs", take_value("--jobs", &mut it)?)? as usize);
+                    }
+                    "--retry" => {
+                        o.retry =
+                            parse_num("--retry", take_value("--retry", &mut it)?)?.max(1) as u32;
+                    }
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            Ok(Command::Tune(o))
+        }
         other => Err(CliError(format!(
             "unknown command {other:?}; try `spbsim help`"
         ))),
@@ -834,9 +951,25 @@ USAGE:
                                                 full 230-cell quick grid)
   spbsim client health [--addr H:P]             print the service health snapshot
   spbsim client shutdown [--addr H:P]           stop the service gracefully
+  spbsim tune [--strategy grid|random|halving] [--seed N] [--points N]
+              [--apps sb-bound|spec|LIST] [--sb LIST] [--budget quick|paper]
+              [--warmup N] [--uops N] [--cache DIR] [--out DIR] [--name NAME]
+              [--jobs N] [--retry N]
+                                                explore the policy design space and
+                                                report the Pareto frontier (cycles ×
+                                                energy × coherence traffic)
 
 RUN OPTIONS:
-  --policy none|at-execute|at-commit|spb|spb-dynamic|ideal   (default at-commit)
+  --policy P      (default at-commit) one of:
+                    none | at-execute | at-commit | ideal
+                    spb[:KEYS]          parameterized SPB — KEYS is a comma list of
+                                        n=1..1024, dedupe=on|off, burst=auto|1..15,
+                                        frac=(0,1] (≤3 decimals), backward=on|off,
+                                        cross=0..8   e.g. spb:n=32,dedupe=off,burst=3
+                    spb-dynamic[:n=N]   per-core adaptive window
+                    spb-feedback[:n=N]  accuracy-feedback burst throttling
+                  the classic spellings parse (and print) exactly as before;
+                  every label round-trips: parse(label(p)) == p
   --sb N          store-buffer entries            (default 56)
   --uops N        measured µops                   (default 600000)
   --warmup N      warm-up µops                    (default 150000)
@@ -865,6 +998,15 @@ cache, accepted jobs are journaled write-ahead so a `kill -9`
 mid-sweep is recovered on restart with only missing cells re-run, and
 a full queue sheds new submissions with an explicit `overloaded`
 rejection instead of hanging.
+
+`tune` explores the parameterized policy space (window × dedupe ×
+burst threshold × page fraction × adaptive variants × SB sizes; 612
+points by default) with a grid, seeded-random, or successive-halving
+strategy, scores every point on cycles + energy + coherence traffic
+over the app set, and writes a checksummed Pareto-frontier report
+(DESIGN.md §11). Cells go through the same content-addressed cache as
+the sweep service, so re-running a tune — or overlapping tunes — is a
+cache hit and the report is byte-identical for a fixed seed.
 
 `trace` re-runs the application with the observability layer attached
 (identical simulated numbers; see DESIGN.md §7) and writes a Chrome
@@ -1202,6 +1344,70 @@ mod tests {
         assert!(parse(["client", "sweep", "--policy", "spb"]).is_err());
         assert!(parse(["client", "warp"]).is_err());
         assert!(parse(["client"]).is_err());
+    }
+
+    #[test]
+    fn parses_tune_flags_and_defaults() {
+        match parse(["tune"]).unwrap() {
+            Command::Tune(o) => {
+                assert_eq!(o, TuneCmd::default());
+                assert_eq!(o.strategy, spb_tune::Strategy::Grid);
+                assert_eq!(o.points, 60);
+                assert_eq!(o.apps, "bwaves,x264,roms");
+                assert_eq!(o.cache, "tune-state/cache");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse([
+            "tune", "--strategy", "halving", "--seed", "7", "--points", "200", "--apps",
+            "sb-bound", "--sb", "14,56", "--budget", "paper", "--warmup", "5000", "--uops",
+            "20000", "--cache", "/tmp/c", "--out", "/tmp/r", "--name", "t", "--jobs", "2",
+            "--retry", "4",
+        ])
+        .unwrap()
+        {
+            Command::Tune(o) => {
+                assert_eq!(o.strategy, spb_tune::Strategy::Halving);
+                assert_eq!(o.seed, 7);
+                assert_eq!(o.points, 200);
+                assert_eq!(o.apps, "sb-bound");
+                assert_eq!(o.sbs, Some(vec![14, 56]));
+                assert_eq!(o.budget, "paper");
+                assert_eq!(o.warmup, Some(5000));
+                assert_eq!(o.uops, Some(20000));
+                assert_eq!(o.cache, "/tmp/c");
+                assert_eq!(o.out, "/tmp/r");
+                assert_eq!(o.name.as_deref(), Some("t"));
+                assert_eq!(o.jobs, Some(2));
+                assert_eq!(o.retry, 4);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tune_rejects_bad_flags() {
+        assert!(parse(["tune", "--strategy", "genetic"]).is_err());
+        assert!(parse(["tune", "--budget", "huge"]).is_err());
+        assert!(parse(["tune", "--points", "many"]).is_err());
+        assert!(parse(["tune", "--sb", "14,big"]).is_err());
+        assert!(parse(["tune", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn parses_parameterized_policies_end_to_end() {
+        // The new grammar flows through the ordinary --policy flag.
+        match parse(["run", "--app", "x264", "--policy", "spb:n=32,dedupe=off,burst=3"]).unwrap() {
+            Command::Run { cfg, .. } => {
+                assert_eq!(cfg.policy.label(), "spb:n=32,dedupe=off,burst=3");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Errors teach the grammar: every valid key and range is named.
+        let err = parse(["run", "--app", "x264", "--policy", "spb:warp=9"]).unwrap_err();
+        for key in ["n=1..1024", "dedupe=on|off", "burst=auto|1..15", "frac=", "cross=0..8"] {
+            assert!(err.to_string().contains(key), "{err}");
+        }
     }
 
     #[test]

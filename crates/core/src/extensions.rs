@@ -25,7 +25,7 @@ const BLOCKS_PER_PAGE: u64 = 64;
 const SAT_MAX: u8 = 15;
 
 /// Configuration of the extended detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExtSpbConfig {
     /// The base detector parameters.
     pub base: SpbConfig,
@@ -36,6 +36,25 @@ pub struct ExtSpbConfig {
     /// boundary (0 = paper behaviour). Only sound for virtually-indexed
     /// prefetching.
     pub cross_pages: u32,
+    /// Explicit saturating-counter threshold (1..=15); 0 keeps the
+    /// paper's automatic `max(n/8, 1)` rule.
+    pub burst_threshold: u8,
+    /// Fraction of the remaining page a burst requests, in thousandths
+    /// (1000 = paper behaviour: the whole remaining page). Bursts keep
+    /// the blocks nearest the triggering store.
+    pub frac_milli: u16,
+}
+
+impl Default for ExtSpbConfig {
+    fn default() -> Self {
+        Self {
+            base: SpbConfig::default(),
+            backward: false,
+            cross_pages: 0,
+            burst_threshold: 0,
+            frac_milli: 1000,
+        }
+    }
 }
 
 /// The direction of the run the saturating counter is tracking.
@@ -88,7 +107,7 @@ impl DirectedBurst {
 /// let mut d = ExtendedSpbDetector::new(ExtSpbConfig {
 ///     base: SpbConfig { n: 8, dedupe: false },
 ///     backward: true,
-///     cross_pages: 0,
+///     ..ExtSpbConfig::default()
 /// });
 /// // A descending stack-like store run…
 /// let top = 0x8000u64;
@@ -156,18 +175,27 @@ impl ExtendedSpbDetector {
         self.checks
     }
 
-    /// The threshold (same rule as the base detector).
+    /// The effective threshold: an explicit [`ExtSpbConfig::burst_threshold`]
+    /// override, or the base detector's `max(n/8, 1)` rule.
     pub fn threshold(&self) -> u8 {
-        ((self.config.base.n / 8).max(1) as u8).min(SAT_MAX)
+        if self.config.burst_threshold > 0 {
+            self.config.burst_threshold.min(SAT_MAX)
+        } else {
+            ((self.config.base.n / 8).max(1) as u8).min(SAT_MAX)
+        }
     }
 
-    /// Storage bits: base cost plus the direction bit.
+    /// Storage bits: base cost plus the direction bit. Non-default
+    /// knobs cost extra configuration registers (4 bits for an explicit
+    /// threshold, 10 for a partial-page fraction).
     pub fn storage_bits(&self) -> u32 {
         let count_bits = 32 - self.config.base.n.leading_zeros();
         58 + 4
             + count_bits
             + if self.config.base.dedupe { 52 } else { 0 }
             + if self.config.backward { 1 } else { 0 }
+            + if self.config.burst_threshold > 0 { 4 } else { 0 }
+            + if self.config.frac_milli != 1000 { 10 } else { 0 }
     }
 
     /// Observes a committed store; returns a burst when a run is
@@ -215,12 +243,19 @@ impl ExtendedSpbDetector {
         if self.config.base.dedupe && self.last_burst_page == Some(page) {
             return None;
         }
+        // Partial-page bursts keep the `frac_milli`/1000 of the range
+        // nearest the triggering store (ceiling, so any non-empty range
+        // keeps at least one block). At the default 1000 this is exact.
+        let keep = |len: u64| (len * u64::from(self.config.frac_milli)).div_ceil(1000);
         let burst = match dir {
             Direction::Forward => {
                 let end = (page + 1 + u64::from(self.config.cross_pages)) * BLOCKS_PER_PAGE;
                 let start = block + 1;
                 (start < end).then_some(DirectedBurst {
-                    range: Burst { start, end },
+                    range: Burst {
+                        start,
+                        end: start + keep(end - start),
+                    },
                     descending: false,
                 })
             }
@@ -228,7 +263,10 @@ impl ExtendedSpbDetector {
                 let start = page * BLOCKS_PER_PAGE;
                 let end = block; // [page start, current block)
                 (start < end).then_some(DirectedBurst {
-                    range: Burst { start, end },
+                    range: Burst {
+                        start: end - keep(end - start),
+                        end,
+                    },
                     descending: true,
                 })
             }
@@ -251,6 +289,7 @@ mod tests {
             base: SpbConfig { n, dedupe: false },
             backward,
             cross_pages: cross,
+            ..ExtSpbConfig::default()
         }
     }
 
@@ -339,6 +378,79 @@ mod tests {
         let with = ExtendedSpbDetector::new(cfg(31, true, 0));
         assert_eq!(without.storage_bits(), 67);
         assert_eq!(with.storage_bits(), 68);
+    }
+
+    #[test]
+    fn explicit_threshold_overrides_the_auto_rule() {
+        let auto = ExtendedSpbDetector::new(cfg(48, false, 0));
+        assert_eq!(auto.threshold(), 6, "48/8 auto rule");
+        let forced = ExtendedSpbDetector::new(ExtSpbConfig {
+            burst_threshold: 3,
+            ..cfg(48, false, 0)
+        });
+        assert_eq!(forced.threshold(), 3);
+        // A run that covers only ~4 consecutive blocks per window fires
+        // at threshold 3 but not at the auto threshold of 6.
+        let run = |mut d: ExtendedSpbDetector| {
+            let mut triggers = 0u64;
+            for i in 0..4096u64 {
+                // 4 consecutive blocks, then a jump: sat peaks at 4.
+                let block = (i / 4) * 1000 + (i % 4);
+                if d.observe_store(block * 64).is_some() {
+                    triggers += 1;
+                }
+            }
+            triggers
+        };
+        assert_eq!(run(ExtendedSpbDetector::new(cfg(48, false, 0))), 0);
+        assert!(
+            run(ExtendedSpbDetector::new(ExtSpbConfig {
+                burst_threshold: 3,
+                ..cfg(48, false, 0)
+            })) > 0
+        );
+    }
+
+    #[test]
+    fn frac_truncates_forward_bursts_keeping_nearest_blocks() {
+        let full = ExtendedSpbDetector::new(cfg(8, false, 0));
+        let half = ExtendedSpbDetector::new(ExtSpbConfig {
+            frac_milli: 500,
+            ..cfg(8, false, 0)
+        });
+        let first_burst = |mut d: ExtendedSpbDetector| {
+            (0..512u64).find_map(|i| d.observe_store(i * 8))
+        };
+        let f = first_burst(full).unwrap();
+        let h = first_burst(half).unwrap();
+        assert_eq!(f.range.start, h.range.start, "nearest blocks kept");
+        assert_eq!(h.len(), f.len().div_ceil(2), "half the range, rounded up");
+    }
+
+    #[test]
+    fn frac_default_is_bit_identical_to_full_page() {
+        let mut a = ExtendedSpbDetector::new(cfg(8, true, 1));
+        let mut b = ExtendedSpbDetector::new(ExtSpbConfig {
+            frac_milli: 1000,
+            ..cfg(8, true, 1)
+        });
+        for i in 0..4096u64 {
+            let addr = if i % 512 < 256 { i * 8 } else { (1 << 30) - i * 8 };
+            assert_eq!(a.observe_store(addr), b.observe_store(addr), "store {i}");
+        }
+    }
+
+    #[test]
+    fn frac_never_empties_a_nonempty_burst() {
+        let mut d = ExtendedSpbDetector::new(ExtSpbConfig {
+            frac_milli: 1,
+            ..cfg(8, false, 0)
+        });
+        for i in 0..4096u64 {
+            if let Some(b) = d.observe_store(i * 8) {
+                assert!(!b.is_empty());
+            }
+        }
     }
 
     #[test]

@@ -41,7 +41,9 @@
 
 pub mod detector;
 pub mod extensions;
+pub mod params;
 pub mod policy;
 
 pub use detector::{SpbConfig, SpbDetector, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
+pub use params::SpbParams;
 pub use policy::SpbPolicy;

@@ -297,3 +297,95 @@ impl StorePrefetchPolicy for ExtendedSpbPolicy {
         "spb-extended"
     }
 }
+
+/// Feedback-directed SPB (Srinath-style FDP applied to bursts): the
+/// base detector decides *when* to burst, and measured burst-prefetch
+/// accuracy decides *how much* of the remaining page to request.
+///
+/// Mirrors the `spb_mem::prefetch` FDP ladder: every
+/// [`FEEDBACK_WINDOW`] burst blocks issued, accuracy ≥ 75% steps the
+/// page fraction up one level and accuracy ≤ 40% steps it down, over
+/// the ladder ¼ → ½ → ¾ → full page. Fully deterministic: the feedback
+/// signal is the simulator's own `RfoOrigin::SpbBurst` counters.
+#[derive(Debug, Clone)]
+pub struct FeedbackSpbPolicy {
+    detector: SpbDetector,
+    level: usize,
+    last_issued: u64,
+    last_useful: u64,
+}
+
+/// The page-fraction ladder, in thousandths of the remaining page.
+pub const FEEDBACK_FRAC_LEVELS: [u64; 4] = [250, 500, 750, 1000];
+/// Burst blocks issued between feedback evaluations.
+pub const FEEDBACK_WINDOW: u64 = 256;
+
+impl FeedbackSpbPolicy {
+    /// Creates the feedback policy, starting mid-ladder (half page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n` is zero.
+    pub fn new(config: SpbConfig) -> Self {
+        Self {
+            detector: SpbDetector::new(config),
+            level: 1,
+            last_issued: 0,
+            last_useful: 0,
+        }
+    }
+
+    /// The underlying detector (for instrumentation).
+    pub fn detector(&self) -> &SpbDetector {
+        &self.detector
+    }
+
+    /// The current ladder position (0..=3).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    fn adapt(&mut self, mem: &MemorySystem) {
+        let s = mem.stats();
+        let i = RfoOrigin::SpbBurst.index();
+        let issued = s.prefetch_requests[i];
+        if issued - self.last_issued < FEEDBACK_WINDOW {
+            return;
+        }
+        let useful = s.prefetch_successful[i];
+        let d_issued = issued - self.last_issued;
+        let d_useful = useful - self.last_useful;
+        // FDP thresholds: ≥3/4 accurate → more aggressive, ≤2/5 → less.
+        if d_useful * 4 >= d_issued * 3 {
+            self.level = (self.level + 1).min(FEEDBACK_FRAC_LEVELS.len() - 1);
+        } else if d_useful * 5 <= d_issued * 2 {
+            self.level = self.level.saturating_sub(1);
+        }
+        self.last_issued = issued;
+        self.last_useful = useful;
+    }
+}
+
+impl StorePrefetchPolicy for FeedbackSpbPolicy {
+    fn on_store_commit(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        pc: u64,
+        now: u64,
+    ) {
+        let _ = mem.store_prefetch(core, addr, pc, now, RfoOrigin::AtCommit);
+        if let Some(burst) = self.detector.observe_store(addr) {
+            self.adapt(mem);
+            let frac = FEEDBACK_FRAC_LEVELS[self.level];
+            let keep = (burst.len() * frac).div_ceil(1000).max(1);
+            mem.enqueue_burst(core, burst.start..burst.start + keep, now);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "spb-feedback"
+    }
+}

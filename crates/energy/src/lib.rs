@@ -116,6 +116,14 @@ impl EnergyBreakdown {
     pub fn dynamic_nj(&self) -> f64 {
         self.cache_dynamic_nj + self.core_dynamic_nj + self.dram_dynamic_nj
     }
+
+    /// Energy–delay product in nJ·cycles: the single-number
+    /// efficiency score `spbsim tune` prints alongside the raw
+    /// objectives (lower is better; rewards saving cycles only when
+    /// the energy spent to save them pays off).
+    pub fn edp(&self, cycles: u64) -> f64 {
+        self.total_nj() * cycles as f64
+    }
 }
 
 impl fmt::Display for EnergyBreakdown {

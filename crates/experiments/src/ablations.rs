@@ -1,7 +1,7 @@
 //! Ablations of SPB's design choices (beyond the paper's N sweep).
 //!
-//! Four variants against the shipped detector, on the SB-bound suite at
-//! a 14-entry SB:
+//! Variants against the shipped detector, on the SB-bound suite at a
+//! 14-entry SB:
 //!
 //! - **backward bursts** (§IV-A, left out by the paper): the paper
 //!   "found no evidence that backward store bursts cause SB stalls" —
@@ -11,53 +11,41 @@
 //!   fresh burst's job) and extra traffic.
 //! - **no-dedupe**: re-burst the same page every window (the literal
 //!   67-bit design). Expect identical performance but more L1 requests.
+//! - **half-page bursts** (`frac=0.5`): request only the nearest half
+//!   of the remaining page — less traffic, less coverage.
+//! - **feedback bursts**: FDP-style accuracy feedback picks the page
+//!   fraction at run time.
+//!
+//! Every variant is an ordinary [`PolicyKind`] spelling — the same
+//! grammar `spbsim run --policy` and `spbsim tune` accept — so this
+//! experiment is now plain sweep plumbing over the standard suite
+//! runner rather than a bespoke policy loop.
 //!
 //! Columns: performance normalized to the ideal SB, and L1 tag checks
 //! normalized to the shipped SPB configuration.
 
 use crate::Budget;
-use spb_core::extensions::{ExtSpbConfig, ExtendedSpbDetector};
-use spb_core::policy::ExtendedSpbPolicy;
-use spb_core::SpbConfig;
-use spb_cpu::StorePrefetchPolicy;
 use spb_sim::config::{PolicyKind, SimConfig};
 use spb_sim::suite::SuiteResult;
 use spb_stats::summary::geomean;
 use spb_stats::Table;
 use spb_trace::profile::AppProfile;
 
-/// A custom policy runner: SuiteResult-compatible sweep with an
-/// arbitrary policy factory (PolicyKind can't name the extended
-/// variants, so this bypasses it).
-fn run_suite_with<F>(apps: &[AppProfile], cfg: &SimConfig, factory: F) -> Vec<(u64, u64)>
-where
-    F: Fn() -> Box<dyn StorePrefetchPolicy + Send>,
-{
-    use spb_cpu::core::Core;
-    use spb_mem::MemorySystem;
-    apps.iter()
-        .map(|app| {
-            let mut mem_cfg = cfg.mem.clone();
-            mem_cfg.cores = 1;
-            let mut mem = MemorySystem::new(mem_cfg);
-            let mut core = Core::new(0, cfg.core, Box::new(app.build(cfg.seed)), factory());
-            let mut now = 0u64;
-            while core.committed_uops() < cfg.warmup_uops {
-                mem.tick(now);
-                core.cycle(&mut mem, now);
-                now += 1;
-            }
-            core.reset_stats();
-            mem.reset_stats();
-            let start = now;
-            while core.committed_uops() < cfg.measure_uops {
-                mem.tick(now);
-                core.cycle(&mut mem, now);
-                now += 1;
-            }
-            mem.finalize_stats();
-            (now - start, mem.stats().l1_tag_checks)
-        })
+/// The ablation rows: display label + policy spelling.
+const VARIANTS: [(&str, &str); 6] = [
+    ("spb (shipped)", "spb"),
+    ("+ backward bursts", "spb:backward=on"),
+    ("+ cross-page (1)", "spb:cross=1"),
+    ("+ cross-page (3)", "spb:cross=3"),
+    ("no-dedupe", "spb:dedupe=off"),
+    ("half-page bursts", "spb:frac=0.5"),
+];
+
+fn suite_cycles_and_tags(apps: &[AppProfile], cfg: &SimConfig) -> Vec<(u64, u64)> {
+    SuiteResult::run(apps, cfg)
+        .runs
+        .iter()
+        .map(|r| (r.cycles, r.mem.l1_tag_checks))
         .collect()
 }
 
@@ -68,48 +56,20 @@ pub fn run(budget: Budget) -> Vec<Table> {
     let ideal = SuiteResult::run(&apps, &base_cfg.clone().with_policy(PolicyKind::IdealSb));
     let ideal_cycles: Vec<u64> = ideal.runs.iter().map(|r| r.cycles).collect();
 
-    let variants: Vec<(&str, ExtSpbConfig)> = vec![
-        ("spb (shipped)", ExtSpbConfig::default()),
-        (
-            "+ backward bursts",
-            ExtSpbConfig {
-                backward: true,
-                ..Default::default()
-            },
-        ),
-        (
-            "+ cross-page (1)",
-            ExtSpbConfig {
-                cross_pages: 1,
-                ..Default::default()
-            },
-        ),
-        (
-            "+ cross-page (3)",
-            ExtSpbConfig {
-                cross_pages: 3,
-                ..Default::default()
-            },
-        ),
-        (
-            "no-dedupe",
-            ExtSpbConfig {
-                base: SpbConfig {
-                    n: 48,
-                    dedupe: false,
-                },
-                ..Default::default()
-            },
-        ),
-    ];
-
     let mut t = Table::new(
         "Ablations — SPB design choices (SB-bound suite, SB14)",
         &["perf vs ideal", "tag checks vs shipped"],
     );
     let mut shipped_tags: Option<Vec<u64>> = None;
-    for (label, ext) in variants {
-        let results = run_suite_with(&apps, &base_cfg, || Box::new(ExtendedSpbPolicy::new(ext)));
+    let rows = VARIANTS
+        .iter()
+        .map(|&(label, spec)| (label, PolicyKind::parse(spec).expect(spec)))
+        .chain(std::iter::once((
+            "feedback bursts",
+            PolicyKind::SpbFeedback { n: 48 },
+        )));
+    for (label, policy) in rows {
+        let results = suite_cycles_and_tags(&apps, &base_cfg.clone().with_policy(policy));
         let perf: Vec<f64> = results
             .iter()
             .zip(&ideal_cycles)
@@ -132,12 +92,4 @@ pub fn run(budget: Budget) -> Vec<Table> {
         t.push_row(label, &[geomean(&perf), tag_ratio]);
     }
     vec![t]
-}
-
-// Sanity anchor: the extended detector with defaults must behave like
-// the shipped one (unit-tested in spb-core; referenced here so the
-// ablation's baseline row is meaningful).
-#[allow(dead_code)]
-fn _anchor() -> ExtendedSpbDetector {
-    ExtendedSpbDetector::new(ExtSpbConfig::default())
 }

@@ -38,10 +38,7 @@ pub fn run(budget: Budget) -> Vec<Table> {
         let row: Vec<f64> = sbs
             .iter()
             .map(|&sb| {
-                let cfg = base
-                    .clone()
-                    .with_sb(sb)
-                    .with_policy(PolicyKind::Spb { n, dedupe: true });
+                let cfg = base.clone().with_sb(sb).with_policy(PolicyKind::spb(n, true));
                 norm(&SuiteResult::run(&apps, &cfg), &ideal)
             })
             .collect();
@@ -62,10 +59,10 @@ pub fn run(budget: Budget) -> Vec<Table> {
     let nodedupe_row: Vec<f64> = sbs
         .iter()
         .map(|&sb| {
-            let cfg = base.clone().with_sb(sb).with_policy(PolicyKind::Spb {
-                n: 48,
-                dedupe: false,
-            });
+            let cfg = base
+                .clone()
+                .with_sb(sb)
+                .with_policy(PolicyKind::parse("spb:dedupe=off").expect("grammar"));
             norm(&SuiteResult::run(&apps, &cfg), &ideal)
         })
         .collect();

@@ -250,6 +250,20 @@ impl MemStats {
         self.prefetch_requests.iter().sum()
     }
 
+    /// Interconnect coherence traffic: messages the run put on the
+    /// network beyond private-cache hits — prefetch misses that went
+    /// downstream (Figure 12's MISS series), dirty write-backs,
+    /// invalidations delivered to other caches, and remote-cache load
+    /// transfers. This is the traffic objective `spbsim tune` minimizes
+    /// alongside cycles and energy: an over-aggressive burst policy
+    /// shows up here before it shows up in cycles.
+    pub fn coherence_traffic(&self) -> u64 {
+        self.prefetch_downstream.iter().sum::<u64>()
+            + self.writebacks
+            + self.invalidations
+            + self.load_remote_hits
+    }
+
     /// Success rate of store prefetches for `origin` over all issued.
     pub fn success_rate(&self, origin: RfoOrigin) -> f64 {
         let i = origin.index();

@@ -48,6 +48,11 @@ impl CacheKey {
     pub fn file_name(&self) -> String {
         format!("{}.json", hex16(self.0))
     }
+
+    /// The key as 16 lowercase hex digits (tuner provenance).
+    pub fn hex(&self) -> String {
+        hex16(self.0)
+    }
 }
 
 /// The outcome of a cache lookup.
@@ -215,6 +220,8 @@ mod tests {
             uops: 300_000,
             ipc: 300_000.0 / 123_456.0,
             wall_ms: 10.5,
+            energy_nj: Some(4321.25),
+            coh_msgs: Some(99),
         }
     }
 

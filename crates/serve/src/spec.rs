@@ -325,6 +325,61 @@ mod tests {
     }
 
     #[test]
+    fn parameterized_policies_survive_the_wire_and_split_cache_keys() {
+        // A non-default parameterized spelling round-trips through the
+        // wire spec and resolves to the policy it names.
+        let job = JobSpec::new(
+            "tuned",
+            Budget::Quick,
+            vec![
+                CellSpec {
+                    app: "x264".into(),
+                    policy: "spb:n=32,dedupe=off,burst=3,frac=0.5".into(),
+                    sb: 14,
+                },
+                CellSpec {
+                    app: "x264".into(),
+                    policy: "spb-feedback:n=24".into(),
+                    sb: 14,
+                },
+            ],
+        );
+        let back = JobSpec::from_json(&Json::parse(&job.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, job);
+        let (_, resolved) = back.resolve().unwrap();
+        assert_eq!(resolved[0].1.policy.label(), "spb:n=32,dedupe=off,burst=3,frac=0.5");
+        assert_eq!(resolved[1].1.policy.label(), "spb-feedback:n=24");
+
+        // Configs differing only in the burst threshold must hash to
+        // different cache keys, or the cache would serve one point the
+        // other's results.
+        let with_burst = |b: &str| {
+            let cells = vec![CellSpec {
+                app: "x264".into(),
+                policy: format!("spb:burst={b}"),
+                sb: 14,
+            }];
+            let job = JobSpec::new("k", Budget::Quick, cells);
+            let (_, resolved) = job.resolve().unwrap();
+            crate::cache::CacheKey::for_cell("x264", &resolved[0].1)
+        };
+        assert_ne!(with_burst("3"), with_burst("4"));
+
+        // A typo'd spelling fails resolution with the grammar spelled out.
+        let bad = JobSpec::new(
+            "bad",
+            Budget::Quick,
+            vec![CellSpec {
+                app: "x264".into(),
+                policy: "spb:warp=9".into(),
+                sb: 14,
+            }],
+        );
+        let err = bad.resolve().unwrap_err();
+        assert!(err.contains("n=1..1024"), "{err}");
+    }
+
+    #[test]
     fn quick_grid_matches_the_golden_shape() {
         let job = JobSpec::quick_grid();
         assert_eq!(job.cells.len(), 230, "23 apps × (1 ideal + 9 policy/sb)");

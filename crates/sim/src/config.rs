@@ -1,10 +1,12 @@
 //! Run configuration: policy selection and simulation budgets.
 
 use spb_core::detector::SpbConfig;
-use spb_core::policy::{SpbDynamicPolicy, SpbPolicy};
+use spb_core::params::{SpbParams, KEYS_HELP, N_RANGE};
+use spb_core::policy::{ExtendedSpbPolicy, FeedbackSpbPolicy, SpbDynamicPolicy, SpbPolicy};
 use spb_cpu::policy::{AtCommitPolicy, AtExecutePolicy, NoPolicy};
 use spb_cpu::{CoreConfig, StorePrefetchPolicy};
 use spb_mem::MemoryConfig;
+use std::fmt;
 
 /// The SB entry count used for the "ideal" configuration (the paper
 /// normalizes to a 1024-entry SB).
@@ -50,7 +52,16 @@ impl KernelMode {
 }
 
 /// Which store-prefetch strategy a run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The SPB family is fully parameterized: `Spb` carries the complete
+/// [`SpbParams`] knob vector, and [`PolicyKind::parse`] /
+/// [`PolicyKind::label`] round-trip a `key=value` grammar
+/// (`spb:n=32,dedupe=off,burst=3,frac=0.5`). The six classic spellings
+/// (`none`, `at-execute`, `at-commit`, `spb`, `spb-dynamic`, `ideal`)
+/// remain exact aliases of their old meanings, so existing scripts,
+/// golden files, and cache keys for default configurations are
+/// unchanged.
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
     /// No store prefetching (gem5 out of the box).
     None,
@@ -58,15 +69,20 @@ pub enum PolicyKind {
     AtExecute,
     /// At-commit (Intel's documented policy; the paper's baseline).
     AtCommit,
-    /// Store-Prefetch Bursts with window `n`.
+    /// Store-Prefetch Bursts over the full parameter space.
     Spb {
-        /// Detector window (paper default 48).
-        n: u32,
-        /// Suppress duplicate bursts per page.
-        dedupe: bool,
+        /// The complete knob vector (window, dedupe, threshold, page
+        /// fraction, backward, cross-page).
+        params: SpbParams,
     },
     /// The §IV-C dynamic-store-size variant.
     SpbDynamic {
+        /// Detector window.
+        n: u32,
+    },
+    /// Feedback-directed SPB: burst size adapts to measured burst
+    /// accuracy (Srinath-style FDP over the page fraction).
+    SpbFeedback {
         /// Detector window.
         n: u32,
     },
@@ -75,12 +91,51 @@ pub enum PolicyKind {
     IdealSb,
 }
 
+/// The `Debug` rendering feeds the content-addressed result cache
+/// ([`spb-serve`] hashes `format!("{cfg:?}")`), so it is part of the
+/// storage format. Base-only `Spb` points render exactly like the
+/// pre-parameterization enum (`Spb { n: 48, dedupe: true }`) to keep
+/// every existing cache entry valid; points using extended knobs render
+/// the full parameter vector, so any knob difference — including burst
+/// threshold alone — yields a distinct key.
+impl fmt::Debug for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::None => f.write_str("None"),
+            PolicyKind::AtExecute => f.write_str("AtExecute"),
+            PolicyKind::AtCommit => f.write_str("AtCommit"),
+            PolicyKind::Spb { params } if params.is_base_only() => f
+                .debug_struct("Spb")
+                .field("n", &params.n)
+                .field("dedupe", &params.dedupe)
+                .finish(),
+            PolicyKind::Spb { params } => {
+                f.debug_struct("Spb").field("params", params).finish()
+            }
+            PolicyKind::SpbDynamic { n } => {
+                f.debug_struct("SpbDynamic").field("n", n).finish()
+            }
+            PolicyKind::SpbFeedback { n } => {
+                f.debug_struct("SpbFeedback").field("n", n).finish()
+            }
+            PolicyKind::IdealSb => f.write_str("IdealSb"),
+        }
+    }
+}
+
 impl PolicyKind {
     /// The paper's SPB configuration.
     pub fn spb_default() -> Self {
         PolicyKind::Spb {
-            n: 48,
-            dedupe: true,
+            params: SpbParams::default(),
+        }
+    }
+
+    /// A base-detector SPB point (window + dedupe, extended knobs at
+    /// their defaults).
+    pub fn spb(n: u32, dedupe: bool) -> Self {
+        PolicyKind::Spb {
+            params: SpbParams::base(n, dedupe),
         }
     }
 
@@ -90,9 +145,17 @@ impl PolicyKind {
             PolicyKind::None => Box::new(NoPolicy::new()),
             PolicyKind::AtExecute => Box::new(AtExecutePolicy::new()),
             PolicyKind::AtCommit | PolicyKind::IdealSb => Box::new(AtCommitPolicy::new()),
-            PolicyKind::Spb { n, dedupe } => Box::new(SpbPolicy::new(SpbConfig { n, dedupe })),
+            // Base-only points build the classic policy so default
+            // configurations stay bit-identical to the seed.
+            PolicyKind::Spb { params } if params.is_base_only() => {
+                Box::new(SpbPolicy::new(params.base_config()))
+            }
+            PolicyKind::Spb { params } => Box::new(ExtendedSpbPolicy::new(params.ext_config())),
             PolicyKind::SpbDynamic { n } => {
                 Box::new(SpbDynamicPolicy::new(SpbConfig { n, dedupe: true }))
+            }
+            PolicyKind::SpbFeedback { n } => {
+                Box::new(FeedbackSpbPolicy::new(SpbConfig { n, dedupe: true }))
             }
         }
     }
@@ -103,42 +166,85 @@ impl PolicyKind {
         matches!(self, PolicyKind::IdealSb).then_some(IDEAL_SB_ENTRIES)
     }
 
-    /// Parses the CLI/wire spelling of a policy. Accepts the same names
-    /// `spbsim` always has (`none`, `at-execute`/`exe`,
-    /// `at-commit`/`commit`, `spb`, `spb-dynamic`, `ideal`), so job
-    /// specs sent to the sweep service round-trip through
-    /// [`PolicyKind::label`] for the standard variants.
+    /// Parses the CLI/wire spelling of a policy.
+    ///
+    /// The six classic names (`none`, `at-execute`/`exe`,
+    /// `at-commit`/`commit`, `spb`, `spb-dynamic`, `ideal`) parse
+    /// exactly as they always have. The SPB family additionally takes a
+    /// `key=value` list after a colon:
+    ///
+    /// - `spb:n=32,dedupe=off,burst=3,frac=0.5,backward=on,cross=1`
+    /// - `spb-dynamic:n=24`, `spb-feedback:n=24` (window only)
+    ///
+    /// Every spelling round-trips through [`PolicyKind::label`], so job
+    /// specs sent to the sweep service and tuner provenance survive the
+    /// wire.
     pub fn parse(s: &str) -> Result<Self, String> {
-        Ok(match s {
-            "none" => PolicyKind::None,
-            "at-execute" | "exe" => PolicyKind::AtExecute,
-            "at-commit" | "commit" => PolicyKind::AtCommit,
-            "spb" => PolicyKind::spb_default(),
-            "spb-dynamic" => PolicyKind::SpbDynamic { n: 48 },
-            "ideal" => PolicyKind::IdealSb,
-            other => {
-                return Err(format!(
-                    "unknown policy {other:?} (expected none | at-execute | at-commit | spb | spb-dynamic | ideal)"
-                ))
-            }
-        })
+        let (head, args) = match s.split_once(':') {
+            Some((head, args)) => (head, Some(args)),
+            None => (s, None),
+        };
+        let fixed = |kind: PolicyKind| match args {
+            None => Ok(kind),
+            Some(_) => Err(format!("policy {head:?} takes no parameters")),
+        };
+        match head {
+            "none" => fixed(PolicyKind::None),
+            "at-execute" | "exe" => fixed(PolicyKind::AtExecute),
+            "at-commit" | "commit" => fixed(PolicyKind::AtCommit),
+            "ideal" => fixed(PolicyKind::IdealSb),
+            "spb" => Ok(PolicyKind::Spb {
+                params: match args {
+                    None => SpbParams::default(),
+                    Some(args) => SpbParams::parse_args(args)?,
+                },
+            }),
+            "spb-dynamic" => Ok(PolicyKind::SpbDynamic {
+                n: parse_window_only(head, args)?,
+            }),
+            "spb-feedback" => Ok(PolicyKind::SpbFeedback {
+                n: parse_window_only(head, args)?,
+            }),
+            other => Err(format!(
+                "unknown policy {other:?} (expected none | at-execute | at-commit | spb[:{KEYS_HELP}] | spb-dynamic[:n=1..1024] | spb-feedback[:n=1..1024] | ideal)"
+            )),
+        }
     }
 
-    /// Display label used in experiment tables.
+    /// Display label used in experiment tables, sweep records, and the
+    /// wire spec. Default configurations keep their classic spellings;
+    /// non-default points print only their non-default keys in
+    /// canonical order, and always satisfy `parse(label()) == self`.
     pub fn label(&self) -> String {
         match *self {
             PolicyKind::None => "none".into(),
             PolicyKind::AtExecute => "at-execute".into(),
             PolicyKind::AtCommit => "at-commit".into(),
-            PolicyKind::Spb {
-                n: 48,
-                dedupe: true,
-            } => "spb".into(),
-            PolicyKind::Spb { n, dedupe } => format!("spb(n={n},dedupe={dedupe})"),
-            PolicyKind::SpbDynamic { n } => format!("spb-dynamic(n={n})"),
+            PolicyKind::Spb { params } => match params.label_suffix() {
+                None => "spb".into(),
+                Some(suffix) => format!("spb:{suffix}"),
+            },
+            PolicyKind::SpbDynamic { n: 48 } => "spb-dynamic".into(),
+            PolicyKind::SpbDynamic { n } => format!("spb-dynamic:n={n}"),
+            PolicyKind::SpbFeedback { n: 48 } => "spb-feedback".into(),
+            PolicyKind::SpbFeedback { n } => format!("spb-feedback:n={n}"),
             PolicyKind::IdealSb => "ideal".into(),
         }
     }
+}
+
+/// Parses the `n=N` parameter list of the single-knob SPB variants.
+fn parse_window_only(head: &str, args: Option<&str>) -> Result<u32, String> {
+    let Some(args) = args else { return Ok(48) };
+    let err = || {
+        format!("policy {head:?} takes only n=1..1024, got {args:?} (e.g. {head}:n=24)")
+    };
+    let value = args.strip_prefix("n=").ok_or_else(err)?;
+    let n: u32 = value.parse().map_err(|_| err())?;
+    if n < N_RANGE.0 || n > N_RANGE.1 {
+        return Err(err());
+    }
+    Ok(n)
 }
 
 /// Everything one run needs.
@@ -245,14 +351,37 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(PolicyKind::spb_default().label(), "spb");
         assert_eq!(PolicyKind::AtCommit.label(), "at-commit");
+        assert_eq!(PolicyKind::spb(24, true).label(), "spb:n=24");
+        assert_eq!(PolicyKind::spb(24, false).label(), "spb:n=24,dedupe=off");
+        assert_eq!(PolicyKind::SpbDynamic { n: 24 }.label(), "spb-dynamic:n=24");
+        assert_eq!(PolicyKind::SpbFeedback { n: 48 }.label(), "spb-feedback");
+    }
+
+    /// The `Debug` rendering is hashed into content-addressed cache
+    /// keys; the default/base-only spellings are pinned to the exact
+    /// pre-parameterization output so existing caches stay valid.
+    #[test]
+    fn debug_rendering_is_cache_stable() {
         assert_eq!(
-            PolicyKind::Spb {
-                n: 24,
-                dedupe: true
-            }
-            .label(),
-            "spb(n=24,dedupe=true)"
+            format!("{:?}", PolicyKind::spb_default()),
+            "Spb { n: 48, dedupe: true }"
         );
+        assert_eq!(
+            format!("{:?}", PolicyKind::spb(24, false)),
+            "Spb { n: 24, dedupe: false }"
+        );
+        assert_eq!(
+            format!("{:?}", PolicyKind::SpbDynamic { n: 48 }),
+            "SpbDynamic { n: 48 }"
+        );
+        assert_eq!(format!("{:?}", PolicyKind::None), "None");
+        assert_eq!(format!("{:?}", PolicyKind::IdealSb), "IdealSb");
+        // Non-default knobs switch to the full-vector rendering, so any
+        // knob difference produces a distinct key.
+        let burst3 = PolicyKind::parse("spb:burst=3").unwrap();
+        let burst4 = PolicyKind::parse("spb:burst=4").unwrap();
+        assert!(format!("{burst3:?}").contains("burst: 3"));
+        assert_ne!(format!("{burst3:?}"), format!("{burst4:?}"));
     }
 
     #[test]
@@ -265,7 +394,18 @@ mod tests {
             PolicyKind::SpbDynamic { n: 48 }.build().name(),
             "spb-dynamic"
         );
+        assert_eq!(
+            PolicyKind::SpbFeedback { n: 48 }.build().name(),
+            "spb-feedback"
+        );
         assert_eq!(PolicyKind::IdealSb.build().name(), "at-commit");
+        // Base-only parameterized points build the classic policy;
+        // extended knobs switch to the extended detector.
+        assert_eq!(PolicyKind::spb(24, false).build().name(), "spb");
+        assert_eq!(
+            PolicyKind::parse("spb:burst=3").unwrap().build().name(),
+            "spb-extended"
+        );
     }
 
     #[test]
@@ -279,6 +419,43 @@ mod tests {
             PolicyKind::SpbDynamic { n: 48 }
         );
         assert!(PolicyKind::parse("magic").unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn parse_round_trips_parameterized_labels() {
+        for spec in [
+            "spb:n=32,dedupe=off,burst=3,frac=0.5",
+            "spb:n=8",
+            "spb:backward=on,cross=2",
+            "spb:frac=0.125",
+            "spb-dynamic:n=24",
+            "spb-feedback:n=16",
+        ] {
+            let p = PolicyKind::parse(spec).unwrap();
+            assert_eq!(p.label(), spec, "canonical spelling round trip");
+            assert_eq!(PolicyKind::parse(&p.label()).unwrap(), p);
+        }
+        // Non-canonical spellings normalize: defaults drop out of the
+        // label, but the parsed value is identical.
+        assert_eq!(
+            PolicyKind::parse("spb:n=48,dedupe=on").unwrap(),
+            PolicyKind::spb_default()
+        );
+        assert_eq!(PolicyKind::parse("spb:n=48").unwrap().label(), "spb");
+    }
+
+    #[test]
+    fn parse_errors_teach_the_grammar() {
+        let e = PolicyKind::parse("spb:zig=1").unwrap_err();
+        assert!(e.contains("n=1..1024") && e.contains("frac"), "{e}");
+        let e = PolicyKind::parse("spb:n=0").unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        let e = PolicyKind::parse("spb-dynamic:dedupe=off").unwrap_err();
+        assert!(e.contains("only n=1..1024"), "{e}");
+        let e = PolicyKind::parse("ideal:n=4").unwrap_err();
+        assert!(e.contains("takes no parameters"), "{e}");
+        let e = PolicyKind::parse("magic").unwrap_err();
+        assert!(e.contains("spb-feedback"), "unknown-policy error lists every form: {e}");
     }
 
     #[test]

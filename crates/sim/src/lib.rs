@@ -30,7 +30,7 @@
 //!
 //! let app = AppProfile::by_name("x264").unwrap();
 //! let result = Simulation::with_config(&app, &SimConfig::quick())
-//!     .policy(PolicyKind::Spb { n: 48, dedupe: true })
+//!     .policy(PolicyKind::spb_default())
 //!     .run()
 //!     .unwrap();
 //! assert!(result.ipc() > 0.0);

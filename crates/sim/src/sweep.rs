@@ -658,6 +658,15 @@ pub struct SweepRecord {
     pub ipc: f64,
     /// Host wall-clock time of the run, in milliseconds.
     pub wall_ms: f64,
+    /// Total energy of the measured window in nJ ([`spb-energy`]'s
+    /// model). Only populated by [`SweepRecord::from_run_full`] (the
+    /// tuner path); serialized only when present, so classic sweep
+    /// reports stay byte-identical.
+    pub energy_nj: Option<f64>,
+    /// Coherence-traffic messages of the measured window
+    /// ([`spb_mem::MemStats::coherence_traffic`]). Same only-when-present
+    /// rule as `energy_nj`.
+    pub coh_msgs: Option<u64>,
 }
 
 impl SweepRecord {
@@ -671,13 +680,25 @@ impl SweepRecord {
             uops: r.uops,
             ipc: r.ipc(),
             wall_ms: r.wall_ms,
+            energy_nj: None,
+            coh_msgs: None,
+        }
+    }
+
+    /// Summarizes one run *with* the multi-objective fields the tuner
+    /// scores on (energy, coherence traffic).
+    pub fn from_run_full(r: &RunResult) -> Self {
+        Self {
+            energy_nj: Some(r.energy.total_nj()),
+            coh_msgs: Some(r.mem.coherence_traffic()),
+            ..Self::from_run(r)
         }
     }
 
     /// Serializes one record (`{app, policy, sb, cycles, uops, ipc,
-    /// wall_ms}`).
+    /// wall_ms}`, plus `energy_nj`/`coh_msgs` when present).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("app", Json::str(&self.app)),
             ("policy", Json::str(&self.policy)),
             ("sb", Json::from(self.sb)),
@@ -685,7 +706,14 @@ impl SweepRecord {
             ("uops", Json::from(self.uops)),
             ("ipc", Json::from(self.ipc)),
             ("wall_ms", Json::from(self.wall_ms)),
-        ])
+        ];
+        if let Some(e) = self.energy_nj {
+            pairs.push(("energy_nj", Json::from(e)));
+        }
+        if let Some(c) = self.coh_msgs {
+            pairs.push(("coh_msgs", Json::from(c)));
+        }
+        Json::obj(pairs)
     }
 
     /// Parses one record.
@@ -709,6 +737,14 @@ impl SweepRecord {
             wall_ms: field("wall_ms")?
                 .as_f64()
                 .ok_or("wall_ms must be a number")?,
+            energy_nj: match v.get("energy_nj") {
+                None => None,
+                Some(e) => Some(e.as_f64().ok_or("energy_nj must be a number")?),
+            },
+            coh_msgs: match v.get("coh_msgs") {
+                None => None,
+                Some(c) => Some(c.as_u64().ok_or("coh_msgs must be an integer")?),
+            },
         })
     }
 }
@@ -1039,6 +1075,8 @@ mod tests {
                     uops: 300_000,
                     ipc: 300_000.0 / 123_456.0,
                     wall_ms: 1810.25,
+                    energy_nj: Some(987.125),
+                    coh_msgs: Some(4242),
                 },
                 SweepRecord {
                     app: "lbm".into(),
@@ -1048,6 +1086,8 @@ mod tests {
                     uops: 0,
                     ipc: 0.0,
                     wall_ms: 0.5,
+                    energy_nj: None,
+                    coh_msgs: None,
                 },
             ],
             failed: vec![],
@@ -1278,6 +1318,8 @@ mod tests {
                 uops: 300_000,
                 ipc: 300_000.0 / 123_456.0,
                 wall_ms: 10.5,
+                energy_nj: None,
+                coh_msgs: None,
             }],
             failed: vec![],
             metrics: None,
@@ -1333,6 +1375,8 @@ mod tests {
                 uops: 20,
                 ipc: 2.0,
                 wall_ms: 3.5,
+                energy_nj: None,
+                coh_msgs: None,
             }],
             failed: vec![],
             metrics: None,

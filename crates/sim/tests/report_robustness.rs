@@ -19,6 +19,8 @@ fn sample_text() -> String {
                 uops: 300_000,
                 ipc: 2.43,
                 wall_ms: 1810.25,
+                energy_nj: Some(1234.5),
+                coh_msgs: Some(678),
             },
             SweepRecord {
                 app: "dedup".into(),
@@ -28,6 +30,8 @@ fn sample_text() -> String {
                 uops: 240_000,
                 ipc: 2.43,
                 wall_ms: 905.5,
+                energy_nj: None,
+                coh_msgs: None,
             },
         ],
         failed: vec![CellFailure {

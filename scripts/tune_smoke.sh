@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Determinism smoke for the design-space autotuner (DESIGN.md §11).
+#
+# Runs the same ~60-point seeded tune twice against one cache
+# directory and asserts the whole reproducibility contract:
+#
+#   1. the second run computes nothing — every cell is a cache hit;
+#   2. the two reports are byte-identical (the report deliberately
+#      excludes wall clock and cache traffic, so cached == computed);
+#   3. the frontier is non-trivial (>= 3 non-dominated points).
+#
+# A tiny per-cell budget keeps this to CI scale; determinism does not
+# depend on the budget.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release --offline -p spb-cli --bin spbsim
+
+state="$(mktemp -d -t tune_smoke.XXXXXX)"
+trap 'rm -rf "$state"' EXIT
+
+tune() {
+  ./target/release/spbsim tune \
+    --strategy halving --seed 7 --points 60 \
+    --apps bwaves,x264,roms --warmup 2000 --uops 20000 \
+    --cache "$state/cache" --out "$state/out$1" --name tune-smoke \
+    --jobs "${SPB_JOBS:-2}"
+}
+
+echo "==> tune run 1 (cold cache)"
+tune 1 | tee "$state/log1"
+echo "==> tune run 2 (warm cache)"
+tune 2 | tee "$state/log2"
+
+# Run 2 must be served entirely from cache.
+grep -Eq 'cache: [1-9][0-9]* hit\(s\), 0 computed' "$state/log2" || {
+  echo "tune_smoke: FAIL — second run recomputed cells:" >&2
+  grep '^cache:' "$state/log2" >&2
+  exit 1
+}
+
+# Byte-identical reports, cold vs warm.
+cmp "$state/out1/tune-smoke.json" "$state/out2/tune-smoke.json" || {
+  echo "tune_smoke: FAIL — reports differ between cold and warm runs" >&2
+  exit 1
+}
+
+# A real multi-objective frontier.
+frontier=$(grep -Eo 'Pareto frontier \([0-9]+' "$state/log1" | grep -Eo '[0-9]+')
+if [[ "${frontier:-0}" -lt 3 ]]; then
+  echo "tune_smoke: FAIL — frontier has only ${frontier:-0} point(s)" >&2
+  exit 1
+fi
+
+echo "tune_smoke: OK (frontier of $frontier, second run fully cached, reports byte-identical)"
