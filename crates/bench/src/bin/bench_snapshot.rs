@@ -1,28 +1,31 @@
 //! Wall-time snapshots of the quick SPEC grid, and snapshot comparison.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! ```text
-//! bench_snapshot --kernel tick|event --out BENCH_X.json [--samples N]
+//! bench_snapshot --kernel tick|event|wheel --out BENCH_X.json [--samples N]
 //! bench_snapshot --compare BENCH_BASELINE.json BENCH_NEW.json
+//! bench_snapshot --gate BENCH_BASELINE.json BENCH_NEW.json
 //! ```
 //!
 //! The first times every SPEC app under the quick budget (at-commit and
 //! SPB policies, SB 14) through the public `Simulation` entry point and
-//! writes an `spb-bench-v1` snapshot. The second schema-validates both
+//! writes an `spb-bench-v1` snapshot. `--compare` schema-validates both
 //! files, prints the per-cell ratios and the geometric-mean speedup,
 //! and warns — without failing — about cells that regressed more than
-//! the tolerance. Only a schema/parse problem exits non-zero, so CI
-//! treats performance as advisory and correctness as binding.
+//! the tolerance; only a schema/parse problem exits non-zero. `--gate`
+//! is the blocking variant CI uses: it exits 1 when any bench's
+//! min-of-samples ratio regresses beyond the machine-calibrated limit (see
+//! `BenchSnapshot::gate_failures`).
 
-use spb_bench::snapshot::{BenchRecord, BenchSnapshot, REGRESSION_TOLERANCE, SCHEMA};
-use spb_sim::{KernelMode, PolicyKind, SimConfig, Simulation};
-use spb_trace::profile::AppProfile;
-use std::time::Instant;
+use spb_bench::snapshot::{
+    record_quick_grid, BenchSnapshot, GATE_TOLERANCE, REGRESSION_TOLERANCE, SCHEMA,
+};
+use spb_sim::KernelMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_snapshot --kernel tick|event --out FILE [--samples N]\n       bench_snapshot --compare BASELINE NEW"
+        "usage: bench_snapshot --kernel tick|event|wheel --out FILE [--samples N]\n       bench_snapshot --compare BASELINE NEW\n       bench_snapshot --gate BASELINE NEW"
     );
     std::process::exit(2);
 }
@@ -51,18 +54,19 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 i += 2;
             }
-            "--compare" => {
+            "--compare" | "--gate" => {
+                let blocking = args[i] == "--gate";
                 let a = args.get(i + 1).cloned().unwrap_or_else(|| usage());
                 let b = args.get(i + 2).cloned().unwrap_or_else(|| usage());
-                compare = Some((a, b));
+                compare = Some((a, b, blocking));
                 i += 3;
             }
             _ => usage(),
         }
     }
 
-    if let Some((base_path, new_path)) = compare {
-        compare_snapshots(&base_path, &new_path);
+    if let Some((base_path, new_path, blocking)) = compare {
+        compare_snapshots(&base_path, &new_path, blocking);
         return;
     }
 
@@ -73,7 +77,7 @@ fn main() {
         eprintln!("bench_snapshot: {e}");
         std::process::exit(2);
     });
-    let snap = run_quick_grid(mode, samples.max(1));
+    let snap = record_quick_grid(mode, samples, |rec| println!("{}", rec.to_json()));
     std::fs::write(&out, snap.to_json_string()).unwrap_or_else(|e| {
         eprintln!("bench_snapshot: writing {out}: {e}");
         std::process::exit(1);
@@ -81,49 +85,10 @@ fn main() {
     println!("wrote {out} ({} benches, kernel {kernel})", snap.records.len());
 }
 
-/// Times every SPEC app × {at-commit, spb} quick cell under `mode`.
-fn run_quick_grid(mode: KernelMode, samples: usize) -> BenchSnapshot {
-    let policies = [
-        ("at-commit", PolicyKind::AtCommit),
-        ("spb", PolicyKind::spb_default()),
-    ];
-    let mut records = Vec::new();
-    for app in AppProfile::spec2017() {
-        for (label, policy) in &policies {
-            let cfg = SimConfig::quick()
-                .with_sb(14)
-                .with_policy(policy.clone())
-                .with_kernel(mode);
-            let name = format!("quick_grid/{}-{label}-sb14", app.name());
-            let mut samples_ns = Vec::with_capacity(samples);
-            let mut uops = 0;
-            // One untimed warm-up run, then `samples` timed runs.
-            for timed in 0..=samples {
-                let start = Instant::now();
-                let r = Simulation::with_config(&app, &cfg).run_or_panic();
-                let elapsed = start.elapsed();
-                if timed > 0 {
-                    samples_ns.push(elapsed.as_nanos() as u64);
-                }
-                uops = r.uops;
-            }
-            let rec = BenchRecord {
-                name,
-                samples_ns,
-                elements: Some(uops),
-            };
-            println!("{}", rec.to_json());
-            records.push(rec);
-        }
-    }
-    BenchSnapshot {
-        kernel: mode.label().to_string(),
-        records,
-    }
-}
-
-/// Loads, validates, and diffs two snapshots; never fails on slowness.
-fn compare_snapshots(base_path: &str, new_path: &str) {
+/// Loads, validates, and diffs two snapshots. In advisory mode
+/// (`--compare`) slowness never fails; in blocking mode (`--gate`)
+/// calibrated min-sample regressions exit 1.
+fn compare_snapshots(base_path: &str, new_path: &str, blocking: bool) {
     let load = |path: &str| -> BenchSnapshot {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("bench_snapshot: reading {path}: {e}");
@@ -154,6 +119,22 @@ fn compare_snapshots(base_path: &str, new_path: &str) {
     match base.geomean_speedup(&new) {
         Some(g) => println!("geomean speedup: {g:.2}x"),
         None => println!("geomean speedup: no common benchmarks"),
+    }
+    if let (Some(b), Some(n)) = (base.geomean_mops(), new.geomean_mops()) {
+        println!("geomean throughput: {b:.3} -> {n:.3} Mops/s");
+    }
+    if blocking {
+        let failures = base.gate_failures(&new);
+        if failures.is_empty() {
+            println!("bench gate: PASS (no calibrated min-sample regression beyond {GATE_TOLERANCE}x)");
+        } else {
+            for f in &failures {
+                eprintln!("bench gate: FAIL: {f}");
+            }
+            eprintln!("bench gate: {} benchmark(s) failed", failures.len());
+            std::process::exit(1);
+        }
+        return;
     }
     let warnings = base.regressions(&new);
     if warnings.is_empty() {

@@ -6,13 +6,23 @@
 //! snapshots (the committed `BENCH_BASELINE.json` against a fresh run)
 //! with non-blocking regression warnings.
 
+use spb_sim::{KernelMode, PolicyKind, SimConfig, Simulation};
 use spb_stats::json::Json;
+use spb_trace::profile::AppProfile;
+use std::time::Instant;
 
-/// Snapshot schema identifier; bump on layout changes.
+/// Snapshot schema identifier; bump on layout changes. Derived fields
+/// (`mops_per_sec`, `geomean_mops`) are additive — old snapshots parse
+/// fine without them, so they do not bump the schema.
 pub const SCHEMA: &str = "spb-bench-v1";
 
 /// Warn when a benchmark's minimum regresses by more than this factor.
 pub const REGRESSION_TOLERANCE: f64 = 1.15;
+
+/// Fail the bench gate when a benchmark's median regresses more than
+/// this factor beyond the snapshot-wide median ratio (see
+/// [`BenchSnapshot::gate_failures`]).
+pub const GATE_TOLERANCE: f64 = 1.25;
 
 /// One benchmark's timing samples.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +73,12 @@ impl BenchRecord {
             .map(|n| n as f64 / (med / 1e9))
     }
 
+    /// Millions of operations per second at the median — the
+    /// human-facing throughput number the snapshot records per bench.
+    pub fn mops_per_sec(&self) -> Option<f64> {
+        self.per_sec().map(|p| p / 1e6)
+    }
+
     /// The record as a JSON value (one line when rendered compact).
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![
@@ -77,6 +93,9 @@ impl BenchRecord {
         ];
         if let Some(n) = self.elements {
             pairs.push(("elements", Json::from(n)));
+        }
+        if let Some(m) = self.mops_per_sec() {
+            pairs.push(("mops_per_sec", Json::from(m)));
         }
         Json::obj(pairs)
     }
@@ -117,16 +136,37 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
+    /// Geometric mean of per-bench median throughput (Mops/s), across
+    /// records that declared a throughput. The single headline number a
+    /// snapshot carries.
+    pub fn geomean_mops(&self) -> Option<f64> {
+        let mut log_sum = 0.0;
+        let mut n = 0u32;
+        for r in &self.records {
+            if let Some(m) = r.mops_per_sec() {
+                if m > 0.0 {
+                    log_sum += m.ln();
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| (log_sum / f64::from(n)).exp())
+    }
+
     /// Renders the snapshot as pretty-printed `spb-bench-v1` JSON.
     pub fn to_json_string(&self) -> String {
-        let v = Json::obj([
+        let mut pairs = vec![
             ("schema", Json::str(SCHEMA)),
             ("kernel", Json::str(&*self.kernel)),
-            (
-                "benches",
-                Json::arr(self.records.iter().map(BenchRecord::to_json)),
-            ),
-        ]);
+        ];
+        if let Some(g) = self.geomean_mops() {
+            pairs.push(("geomean_mops", Json::from(g)));
+        }
+        pairs.push((
+            "benches",
+            Json::arr(self.records.iter().map(BenchRecord::to_json)),
+        ));
+        let v = Json::obj(pairs);
         format!("{v:#}\n")
     }
 
@@ -202,6 +242,110 @@ impl BenchSnapshot {
         }
         out
     }
+
+    /// Blocking gate check: per-bench **min-of-samples** ratios of
+    /// `new` over this baseline, calibrated by the snapshot-wide
+    /// median of those ratios.
+    ///
+    /// The calibration makes the gate portable across machines: if the
+    /// runner is uniformly 20% slower than the box that recorded the
+    /// baseline, every ratio shifts by the same factor and the median
+    /// absorbs it. What the gate then catches is a *relative*
+    /// regression — a bench that got slower than its peers did — which
+    /// is exactly what a code change (as opposed to a machine change)
+    /// produces. The per-bench estimator is the minimum sample
+    /// (contention only inflates samples, so the minimum is the
+    /// least-noisy cost estimate), and [`GATE_TOLERANCE`] is set above
+    /// the measured same-code run-to-run spread of those minima on a
+    /// noisy shared box (~±15%): a flaky gate teaches people to ignore
+    /// it, so the threshold is deliberately coarse and reliable. A
+    /// bench exceeding the calibrated limit, or missing from `new`,
+    /// is a failure. An empty return means the gate passes.
+    pub fn gate_failures(&self, new: &BenchSnapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut ratios = Vec::new();
+        for base in &self.records {
+            let Some(fresh) = new.records.iter().find(|r| r.name == base.name) else {
+                out.push(format!("{}: missing from new snapshot", base.name));
+                continue;
+            };
+            let (b, f) = (base.min_ns(), fresh.min_ns());
+            if b > 0 && f > 0 {
+                ratios.push((base.name.as_str(), f as f64 / b as f64));
+            }
+        }
+        if ratios.is_empty() {
+            return out;
+        }
+        let mut sorted: Vec<f64> = ratios.iter().map(|&(_, r)| r).collect();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        let machine = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        };
+        for &(name, r) in &ratios {
+            if r > machine * GATE_TOLERANCE {
+                out.push(format!(
+                    "{name}: min-sample ratio {r:.3} exceeds limit {:.3} \
+                     (machine factor {machine:.3} x tolerance {GATE_TOLERANCE})",
+                    machine * GATE_TOLERANCE,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Times every SPEC app × {at-commit, spb} quick cell (SB 14) under
+/// `mode` through the public [`Simulation`] entry point: one untimed
+/// warm-up run per cell, then `samples` timed runs. `on_record` fires
+/// as each cell finishes (progress reporting); the returned snapshot
+/// carries every record. Shared by the `bench_snapshot` binary and
+/// `spbsim bench`.
+pub fn record_quick_grid(
+    mode: KernelMode,
+    samples: usize,
+    mut on_record: impl FnMut(&BenchRecord),
+) -> BenchSnapshot {
+    let samples = samples.max(1);
+    let policies = [
+        ("at-commit", PolicyKind::AtCommit),
+        ("spb", PolicyKind::spb_default()),
+    ];
+    let mut records = Vec::new();
+    for app in AppProfile::spec2017() {
+        for (label, policy) in &policies {
+            let cfg = SimConfig::quick()
+                .with_sb(14)
+                .with_policy(policy.clone())
+                .with_kernel(mode);
+            let name = format!("quick_grid/{}-{label}-sb14", app.name());
+            let mut samples_ns = Vec::with_capacity(samples);
+            let mut uops = 0;
+            for timed in 0..=samples {
+                let start = Instant::now();
+                let r = Simulation::with_config(&app, &cfg).run_or_panic();
+                let elapsed = start.elapsed();
+                if timed > 0 {
+                    samples_ns.push(elapsed.as_nanos() as u64);
+                }
+                uops = r.uops;
+            }
+            let rec = BenchRecord {
+                name,
+                samples_ns,
+                elements: Some(uops),
+            };
+            on_record(&rec);
+            records.push(rec);
+        }
+    }
+    BenchSnapshot {
+        kernel: mode.label().to_string(),
+        records,
+    }
 }
 
 #[cfg(test)]
@@ -263,5 +407,53 @@ mod tests {
         // geomean of 100/50 and 100/130
         let g = base.geomean_speedup(&new).unwrap();
         assert!((g - (2.0f64 * (100.0 / 130.0)).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_fields_are_derived_and_serialized() {
+        // 1000 elements in a median of 2000ns -> 500 Mops/s.
+        let r = rec("a", &[2_000]);
+        assert_eq!(r.mops_per_sec(), Some(500.0));
+        let snap = BenchSnapshot {
+            kernel: "wheel".into(),
+            records: vec![rec("a", &[2_000]), rec("b", &[8_000])],
+        };
+        // geomean of 500 and 125 Mops/s = 250.
+        assert!((snap.geomean_mops().unwrap() - 250.0).abs() < 1e-9);
+        let text = snap.to_json_string();
+        assert!(text.contains("\"mops_per_sec\""), "{text}");
+        assert!(text.contains("\"geomean_mops\""), "{text}");
+        // Derived fields are additive: the snapshot still round-trips.
+        assert_eq!(BenchSnapshot::parse(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn gate_calibrates_out_uniform_machine_deltas() {
+        let base = BenchSnapshot {
+            kernel: "wheel".into(),
+            records: vec![rec("a", &[100]), rec("b", &[100]), rec("c", &[100])],
+        };
+        // Uniformly 30% slower (a different machine): gate passes.
+        let uniform = BenchSnapshot {
+            kernel: "wheel".into(),
+            records: vec![rec("a", &[130]), rec("b", &[130]), rec("c", &[130])],
+        };
+        assert!(base.gate_failures(&uniform).is_empty());
+        // One bench 50% slower than its peers: gate fails exactly it.
+        let relative = BenchSnapshot {
+            kernel: "wheel".into(),
+            records: vec![rec("a", &[100]), rec("b", &[100]), rec("c", &[150])],
+        };
+        let failures = base.gate_failures(&relative);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("c:"), "{failures:?}");
+        // A bench missing from the fresh run always fails the gate.
+        let missing = BenchSnapshot {
+            kernel: "wheel".into(),
+            records: vec![rec("a", &[100]), rec("b", &[100])],
+        };
+        let failures = base.gate_failures(&missing);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("missing"), "{failures:?}");
     }
 }

@@ -153,6 +153,16 @@ pub enum Command {
     /// Explore the parameterized policy design space and report the
     /// Pareto frontier (cycles × energy × coherence traffic).
     Tune(TuneCmd),
+    /// Re-time the quick benchmark grid and print the geometric-mean
+    /// speedup against a committed `spb-bench-v1` snapshot.
+    Bench {
+        /// Baseline snapshot path (e.g. `BENCH_PR9.json`).
+        baseline: String,
+        /// Execution kernel to time.
+        kernel: KernelMode,
+        /// Timed samples per cell.
+        samples: usize,
+    },
     /// Print usage.
     Help,
 }
@@ -266,8 +276,8 @@ pub struct RunOpts {
     pub fault_rate: f64,
     /// Fault-injection seed (independent of the workload seed).
     pub fault_seed: u64,
-    /// Execution kernel (skip-ahead `event` by default; `tick` keeps
-    /// the legacy lock-step reference for equivalence checks).
+    /// Execution kernel (push-based `wheel` by default; `event` and
+    /// `tick` keep the earlier kernels as equivalence references).
     pub kernel: KernelMode,
 }
 
@@ -283,7 +293,7 @@ impl Default for RunOpts {
             jobs: None,
             fault_rate: 0.0,
             fault_seed: 1,
-            kernel: KernelMode::Event,
+            kernel: KernelMode::Wheel,
         }
     }
 }
@@ -913,6 +923,36 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             }
             Ok(Command::Tune(o))
         }
+        "bench" => {
+            let mut baseline = None;
+            let mut kernel = KernelMode::Wheel;
+            let mut samples = 3usize;
+            while let Some(a) = it.next() {
+                match a {
+                    "--baseline" => {
+                        baseline = Some(take_value("--baseline", &mut it)?.to_string());
+                    }
+                    "--kernel" => {
+                        let v = take_value("--kernel", &mut it)?;
+                        kernel =
+                            KernelMode::parse(v).map_err(|e| CliError(format!("--kernel: {e}")))?;
+                    }
+                    "--samples" => {
+                        let v = take_value("--samples", &mut it)?;
+                        samples = v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            CliError(format!("--samples expects a positive number, got {v:?}"))
+                        })?;
+                    }
+                    other => return Err(CliError(format!("unknown argument {other:?}"))),
+                }
+            }
+            Ok(Command::Bench {
+                baseline: baseline
+                    .ok_or_else(|| CliError("bench requires --baseline SNAPSHOT.json".into()))?,
+                kernel,
+                samples,
+            })
+        }
         other => Err(CliError(format!(
             "unknown command {other:?}; try `spbsim help`"
         ))),
@@ -951,6 +991,10 @@ USAGE:
                                                 full 230-cell quick grid)
   spbsim client health [--addr H:P]             print the service health snapshot
   spbsim client shutdown [--addr H:P]           stop the service gracefully
+  spbsim bench --baseline SNAPSHOT.json [--kernel wheel|event|tick] [--samples N]
+                                                re-time the quick benchmark grid and
+                                                print the geomean speedup over the
+                                                committed snapshot
   spbsim tune [--strategy grid|random|halving] [--seed N] [--points N]
               [--apps sb-bound|spec|LIST] [--sb LIST] [--budget quick|paper]
               [--warmup N] [--uops N] [--cache DIR] [--out DIR] [--name NAME]
@@ -977,7 +1021,8 @@ RUN OPTIONS:
   --jobs N        sweep worker threads            (default $SPB_JOBS or all cores)
   --fault-rate R  uniform memory fault-injection rate in [0,1] (default 0 = off)
   --fault-seed N  fault-injection seed            (default 1)
-  --kernel K      execution kernel: event (skip-ahead, default) or tick
+  --kernel K      execution kernel: wheel (push-based timing wheel,
+                  default), event (probe-polling skip-ahead) or tick
                   (legacy lock-step reference; bit-identical results)
 
 Suite and sweep runs fan out over a worker pool (results are identical
@@ -1031,7 +1076,11 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
-        assert_eq!(RunOpts::default().kernel, KernelMode::Event);
+        assert_eq!(RunOpts::default().kernel, KernelMode::Wheel);
+        match parse(["run", "--app", "x264", "--kernel", "wheel"]).unwrap() {
+            Command::Run { cfg, .. } => assert_eq!(cfg.kernel, KernelMode::Wheel),
+            other => panic!("wrong parse: {other:?}"),
+        }
         let err = parse(["run", "--app", "x264", "--kernel", "warp"]).unwrap_err();
         assert!(err.to_string().contains("--kernel"), "{err}");
         // The sweep arm duplicates flag parsing; cover it separately.
@@ -1039,6 +1088,32 @@ mod tests {
             Command::Sweep { cfg, .. } => assert_eq!(cfg.kernel, KernelMode::Tick),
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_bench_against_a_baseline() {
+        let cmd = parse(["bench", "--baseline", "BENCH_PR9.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                baseline: "BENCH_PR9.json".into(),
+                kernel: KernelMode::Wheel,
+                samples: 3,
+            }
+        );
+        match parse(["bench", "--baseline", "b.json", "--kernel", "event", "--samples", "5"])
+            .unwrap()
+        {
+            Command::Bench {
+                kernel, samples, ..
+            } => {
+                assert_eq!(kernel, KernelMode::Event);
+                assert_eq!(samples, 5);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(["bench"]).is_err(), "--baseline is required");
+        assert!(parse(["bench", "--baseline", "b.json", "--samples", "0"]).is_err());
     }
 
     #[test]

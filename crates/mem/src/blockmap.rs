@@ -104,6 +104,16 @@ impl<V: Copy + Default> BlockMap<V> {
         self.find(key).is_some()
     }
 
+    /// Pulls `key`'s ideal slot into the host cache without reading the
+    /// entry. A batch of `warm` calls before the matching `get`s turns
+    /// a chain of dependent random probes into independent, overlapping
+    /// loads (the invariant checker's sweep is memory-level-parallel
+    /// this way). Semantically a no-op.
+    #[inline]
+    pub fn warm(&self, key: u64) {
+        std::hint::black_box(self.keys[self.ideal(key)]);
+    }
+
     /// Inserts or overwrites, returning the previous value if any.
     pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
         debug_assert_ne!(key, EMPTY, "u64::MAX is the empty-slot sentinel");
@@ -156,6 +166,36 @@ impl<V: Copy + Default> BlockMap<V> {
         self.keys[i] = EMPTY;
         self.len -= 1;
         Some(val)
+    }
+
+    /// Removes every entry, keeping the table's capacity.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
+    /// Keeps only the entries `f` approves of, rebuilding the table (the
+    /// one allocating operation here — intended for rare trims, not hot
+    /// paths). Capacity is preserved so a map that cycles between growth
+    /// and trimming does not thrash.
+    pub fn retain(&mut self, mut f: impl FnMut(u64, &V) -> bool) {
+        let cap = self.keys.len();
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); cap]);
+        self.len = 0;
+        let mask = cap - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == EMPTY || !f(k, &v) {
+                continue;
+            }
+            let mut i = self.ideal(k);
+            while self.keys[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.vals[i] = v;
+            self.len += 1;
+        }
     }
 
     /// Doubles the table and re-inserts every entry.

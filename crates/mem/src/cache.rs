@@ -103,6 +103,12 @@ pub struct CacheArray {
     lru: Vec<u64>,
     lru_clock: u64,
     tag_checks: u64,
+    /// When enabled, blocks whose checker-visible lanes (`tag`, `state`,
+    /// `ready`) changed since the log was last cleared, in write order.
+    /// The invariant checker re-verifies exactly these blocks instead of
+    /// sweeping every line (see `MemorySystem::check_invariants`).
+    mutated: Vec<u64>,
+    log_mutations: bool,
 }
 
 /// A mutable handle to one valid line, writing the SoA lanes in place.
@@ -129,7 +135,11 @@ impl LineMut<'_> {
             state != CoherenceState::Invalid,
             "invalidate lines via CacheArray::invalidate"
         );
-        self.arr.state[self.idx] = state;
+        if self.arr.state[self.idx] != state {
+            self.arr.state[self.idx] = state;
+            let block = self.arr.tag[self.idx];
+            self.arr.log_mutation(block);
+        }
     }
 
     /// The cycle the line's fill completes.
@@ -139,7 +149,11 @@ impl LineMut<'_> {
 
     /// Moves the fill-completion cycle (upgrade in flight).
     pub fn set_ready(&mut self, ready: u64) {
-        self.arr.ready[self.idx] = ready;
+        if self.arr.ready[self.idx] != ready {
+            self.arr.ready[self.idx] = ready;
+            let block = self.arr.tag[self.idx];
+            self.arr.log_mutation(block);
+        }
     }
 
     /// Whether the line holds dirty data.
@@ -161,6 +175,14 @@ impl LineMut<'_> {
     pub fn used(&self) -> bool {
         self.arr.used[self.idx]
     }
+
+    /// Marks this line most recently used and demanded — the same effect
+    /// as [`CacheArray::touch`] without paying a second tag search.
+    pub fn touch(&mut self) {
+        self.arr.lru_clock += 1;
+        self.arr.lru[self.idx] = self.arr.lru_clock;
+        self.arr.used[self.idx] = true;
+    }
 }
 
 impl CacheArray {
@@ -178,6 +200,38 @@ impl CacheArray {
             lru: vec![0; n],
             lru_clock: 0,
             tag_checks: 0,
+            mutated: Vec::new(),
+            log_mutations: false,
+        }
+    }
+
+    /// Starts recording every block whose checker-visible lanes change
+    /// into the mutation log. Off by default so arrays nobody audits
+    /// (the shared L3, standalone tests) pay nothing.
+    pub fn enable_mutation_log(&mut self) {
+        self.log_mutations = true;
+    }
+
+    /// Whether the mutation log is being recorded.
+    pub fn logs_mutations(&self) -> bool {
+        self.log_mutations
+    }
+
+    /// Blocks mutated since the last [`CacheArray::clear_mutation_log`],
+    /// in write order (duplicates possible).
+    pub fn mutation_log(&self) -> &[u64] {
+        &self.mutated
+    }
+
+    /// Forgets the recorded mutations (the checker consumed them).
+    pub fn clear_mutation_log(&mut self) {
+        self.mutated.clear();
+    }
+
+    #[inline]
+    fn log_mutation(&mut self, block: u64) {
+        if self.log_mutations {
+            self.mutated.push(block);
         }
     }
 
@@ -229,6 +283,16 @@ impl CacheArray {
         self.tag_checks += 1;
         let idx = self.find(block)?;
         Some(LineMut { arr: self, idx })
+    }
+
+    /// Pulls `block`'s set of the tag lane into the host cache without
+    /// reading it (the 8-way × 8-byte tag row is exactly one host cache
+    /// line). A batch of `warm` calls across cache levels turns the miss
+    /// path's chain of dependent random probes into independent,
+    /// overlapping loads. Semantically a no-op.
+    #[inline]
+    pub fn warm(&self, block: u64) {
+        std::hint::black_box(self.tag[self.set_start(block)]);
     }
 
     /// Peeks at `block` without counting a tag check, returning a copy
@@ -288,6 +352,11 @@ impl CacheArray {
             dirty: self.dirty[victim],
             unused_prefetch: self.prefetch[victim].filter(|_| !self.used[victim]),
         });
+        if let Some(ev) = &eviction {
+            let evicted = ev.block;
+            self.log_mutation(evicted);
+        }
+        self.log_mutation(block);
         self.tag[victim] = block;
         self.state[victim] = state;
         self.ready[victim] = ready;
@@ -302,6 +371,7 @@ impl CacheArray {
     /// the line it held.
     pub fn invalidate(&mut self, block: u64) -> Option<CacheLine> {
         let idx = self.find(block)?;
+        self.log_mutation(block);
         let old = self.line(idx);
         self.tag[idx] = NO_TAG;
         self.state[idx] = CoherenceState::Invalid;
@@ -317,6 +387,9 @@ impl CacheArray {
     /// returning whether it was dirty.
     pub fn downgrade(&mut self, block: u64) -> Option<bool> {
         let idx = self.find(block)?;
+        if self.state[idx] != CoherenceState::Shared {
+            self.log_mutation(block);
+        }
         let was_dirty = self.dirty[idx];
         self.state[idx] = CoherenceState::Shared;
         self.dirty[idx] = false;

@@ -132,6 +132,12 @@ pub struct Directory {
     ///
     /// [`find_malformed`]: Directory::find_malformed
     malformed: Vec<u64>,
+    /// When enabled, blocks whose entry was written or removed since the
+    /// log was last cleared, in write order (duplicates possible). The
+    /// invariant checker re-verifies exactly these blocks instead of
+    /// sweeping every cached line.
+    mutated: Vec<u64>,
+    log_mutations: bool,
     invalidations_sent: u64,
     downgrades_sent: u64,
     reinstates: u64,
@@ -152,10 +158,29 @@ impl Directory {
             cores,
             entries: BlockMap::new(),
             malformed: Vec::new(),
+            mutated: Vec::new(),
+            log_mutations: false,
             invalidations_sent: 0,
             downgrades_sent: 0,
             reinstates: 0,
         }
+    }
+
+    /// Starts recording every entry write/removal into the mutation log.
+    /// Off by default so standalone directories pay nothing.
+    pub fn enable_mutation_log(&mut self) {
+        self.log_mutations = true;
+    }
+
+    /// Blocks whose entry changed since the last
+    /// [`Directory::clear_mutation_log`], in write order.
+    pub fn mutation_log(&self) -> &[u64] {
+        &self.mutated
+    }
+
+    /// Forgets the recorded mutations (the checker consumed them).
+    pub fn clear_mutation_log(&mut self) {
+        self.mutated.clear();
     }
 
     /// Number of cores tracked.
@@ -196,6 +221,9 @@ impl Directory {
 
     /// Writes `block`'s entry, keeping the malformed-block list exact.
     fn set(&mut self, block: u64, e: DirEntry) {
+        if self.log_mutations {
+            self.mutated.push(block);
+        }
         match Self::malformed_why(&e, self.cores) {
             Some(_) => {
                 if !self.malformed.contains(&block) {
@@ -213,6 +241,9 @@ impl Directory {
 
     /// Removes `block`'s entry, keeping the malformed-block list exact.
     fn unset(&mut self, block: u64) {
+        if self.log_mutations {
+            self.mutated.push(block);
+        }
         if !self.malformed.is_empty() {
             self.malformed.retain(|&b| b != block);
         }
@@ -342,6 +373,13 @@ impl Directory {
         let &block = self.malformed.first()?;
         let e = self.entries.get(block)?;
         Self::malformed_why(e, self.cores).map(|why| (block, why))
+    }
+
+    /// Warms the host cache for `block`'s entry slot (see
+    /// [`crate::blockmap::BlockMap::warm`]). Semantically a no-op.
+    #[inline]
+    pub fn warm(&self, block: u64) {
+        self.entries.warm(block);
     }
 
     /// Whether the directory believes `core` holds a copy of `block`.

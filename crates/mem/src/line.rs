@@ -65,6 +65,14 @@ pub enum RfoOrigin {
     CachePrefetcher,
 }
 
+impl Default for RfoOrigin {
+    /// Slot filler for [`crate::blockmap::BlockMap`] value lanes; never
+    /// observable through the map API.
+    fn default() -> Self {
+        RfoOrigin::AtExecute
+    }
+}
+
 impl RfoOrigin {
     /// All origins, in reporting order.
     pub const ALL: [RfoOrigin; 4] = [

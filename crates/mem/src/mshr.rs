@@ -133,6 +133,21 @@ impl MshrFile {
         self.full_events
     }
 
+    /// A sound wakeup bound for occupancy-gated work: the earliest
+    /// cycle ≥ the caller's view of "now" at which retiring completed
+    /// entries *could* have brought occupancy down to at most `limit`.
+    /// Returns `now` when occupancy already fits, otherwise the cached
+    /// earliest in-flight completion. The bound may fire early (the
+    /// caller re-checks and finds the file still too full — a no-op),
+    /// never late: occupancy cannot drop before the first completion.
+    pub fn drained_to_at(&self, limit: usize, now: u64) -> u64 {
+        if self.occupied.len() <= limit {
+            now
+        } else {
+            self.earliest_ready
+        }
+    }
+
     /// The live slot holding `block`, if any.
     #[inline]
     fn find(&self, block: u64) -> Option<u16> {

@@ -12,6 +12,7 @@
 //! find a line whose `ready` is in the future are *hits under fill*,
 //! which is exactly the paper's transient `IM`/`PF_IM` situation.
 
+use crate::blockmap::BlockMap;
 use crate::cache::{CacheArray, CacheGeometry, Eviction};
 use crate::checker::{CoherenceKind, Event, EventLog, InvariantKind, InvariantViolation};
 use crate::directory::{DirEntry, Directory};
@@ -22,7 +23,7 @@ use crate::mshr::MshrFile;
 use crate::prefetch::{Prefetcher, PrefetcherKind};
 use spb_obs::{EventKind as ObsEventKind, Observer};
 use spb_stats::Histogram;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// An MSHR entry whose completion lies further than this beyond `now` is
 /// reported as leaked/stuck by the invariant checker. Generous enough
@@ -295,9 +296,11 @@ pub struct MemorySystem {
     dram: DramPort,
     /// Blocks brought by a prefetch and evicted unused; a later demand
     /// makes the prefetch "early", otherwise it ends "never used".
-    evicted_unused: HashMap<u64, RfoOrigin>,
+    /// A [`BlockMap`] because the hot L1 miss path probes it per miss.
+    evicted_unused: BlockMap<RfoOrigin>,
     /// Recently evicted (any) L1 blocks, for re-reference miss counting.
-    recently_evicted_l1: HashMap<u64, u64>,
+    /// Probed per L1 miss and written per eviction, hence a [`BlockMap`].
+    recently_evicted_l1: BlockMap<u64>,
     /// Distribution of SPB burst lengths (blocks per enqueued burst).
     burst_lengths: Histogram,
     stats: MemStats,
@@ -305,6 +308,20 @@ pub struct MemorySystem {
     events: EventLog,
     obs: Observer,
     pending_violation: Option<InvariantViolation>,
+    /// Blocks awaiting (re-)verification by the incremental invariant
+    /// checker: every block from the cache/directory mutation logs lands
+    /// here, and blocks whose fill is still in flight at a checking
+    /// boundary stay queued until they stabilise. Insertion-ordered.
+    checker_pending: Vec<u64>,
+    /// Membership set for `checker_pending` (dedup on enqueue).
+    checker_pending_set: BlockMap<u8>,
+    /// Next invariant-checker boundary, maintained by [`MemorySystem::tick`]
+    /// so [`MemorySystem::wake_at`] is a plain field read (`u64::MAX`
+    /// when the checker is disabled).
+    next_check_at: u64,
+    /// Next observer occupancy-sample boundary (relevant only while a
+    /// sink is attached).
+    next_obs_at: u64,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -324,6 +341,11 @@ impl MemorySystem {
     /// Panics if `config.cores` is zero or exceeds
     /// [`crate::directory::MAX_CORES`], or if a cache geometry is invalid.
     pub fn new(config: MemoryConfig) -> Self {
+        // With the checker enabled, private caches and the directory log
+        // which blocks they mutate so each boundary check re-verifies
+        // only those (see `check_invariants`). Disabled checker → no
+        // drain point, so leave the logs off rather than grow forever.
+        let audited = config.checker_interval > 0;
         let cores = (0..config.cores)
             .map(|_| CoreMem {
                 l1: CacheArray::new(CacheGeometry::new(config.l1_size, config.l1_ways)),
@@ -333,14 +355,25 @@ impl MemorySystem {
                 burst_queue: VecDeque::new(),
                 demand_miss_until: 0,
             })
+            .map(|mut c| {
+                if audited {
+                    c.l1.enable_mutation_log();
+                    c.l2.enable_mutation_log();
+                }
+                c
+            })
             .collect();
+        let mut directory = Directory::new(config.cores);
+        if audited {
+            directory.enable_mutation_log();
+        }
         Self {
             l3: CacheArray::new(CacheGeometry::new(config.l3_size, config.l3_ways)),
-            directory: Directory::new(config.cores),
+            directory,
             dram: DramPort::new(config.dram),
             cores,
-            evicted_unused: HashMap::new(),
-            recently_evicted_l1: HashMap::new(),
+            evicted_unused: BlockMap::new(),
+            recently_evicted_l1: BlockMap::new(),
             burst_lengths: Histogram::new("burst_len_blocks", 8, 9),
             stats: MemStats::default(),
             fault: FaultPlan::new(config.fault),
@@ -351,6 +384,14 @@ impl MemorySystem {
             }),
             obs: Observer::off(),
             pending_violation: None,
+            checker_pending: Vec::new(),
+            checker_pending_set: BlockMap::new(),
+            next_check_at: if config.checker_interval > 0 {
+                0
+            } else {
+                u64::MAX
+            },
+            next_obs_at: 0,
             config,
         }
     }
@@ -459,6 +500,37 @@ impl MemorySystem {
         next
     }
 
+    /// The next cycle at which [`MemorySystem::tick`] has observable
+    /// work, or `u64::MAX` if it never will — the `wheel` kernel's
+    /// memory wakeup (DESIGN.md §12).
+    ///
+    /// Unlike [`MemorySystem::next_event_at`] this is push-based: the
+    /// checker/observer boundaries are cached fields `tick` advances as
+    /// it crosses them, and a capacity-blocked burst queue contributes
+    /// the earliest in-flight MSHR completion (a cached lower bound)
+    /// instead of forcing a tick every cycle. Every contribution may
+    /// fire early (the tick finds no work — a no-op) but never late, so
+    /// ticking exactly at the returned cycles is bit-identical to
+    /// ticking every cycle.
+    pub fn wake_at(&self, now: u64) -> u64 {
+        let mut wake = self.next_check_at;
+        if self.obs.enabled() {
+            wake = wake.min(self.next_obs_at);
+        }
+        for c in &self.cores {
+            if !c.burst_queue.is_empty() {
+                // The drain loop pops only while `len + 4 < capacity`;
+                // until occupancy can have dropped to that headroom a
+                // tick cannot issue anything.
+                // A ≤4-entry file can never take burst traffic.
+                if let Some(limit) = c.mshr.capacity().checked_sub(5) {
+                    wake = wake.min(c.mshr.drained_to_at(limit, now));
+                }
+            }
+        }
+        wake
+    }
+
     /// Distribution of SPB burst lengths observed at the L1 controller.
     pub fn burst_lengths(&self) -> &Histogram {
         &self.burst_lengths
@@ -544,8 +616,9 @@ impl MemorySystem {
         }
     }
 
-    /// Runs the coherence invariant checks, read-only: calling this
-    /// never changes a simulated number.
+    /// Runs the coherence invariant checks, read-only on simulated state:
+    /// calling this never changes a simulated number (it does consume the
+    /// checker's own mutation-log bookkeeping).
     ///
     /// Checks, in order:
     /// 1. the directory's own records are well formed;
@@ -562,16 +635,40 @@ impl MemorySystem {
     /// transients) are exempt from check 3: their final state is decided
     /// by the directory grant already recorded.
     ///
+    /// Check 3 runs **incrementally**: every lane write that could change
+    /// its verdict funnels through a handful of `CacheArray`/`Directory`
+    /// methods, which log the affected block. A boundary check re-verifies
+    /// exactly the blocks mutated since the previous one (plus any whose
+    /// fill was still in flight then). A line untouched since it last
+    /// passed — same `(block, state, ready)`, same directory entry —
+    /// would pass again, so skipping it loses nothing, and a sweep over
+    /// tens of thousands of valid lines becomes a walk over the tens of
+    /// blocks that actually changed. `check_invariants_thorough` keeps
+    /// the full sweep and cross-audits this bookkeeping once per run,
+    /// and a disabled checker (`checker_interval == 0`, logs off) falls
+    /// back to the full sweep too.
+    ///
     /// # Errors
     ///
     /// Returns the first violation found.
-    pub fn check_invariants(&self, now: u64) -> Result<(), InvariantViolation> {
+    pub fn check_invariants(&mut self, now: u64) -> Result<(), InvariantViolation> {
+        self.check_directory_and_mshrs(now)?;
+        if self.config.checker_interval > 0 {
+            self.check_mutated_lines(now)
+        } else {
+            self.check_lines_full(now)
+        }
+    }
+
+    /// Checks 1 and 2 of [`MemorySystem::check_invariants`]: directory
+    /// well-formedness (O(1) healthy) and the MSHR-leak sweep (bounded by
+    /// the MSHR file's capacity).
+    fn check_directory_and_mshrs(&self, now: u64) -> Result<(), InvariantViolation> {
         if let Some((block, why)) = self.directory.find_malformed() {
             return Err(self.violation(InvariantKind::DirectoryState, Some(block), None, now, why));
         }
         for (i, c) in self.cores.iter().enumerate() {
-            let entries: Vec<_> = c.mshr.iter().collect();
-            if entries.len() > c.mshr.capacity() {
+            if c.mshr.len() > c.mshr.capacity() {
                 return Err(self.violation(
                     InvariantKind::MshrLeak,
                     None,
@@ -579,12 +676,12 @@ impl MemorySystem {
                     now,
                     format!(
                         "{} entries exceed capacity {}",
-                        entries.len(),
+                        c.mshr.len(),
                         c.mshr.capacity()
                     ),
                 ));
             }
-            for (j, e) in entries.iter().enumerate() {
+            for (j, e) in c.mshr.iter().enumerate() {
                 if e.ready > now.saturating_add(MSHR_STUCK_HORIZON) {
                     return Err(self.violation(
                         InvariantKind::MshrLeak,
@@ -597,7 +694,7 @@ impl MemorySystem {
                         ),
                     ));
                 }
-                if entries[..j].iter().any(|p| p.block == e.block) {
+                if c.mshr.iter().take(j).any(|p| p.block == e.block) {
                     return Err(self.violation(
                         InvariantKind::MshrLeak,
                         Some(e.block),
@@ -607,52 +704,156 @@ impl MemorySystem {
                     ));
                 }
             }
-            for (block, state, ready) in c.l1.iter_valid_meta().chain(c.l2.iter_valid_meta()) {
-                if ready > now {
-                    continue; // transient IM/PF_IM: grant already recorded
+        }
+        Ok(())
+    }
+
+    /// Check 3, line/directory agreement, for one stable line.
+    fn line_agrees(
+        &self,
+        core: usize,
+        block: u64,
+        state: CoherenceState,
+        now: u64,
+    ) -> Result<(), InvariantViolation> {
+        if state.writable() {
+            if self.directory.entry(block) != Some(DirEntry::Owned { owner: core as u8 }) {
+                return Err(self.violation(
+                    InvariantKind::SingleWriter,
+                    Some(block),
+                    Some(core),
+                    now,
+                    format!(
+                        "core holds a stable {} copy but the directory says {:?}",
+                        state,
+                        self.directory.entry(block)
+                    ),
+                ));
+            }
+        } else if !self.directory.tracks(core as u8, block) {
+            return Err(self.violation(
+                InvariantKind::DirectoryAgreement,
+                Some(block),
+                Some(core),
+                now,
+                format!(
+                    "core holds a stable {} copy the directory does not track ({:?})",
+                    state,
+                    self.directory.entry(block)
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Incremental check 3: drains the cache/directory mutation logs into
+    /// the pending queue, then re-verifies exactly those blocks. Blocks
+    /// with a line still in flight stay queued for the next boundary.
+    fn check_mutated_lines(&mut self, now: u64) -> Result<(), InvariantViolation> {
+        {
+            let pending = &mut self.checker_pending;
+            let member = &mut self.checker_pending_set;
+            let mut add = |b: u64| {
+                if member.insert(b, 0).is_none() {
+                    pending.push(b);
                 }
-                if state.writable() {
-                    if self.directory.entry(block) != Some(DirEntry::Owned { owner: i as u8 }) {
-                        return Err(self.violation(
-                            InvariantKind::SingleWriter,
-                            Some(block),
-                            Some(i),
-                            now,
-                            format!(
-                                "core holds a stable {} copy but the directory says {:?}",
-                                state,
-                                self.directory.entry(block)
-                            ),
-                        ));
+            };
+            for &b in self.directory.mutation_log() {
+                add(b);
+            }
+            for c in &self.cores {
+                for &b in c.l1.mutation_log() {
+                    add(b);
+                }
+                for &b in c.l2.mutation_log() {
+                    add(b);
+                }
+            }
+        }
+        self.directory.clear_mutation_log();
+        for c in &mut self.cores {
+            c.l1.clear_mutation_log();
+            c.l2.clear_mutation_log();
+        }
+        let mut kept = 0;
+        for i in 0..self.checker_pending.len() {
+            let block = self.checker_pending[i];
+            let mut transient = false;
+            for ci in 0..self.cores.len() {
+                let c = &self.cores[ci];
+                for line in [c.l1.peek(block), c.l2.peek(block)].into_iter().flatten() {
+                    if line.ready > now {
+                        transient = true;
+                        continue;
                     }
-                } else if !self.directory.tracks(i as u8, block) {
-                    return Err(self.violation(
-                        InvariantKind::DirectoryAgreement,
-                        Some(block),
-                        Some(i),
-                        now,
-                        format!(
-                            "core holds a stable {} copy the directory does not track ({:?})",
-                            state,
-                            self.directory.entry(block)
-                        ),
-                    ));
+                    self.line_agrees(ci, block, line.state, now)?;
+                }
+            }
+            if transient {
+                self.checker_pending[kept] = block;
+                kept += 1;
+            } else {
+                self.checker_pending_set.remove(block);
+            }
+        }
+        self.checker_pending.truncate(kept);
+        Ok(())
+    }
+
+    /// Full-sweep check 3 over every valid private line — the reference
+    /// the incremental check is audited against (`check_invariants_thorough`
+    /// runs it once per run), and the fallback when mutation logging is
+    /// off.
+    fn check_lines_full(&self, now: u64) -> Result<(), InvariantViolation> {
+        for (i, c) in self.cores.iter().enumerate() {
+            // The sweep's directory probes are independent random reads
+            // of a large table; issued one per loop iteration they each
+            // stall the host pipeline on a cache miss. Buffering a chunk
+            // of lines and warming every probe target first overlaps
+            // those misses (memory-level parallelism) without changing
+            // which line is checked first — chunks are scanned in sweep
+            // order and checked in sweep order within the chunk.
+            const CHUNK: usize = 64;
+            let mut chunk = [(0u64, CoherenceState::Invalid, 0u64); CHUNK];
+            let mut lines = c.l1.iter_valid_meta().chain(c.l2.iter_valid_meta());
+            loop {
+                let mut n = 0;
+                for e in lines.by_ref().take(CHUNK) {
+                    chunk[n] = e;
+                    n += 1;
+                }
+                if n == 0 {
+                    break;
+                }
+                for &(block, _, ready) in &chunk[..n] {
+                    if ready <= now {
+                        self.directory.warm(block);
+                    }
+                }
+                for &(block, state, ready) in &chunk[..n] {
+                    if ready > now {
+                        continue; // transient IM/PF_IM: grant already recorded
+                    }
+                    self.line_agrees(i, block, state, now)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// [`MemorySystem::check_invariants`] plus the expensive inverse
-    /// direction: every directory claim must be backed by a private-cache
-    /// line or an in-flight MSHR entry. Intended once per run (the
-    /// runner calls it after the measured region).
+    /// [`MemorySystem::check_invariants`] with the **full** line sweep
+    /// (not the incremental one — this pass also audits the incremental
+    /// checker's mutation-log bookkeeping against ground truth), plus the
+    /// expensive inverse direction: every directory claim must be backed
+    /// by a private-cache line or an in-flight MSHR entry. Intended once
+    /// per run (the runner calls it after the measured region).
     ///
     /// # Errors
     ///
     /// Returns the first violation found.
     pub fn check_invariants_thorough(&self, now: u64) -> Result<(), InvariantViolation> {
-        self.check_invariants(now)?;
+        self.check_directory_and_mshrs(now)?;
+        self.check_lines_full(now)?;
         for (block, entry) in self.directory.iter_entries() {
             let holds = |core: usize| {
                 self.cores[core].l1.peek(block).is_some()
@@ -724,9 +925,11 @@ impl MemorySystem {
     /// unused in caches plus evicted-unused blocks that were never
     /// re-demanded. Call once at the end of a measured run.
     pub fn finalize_stats(&mut self) {
-        for (_, origin) in self.evicted_unused.drain() {
-            self.stats.prefetch_never_used[origin.index()] += 1;
+        let stats = &mut self.stats;
+        for (_, origin) in self.evicted_unused.iter() {
+            stats.prefetch_never_used[origin.index()] += 1;
         }
+        self.evicted_unused.clear();
         for core in &self.cores {
             for line in core.l1.iter_valid() {
                 if let Some(origin) = line.prefetch {
@@ -754,6 +957,12 @@ impl MemorySystem {
             let v = victim as usize;
             self.stats.invalidations += 1;
             self.coh(now, victim, block, CoherenceKind::Invalidated);
+            // Retire the victim's completed fills before the kill: the
+            // wheel kernel elides no-op ticks, so this is where a
+            // completed-but-unretired entry would otherwise be mistaken
+            // for an in-flight one (under the other kernels the same
+            // cycle's tick has already retired it — a no-op here).
+            self.cores[v].mshr.retire_completed(now);
             if let Some(old) = self.cores[v].l1.invalidate(block) {
                 dirty |= old.dirty;
                 if let Some(origin) = old.prefetch.filter(|_| !old.used) {
@@ -913,7 +1122,11 @@ impl MemorySystem {
             }
             // A read-downgrade must also strip write permission from the
             // owner's in-flight request, or a later store merge would
-            // resurrect it without consulting the directory.
+            // resurrect it without consulting the directory. Retire the
+            // owner's completed fills first so a stale completed entry
+            // is never counted as a repaired in-flight one (matches the
+            // per-cycle tick the wheel kernel elides).
+            self.cores[o].mshr.retire_completed(now);
             if self.cores[o].mshr.downgrade_entry(block) {
                 self.stats.coherence_repairs += 1;
             }
@@ -1075,10 +1288,14 @@ impl MemorySystem {
             .prefetcher
             .train(pc, block, &mut candidates);
 
-        let line_info = self.cores[core]
-            .l1
-            .lookup(block)
-            .map(|l| (l.state(), l.ready(), l.prefetch(), l.used()));
+        // One tag search serves the whole hit path: the LRU/used update
+        // happens through the same `LineMut` (pre-touch values captured
+        // first), instead of `touch` re-searching the set.
+        let line_info = self.cores[core].l1.lookup(block).map(|mut l| {
+            let info = (l.state(), l.ready(), l.prefetch(), l.used());
+            l.touch();
+            info
+        });
         let result = if let Some((state, line_ready, prefetch, used)) = line_info {
             if !state.readable() {
                 self.flag_violation(
@@ -1092,7 +1309,6 @@ impl MemorySystem {
             if prefetch.is_some() && !used {
                 self.cores[core].prefetcher.feedback_useful();
             }
-            self.cores[core].l1.touch(block);
             if line_ready <= now {
                 self.stats.load_l1_hits += 1;
                 AccessResult {
@@ -1111,7 +1327,16 @@ impl MemorySystem {
                 }
             }
         } else {
-            // True L1 miss.
+            // True L1 miss: the walk below probes the L2, L3, directory
+            // and eviction maps in a dependent chain of random reads.
+            // Warming every table's slot up front overlaps those host
+            // cache misses (memory-level parallelism); none of it reads
+            // simulated state, so the walk's outcome is unchanged.
+            self.cores[core].l2.warm(block);
+            self.l3.warm(block);
+            self.directory.warm(block);
+            self.recently_evicted_l1.warm(block);
+            self.evicted_unused.warm(block);
             self.cores[core].mshr.retire_completed(now);
             if let Some(entry) = self.cores[core].mshr.lookup(block) {
                 // The line was evicted while its fill was in flight;
@@ -1133,6 +1358,7 @@ impl MemorySystem {
                             self.coh(now, owner, block, CoherenceKind::Downgraded);
                             let mut d = self.cores[o].l1.downgrade(block).unwrap_or(false);
                             d |= self.cores[o].l2.downgrade(block).unwrap_or(false);
+                            self.cores[o].mshr.retire_completed(now);
                             self.cores[o].mshr.downgrade_entry(block);
                             if d {
                                 if let Some(mut l3line) = self.l3.lookup(block) {
@@ -1166,10 +1392,10 @@ impl MemorySystem {
                     level: Level::L2,
                 };
             }
-            if self.recently_evicted_l1.remove(&block).is_some() {
+            if self.recently_evicted_l1.remove(block).is_some() {
                 self.stats.l1_rereference_misses += 1;
             }
-            if let Some(origin) = self.evicted_unused.remove(&block) {
+            if let Some(origin) = self.evicted_unused.remove(block) {
                 self.stats.prefetch_early[origin.index()] += 1;
             }
             let now_adm = self.mshr_admit(core, now);
@@ -1288,7 +1514,14 @@ impl MemorySystem {
                 StoreDrainOutcome::Retry { at: ready }
             }
             None => {
-                // Miss. Merge into an in-flight request if one exists.
+                // Miss: same warm-ahead as the load miss path (see
+                // `load_with_pc`) before the dependent probe chain.
+                self.cores[core].l2.warm(block);
+                self.l3.warm(block);
+                self.directory.warm(block);
+                self.recently_evicted_l1.warm(block);
+                self.evicted_unused.warm(block);
+                // Merge into an in-flight request if one exists.
                 if let Some(ready) = self.cores[core].mshr.upgrade_to_exclusive(block) {
                     self.cores[core].mshr.record_merge();
                     self.stats.store_retries += 1;
@@ -1312,10 +1545,10 @@ impl MemorySystem {
                 // Demand RFO: the `Getx` of Figure 4's T0.
                 self.stats.demand_store_misses += 1;
                 self.stats.store_retries += 1;
-                if self.recently_evicted_l1.remove(&block).is_some() {
+                if self.recently_evicted_l1.remove(block).is_some() {
                     self.stats.l1_rereference_misses += 1;
                 }
-                if let Some(origin) = self.evicted_unused.remove(&block) {
+                if let Some(origin) = self.evicted_unused.remove(block) {
                     self.stats.prefetch_early[origin.index()] += 1;
                 }
                 let now_adm = self.mshr_admit(core, now);
@@ -1462,10 +1695,17 @@ impl MemorySystem {
     /// periodically runs the invariant checker.
     pub fn tick(&mut self, now: u64) {
         let interval = self.config.checker_interval;
-        if interval > 0 && now.is_multiple_of(interval) && self.pending_violation.is_none() {
-            if let Err(v) = self.check_invariants(now) {
-                self.pending_violation = Some(v);
+        // `next_check_at` caches the boundary so the per-cycle fast
+        // path is one compare instead of a hardware division; the exact
+        // multiple test below keeps the check schedule identical even
+        // if a caller ticks at a non-boundary cycle past the cache.
+        if interval > 0 && now >= self.next_check_at {
+            if now.is_multiple_of(interval) && self.pending_violation.is_none() {
+                if let Err(v) = self.check_invariants(now) {
+                    self.pending_violation = Some(v);
+                }
             }
+            self.next_check_at = (now / interval + 1) * interval;
         }
         for core in 0..self.cores.len() {
             for _ in 0..self.config.burst_issue_per_cycle {
@@ -1493,21 +1733,24 @@ impl MemorySystem {
                 let _ = self.store_prefetch(core, block * 64, 0, now, origin);
             }
         }
-        if self.obs.enabled() && now.is_multiple_of(OBS_SAMPLE_INTERVAL) {
-            for core in 0..self.cores.len() {
-                let occupancy = self.cores[core].mshr.len() as u32;
+        if self.obs.enabled() && now >= self.next_obs_at {
+            if now.is_multiple_of(OBS_SAMPLE_INTERVAL) {
+                for core in 0..self.cores.len() {
+                    let occupancy = self.cores[core].mshr.len() as u32;
+                    self.obs.emit(|| Event {
+                        cycle: now,
+                        core: core as u8,
+                        kind: ObsEventKind::MshrOccupancy { occupancy },
+                    });
+                }
+                let busy = self.dram.busy_channels(now) as u32;
                 self.obs.emit(|| Event {
                     cycle: now,
-                    core: core as u8,
-                    kind: ObsEventKind::MshrOccupancy { occupancy },
+                    core: 0,
+                    kind: ObsEventKind::DramQueue { busy },
                 });
             }
-            let busy = self.dram.busy_channels(now) as u32;
-            self.obs.emit(|| Event {
-                cycle: now,
-                core: 0,
-                kind: ObsEventKind::DramQueue { busy },
-            });
+            self.next_obs_at = (now / OBS_SAMPLE_INTERVAL + 1) * OBS_SAMPLE_INTERVAL;
         }
     }
 }

@@ -20,6 +20,13 @@
 //!   or wrong-key entry is renamed to `<name>.quarantined` (kept for
 //!   post-mortem) and reported as [`Lookup::Corrupt`] so the caller
 //!   recomputes; the service counts these in its health stats.
+//! - **Bounded growth**: an optional LRU bound on entry count and/or
+//!   total bytes ([`ResultCache::with_entry_bound`],
+//!   [`ResultCache::with_size_bound`]). Eviction removes whole entries,
+//!   never edits them, so it can only turn a future hit into a miss —
+//!   and a miss recomputes bit-identically (the simulator is
+//!   deterministic). Lookups bump an entry's file mtime, which is the
+//!   recency the evictor sorts by.
 
 use crate::CODE_VERSION;
 use spb_sim::config::SimConfig;
@@ -71,10 +78,14 @@ pub enum Lookup {
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    /// Evict least-recently-used entries past this count, if set.
+    max_entries: Option<usize>,
+    /// Evict least-recently-used entries past this total size, if set.
+    max_bytes: Option<u64>,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) the cache at `dir`.
+    /// Opens (creating if needed) the cache at `dir`, unbounded.
     ///
     /// # Errors
     ///
@@ -82,7 +93,24 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            max_entries: None,
+            max_bytes: None,
+        })
+    }
+
+    /// Bounds the cache to at most `n` entries (LRU eviction on store).
+    pub fn with_entry_bound(mut self, n: usize) -> Self {
+        self.max_entries = Some(n);
+        self
+    }
+
+    /// Bounds the cache to at most `bytes` of entry files (LRU eviction
+    /// on store).
+    pub fn with_size_bound(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
     }
 
     /// The cache directory.
@@ -132,7 +160,11 @@ impl ResultCache {
         drop(f);
         std::fs::rename(&tmp, &path).inspect_err(|_| {
             let _ = std::fs::remove_file(&tmp);
-        })
+        })?;
+        // Best-effort: a failed eviction only leaves the cache larger
+        // than asked, never corrupts an entry.
+        self.enforce_bounds();
+        Ok(())
     }
 
     /// Validates and returns the entry under `key`, quarantining it on
@@ -145,7 +177,16 @@ impl ResultCache {
             Err(e) => return self.quarantine(&path, format!("unreadable entry: {e}")),
         };
         match Self::validate(key, &text) {
-            Ok(record) => Lookup::Hit(record),
+            Ok(record) => {
+                // Bump recency so the LRU evictor keeps hot entries.
+                // Best-effort: a stale mtime only skews eviction order.
+                if self.max_entries.is_some() || self.max_bytes.is_some() {
+                    if let Ok(f) = std::fs::File::options().write(true).open(&path) {
+                        let _ = f.set_modified(std::time::SystemTime::now());
+                    }
+                }
+                Lookup::Hit(record)
+            }
             Err(why) => self.quarantine(&path, why),
         }
     }
@@ -178,6 +219,56 @@ impl ResultCache {
             ));
         }
         SweepRecord::from_json(body.get("record").ok_or("missing record")?)
+    }
+
+    /// Live entries as `(path, mtime, bytes)`; excludes quarantined and
+    /// in-flight tmp files (both fail the `*.json`, non-dot filter).
+    fn live_entries(&self) -> Vec<(PathBuf, std::time::SystemTime, u64)> {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        rd.filter_map(Result::ok)
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.ends_with(".json") && !name.starts_with('.')
+            })
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((e.path(), mtime, meta.len()))
+            })
+            .collect()
+    }
+
+    /// The number of live (non-quarantined) entries on disk.
+    pub fn entry_count(&self) -> usize {
+        self.live_entries().len()
+    }
+
+    /// Deletes least-recently-used entries until the configured bounds
+    /// hold. Whole-entry deletion only: an evicted key becomes a clean
+    /// [`Lookup::Miss`] whose recompute is bit-identical, so eviction
+    /// can never corrupt a result.
+    fn enforce_bounds(&self) {
+        if self.max_entries.is_none() && self.max_bytes.is_none() {
+            return;
+        }
+        let mut entries = self.live_entries();
+        entries.sort_by_key(|&(_, mtime, _)| mtime);
+        let mut count = entries.len();
+        let mut bytes: u64 = entries.iter().map(|&(_, _, len)| len).sum();
+        for (path, _, len) in entries {
+            let over_count = self.max_entries.is_some_and(|m| count > m);
+            let over_bytes = self.max_bytes.is_some_and(|m| bytes > m);
+            if !over_count && !over_bytes {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                count -= 1;
+                bytes = bytes.saturating_sub(len);
+            }
+        }
     }
 
     /// Moves a bad entry aside (never deletes evidence) and reports the
@@ -289,6 +380,72 @@ mod tests {
         std::fs::write(cache.dir().join(key.file_name()), "not json at all").unwrap();
         assert!(matches!(cache.lookup(key), Lookup::Corrupt(_)));
         assert_eq!(cache.quarantined_count(), 1, "second quarantine overwrote");
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_bounds_entries_and_recompute_is_bit_identical() {
+        use std::time::{Duration, SystemTime};
+        let cache = tmp_cache("lru").with_entry_bound(4);
+        let apps = ["a", "b", "c", "d", "e", "f"];
+        let keys: Vec<CacheKey> = apps
+            .iter()
+            .map(|app| CacheKey::for_cell(app, &SimConfig::quick()))
+            .collect();
+        // Store the first four with explicit, strictly increasing
+        // mtimes so LRU order is deterministic regardless of clock
+        // granularity: a oldest ... d newest.
+        let base = SystemTime::now() - Duration::from_secs(3600);
+        for (i, (app, key)) in apps.iter().zip(&keys).take(4).enumerate() {
+            cache.store(*key, app, &record()).unwrap();
+            let f = std::fs::File::options()
+                .write(true)
+                .open(cache.dir().join(key.file_name()))
+                .unwrap();
+            f.set_modified(base + Duration::from_secs(i as u64)).unwrap();
+        }
+        assert_eq!(cache.entry_count(), 4);
+        // A lookup refreshes "a"'s recency, so it must survive the
+        // coming evictions while the untouched "b" does not.
+        assert!(matches!(cache.lookup(keys[0]), Lookup::Hit(_)));
+        cache.store(keys[4], "e", &record()).unwrap();
+        cache.store(keys[5], "f", &record()).unwrap();
+        assert_eq!(cache.entry_count(), 4, "bound enforced after stores");
+        assert!(
+            matches!(cache.lookup(keys[0]), Lookup::Hit(_)),
+            "recently-used entry survived eviction"
+        );
+        assert_eq!(cache.lookup(keys[1]), Lookup::Miss, "LRU entry evicted");
+        // Eviction never corrupts: recomputing the evicted cell and
+        // re-storing yields a bit-identical hit.
+        cache.store(keys[1], "b", &record()).unwrap();
+        assert_eq!(cache.lookup(keys[1]), Lookup::Hit(record()));
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn size_bound_evicts_and_spares_quarantined_evidence() {
+        // Seed and quarantine through an unbounded handle so the bound
+        // cannot evict the entry before the corruption check sees it.
+        let unbounded = tmp_cache("sizebound");
+        let cache = unbounded.clone().with_size_bound(1);
+        let cfg = SimConfig::quick();
+        let key_a = CacheKey::for_cell("a", &cfg);
+        let key_b = CacheKey::for_cell("b", &cfg);
+        unbounded.store(key_a, "a", &record()).unwrap();
+        // Corrupt and quarantine "a"'s entry: quarantined files are
+        // evidence, not cache entries — the evictor must not count or
+        // delete them.
+        let path = cache.dir().join(key_a.file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("123456", "999999", 1)).unwrap();
+        assert!(matches!(cache.lookup(key_a), Lookup::Corrupt(_)));
+        assert_eq!(cache.quarantined_count(), 1);
+        // Every store now exceeds the 1-byte bound, so the cache keeps
+        // evicting down to nothing — but the quarantined file stays.
+        cache.store(key_b, "b", &record()).unwrap();
+        assert_eq!(cache.entry_count(), 0, "size bound evicts everything");
+        assert_eq!(cache.quarantined_count(), 1, "evidence untouched");
         std::fs::remove_dir_all(cache.dir()).unwrap();
     }
 

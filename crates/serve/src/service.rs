@@ -52,6 +52,10 @@ pub struct ServeConfig {
     pub retry: u32,
     /// Default per-attempt deadline (jobs may set their own).
     pub deadline_ms: Option<u64>,
+    /// LRU bound on cached cell results (entries, not bytes); `None`
+    /// leaves the cache unbounded. Eviction never corrupts: an evicted
+    /// cell is a clean miss that recomputes bit-identically.
+    pub cache_max_entries: Option<usize>,
 }
 
 impl ServeConfig {
@@ -66,6 +70,7 @@ impl ServeConfig {
             queue_limit: 4,
             retry: 3,
             deadline_ms: Some(300_000),
+            cache_max_entries: None,
         }
     }
 }
@@ -98,7 +103,10 @@ impl Server {
     ///
     /// Propagates filesystem and socket errors.
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Self> {
-        let cache = ResultCache::open(cfg.dir.join("cache"))?;
+        let mut cache = ResultCache::open(cfg.dir.join("cache"))?;
+        if let Some(n) = cfg.cache_max_entries {
+            cache = cache.with_entry_bound(n);
+        }
         let (journal, recovery) = Journal::open(cfg.dir.join("journal.waj"))?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let stats = SharedCounters::new();

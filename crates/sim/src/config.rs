@@ -14,10 +14,12 @@ pub const IDEAL_SB_ENTRIES: usize = 1024;
 
 /// Which execution kernel drives the cores and the memory system.
 ///
-/// Both kernels produce bit-identical [`crate::RunResult`]s (pinned by
+/// All kernels produce bit-identical [`crate::RunResult`]s (pinned by
 /// the golden quick grid and the `spb-verify` kernel-equivalence
 /// property); they differ only in wall-clock time. The tick kernel is
-/// kept for one release as the reference implementation.
+/// the permanent reference implementation, and the probe-polling event
+/// kernel is kept as a second verification point between it and the
+/// default timing-wheel kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelMode {
     /// Legacy lock-step kernel: tick every component every cycle.
@@ -26,27 +28,35 @@ pub enum KernelMode {
     /// with no same-cycle work, jump `now` to the earliest
     /// `next_event_at` horizon and replay the skipped span's
     /// accounting in bulk.
-    #[default]
     Event,
+    /// Push-based timing-wheel kernel (DESIGN.md §12): components
+    /// register wakeups with a hierarchical timing wheel when their
+    /// state settles instead of being probed every cycle, the memory
+    /// system is ticked only on cycles where it has observable work,
+    /// and quiescent spans are replayed in bulk as under `Event`.
+    #[default]
+    Wheel,
 }
 
 impl KernelMode {
-    /// Parses the CLI spelling (`tick` / `event`).
+    /// Parses the CLI spelling (`tick` / `event` / `wheel`).
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "tick" => Ok(KernelMode::Tick),
             "event" => Ok(KernelMode::Event),
+            "wheel" => Ok(KernelMode::Wheel),
             other => Err(format!(
-                "unknown kernel '{other}' (valid: tick, event)"
+                "unknown kernel '{other}' (valid: tick, event, wheel)"
             )),
         }
     }
 
-    /// Display label (`tick` / `event`).
+    /// Display label (`tick` / `event` / `wheel`).
     pub fn label(&self) -> &'static str {
         match self {
             KernelMode::Tick => "tick",
             KernelMode::Event => "event",
+            KernelMode::Wheel => "wheel",
         }
     }
 }
@@ -284,7 +294,7 @@ impl SimConfig {
             measure_uops: 600_000,
             seed: 42,
             watchdog_cycles: 2_000_000,
-            kernel: KernelMode::Event,
+            kernel: KernelMode::Wheel,
         }
     }
 
@@ -464,11 +474,15 @@ mod tests {
     }
 
     #[test]
-    fn kernel_mode_parses_and_defaults_to_event() {
-        assert_eq!(SimConfig::paper_default().kernel, KernelMode::Event);
+    fn kernel_mode_parses_and_defaults_to_wheel() {
+        assert_eq!(SimConfig::paper_default().kernel, KernelMode::Wheel);
+        assert_eq!(KernelMode::default(), KernelMode::Wheel);
         assert_eq!(KernelMode::parse("tick"), Ok(KernelMode::Tick));
         assert_eq!(KernelMode::parse("event"), Ok(KernelMode::Event));
-        assert!(KernelMode::parse("warp").unwrap_err().contains("tick"));
+        assert_eq!(KernelMode::parse("wheel"), Ok(KernelMode::Wheel));
+        let e = KernelMode::parse("warp").unwrap_err();
+        assert!(e.contains("tick") && e.contains("wheel"), "{e}");
         assert_eq!(KernelMode::Tick.label(), "tick");
+        assert_eq!(KernelMode::Wheel.label(), "wheel");
     }
 }

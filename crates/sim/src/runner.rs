@@ -10,6 +10,7 @@
 //! the contract).
 
 use crate::config::KernelMode;
+use crate::scheduler::TimingWheel;
 use spb_cpu::core::{Core, CpuStats};
 use spb_energy::EnergyBreakdown;
 use spb_mem::checker::{InvariantKind, InvariantViolation};
@@ -165,6 +166,7 @@ pub(crate) fn advance(
     match kernel {
         KernelMode::Tick => advance_tick(cores, mem, now, target, watchdog),
         KernelMode::Event => advance_event(cores, mem, now, target, watchdog),
+        KernelMode::Wheel => advance_wheel(cores, mem, now, target, watchdog),
     }
 }
 
@@ -331,6 +333,129 @@ pub(crate) fn advance_event(
     }
 }
 
+/// The push-based timing-wheel kernel (DESIGN.md §12).
+///
+/// Differences from [`advance_event`]:
+///
+/// - The memory system is ticked only on cycles where it has observable
+///   work. [`MemorySystem::wake_at`] is an O(1) read of state the
+///   memory system publishes at the moment it changes (cached checker /
+///   observer boundaries, burst-queue drain eligibility), not a probe
+///   that recomputes boundaries every cycle.
+/// - Cores are probed for a horizon only on cycles where no core
+///   committed a µop — commit progress is the cheap busy signal — and
+///   the resulting wakeups are *registered* with a hierarchical
+///   [`TimingWheel`] (one wake source per core, one for the memory
+///   system, one for the watchdog deadline) instead of being re-merged
+///   from scratch at every probe.
+/// - Each entered cycle runs exactly as under [`advance_tick`]; when
+///   everyone is quiescent the clock jumps to the wheel's earliest
+///   wakeup with the skipped span bulk-replayed (`Core::skip_span`).
+///   Wakeups may fire early (the woken component finds no work and
+///   re-registers) but never late, so checker runs, observer samples,
+///   burst issues and the watchdog all happen at exactly the cycles the
+///   lock-step kernel would have executed them.
+pub(crate) fn advance_wheel(
+    cores: &mut [Core],
+    mem: &mut MemorySystem,
+    now: &mut u64,
+    target: u64,
+    watchdog: u64,
+) -> Result<(), InvariantViolation> {
+    let n = cores.len();
+    let mem_id = n;
+    let wd_id = n + 1;
+    let mut wheel = TimingWheel::new(n + 2, *now);
+    let mut last_min = 0u64;
+    let mut last_progress_at = *now;
+    let mut last_total: u64 = cores.iter().map(|c| c.committed_uops()).sum();
+    // Probe backoff for busy-but-not-committing stretches, as in
+    // `advance_event`: skipping a probe is always sound.
+    let mut next_probe_at = *now;
+    let mut busy_backoff = 0u64;
+    loop {
+        let min_uops = cores.iter().map(|c| c.committed_uops()).min().unwrap_or(0);
+        if min_uops >= target {
+            return Ok(());
+        }
+        if min_uops > last_min {
+            last_min = min_uops;
+            last_progress_at = *now;
+        } else if watchdog > 0 && *now - last_progress_at > watchdog {
+            return Err(watchdog_violation(mem, *now, watchdog, min_uops, target));
+        }
+
+        // The cycle itself, exactly as under the lock-step kernel —
+        // except the memory system is ticked only when it has work.
+        if mem.wake_at(*now) <= *now {
+            mem.tick(*now);
+        }
+        for core in cores.iter_mut() {
+            core.cycle(mem, *now);
+        }
+        if let Some(v) = mem.take_violation() {
+            return Err(v);
+        }
+
+        // Commit progress is the busy signal: as long as some core
+        // commits, keep running cycles without probing anyone.
+        let new_total: u64 = cores.iter().map(|c| c.committed_uops()).sum();
+        let committed = new_total != last_total;
+        last_total = new_total;
+        if committed || *now < next_probe_at {
+            *now += 1;
+            continue;
+        }
+
+        // No commit anywhere: probe each core once and register its
+        // wakeup. Any same-cycle work means the machine is still busy
+        // (e.g. a drain mid-burst) — back off and keep cycling.
+        wheel.advance_to(*now);
+        let mut busy = false;
+        for (i, core) in cores.iter_mut().enumerate() {
+            match core.next_event_at(*now) {
+                Some(t) if t <= *now => {
+                    busy = true;
+                    break;
+                }
+                Some(t) => wheel.register(i, t),
+                None => wheel.cancel(i),
+            }
+        }
+        if busy {
+            busy_backoff = (busy_backoff * 2).clamp(1, MAX_PROBE_BACKOFF);
+            next_probe_at = *now + busy_backoff;
+            *now += 1;
+            continue;
+        }
+        busy_backoff = 0;
+        match mem.wake_at(*now) {
+            u64::MAX => wheel.cancel(mem_id),
+            t => wheel.register(mem_id, t),
+        }
+        if watchdog > 0 {
+            // First cycle at which the watchdog check above fires.
+            wheel.register(wd_id, last_progress_at + watchdog + 1);
+        }
+        match wheel.next_wake() {
+            Some(t) => {
+                // The cycle at `*now` already ran, so the quiescent
+                // span to replay starts one cycle later.
+                let t = t.max(*now + 1);
+                for core in cores.iter_mut() {
+                    core.skip_span(mem, *now + 1, t);
+                }
+                wheel.advance_to(t);
+                *now = t;
+            }
+            // No pending events anywhere and no watchdog: fall through
+            // to normal cycles, replicating the lock-step kernel's
+            // behaviour (spin until the caller's target or forever).
+            None => *now += 1,
+        }
+    }
+}
+
 pub(crate) fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
     into.committed_stores += from.committed_stores;
     into.committed_loads += from.committed_loads;
@@ -472,32 +597,57 @@ mod tests {
         assert_eq!(r.sb_entries, 1024);
     }
 
-    /// The skip-ahead kernel must be indistinguishable from the
+    /// Every skip-ahead kernel must be indistinguishable from the
     /// lock-step reference, bit for bit, on every counter a run
     /// reports (the broad cross-product lives in `spb-verify`).
     #[test]
-    fn event_kernel_matches_tick_kernel_bit_for_bit() {
+    fn skip_ahead_kernels_match_tick_kernel_bit_for_bit() {
         use crate::config::KernelMode;
         let app = AppProfile::by_name("x264").unwrap();
         let cfg = SimConfig::quick().with_sb(14);
         let tick = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Tick))
             .run_or_panic();
-        let event = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Event))
-            .run_or_panic();
-        assert_eq!(tick.cycles, event.cycles);
-        assert_eq!(tick.uops, event.uops);
-        assert_eq!(tick.topdown, event.topdown);
-        assert_eq!(tick.cpu, event.cpu);
-        assert_eq!(tick.mem, event.mem);
-        assert_eq!(tick.per_core, event.per_core);
-        assert_eq!(tick.sb_residency, event.sb_residency);
-        assert_eq!(tick.burst_lengths, event.burst_lengths);
+        for kernel in [KernelMode::Event, KernelMode::Wheel] {
+            let fast =
+                Simulation::with_config(&app, &cfg.clone().with_kernel(kernel)).run_or_panic();
+            let label = kernel.label();
+            assert_eq!(tick.cycles, fast.cycles, "{label}");
+            assert_eq!(tick.uops, fast.uops, "{label}");
+            assert_eq!(tick.topdown, fast.topdown, "{label}");
+            assert_eq!(tick.cpu, fast.cpu, "{label}");
+            assert_eq!(tick.mem, fast.mem, "{label}");
+            assert_eq!(tick.per_core, fast.per_core, "{label}");
+            assert_eq!(tick.sb_residency, fast.sb_residency, "{label}");
+            assert_eq!(tick.burst_lengths, fast.burst_lengths, "{label}");
+        }
     }
 
-    /// The watchdog must fire at the same cycle under both kernels —
-    /// the skip-ahead loop clamps its jumps to the watchdog deadline.
+    /// As above, for the multi-core PARSEC path (cross-core
+    /// invalidations and downgrades exercise the wheel kernel's
+    /// retire-before-remote-kill discipline).
     #[test]
-    fn watchdog_fires_identically_under_both_kernels() {
+    fn kernels_match_bit_for_bit_on_eight_cores() {
+        use crate::config::KernelMode;
+        let app = AppProfile::by_name("dedup").unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.warmup_uops = 3_000;
+        cfg.measure_uops = 30_000;
+        let tick = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Tick))
+            .run_or_panic();
+        let wheel = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Wheel))
+            .run_or_panic();
+        assert_eq!(tick.cycles, wheel.cycles);
+        assert_eq!(tick.uops, wheel.uops);
+        assert_eq!(tick.topdown, wheel.topdown);
+        assert_eq!(tick.cpu, wheel.cpu);
+        assert_eq!(tick.mem, wheel.mem);
+        assert_eq!(tick.per_core, wheel.per_core);
+    }
+
+    /// The watchdog must fire at the same cycle under every kernel —
+    /// the skip-ahead loops clamp their jumps to the watchdog deadline.
+    #[test]
+    fn watchdog_fires_identically_under_all_kernels() {
         use crate::config::KernelMode;
         let app = AppProfile::by_name("gcc").unwrap();
         let mut cfg = SimConfig::quick();
@@ -510,11 +660,13 @@ mod tests {
         let tick = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Tick))
             .run()
             .unwrap_err();
-        let event = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Event))
-            .run()
-            .unwrap_err();
         assert_eq!(tick.violation.kind, InvariantKind::ForwardProgress);
-        assert_eq!(event.violation.kind, InvariantKind::ForwardProgress);
-        assert_eq!(tick.violation.cycle, event.violation.cycle);
+        for kernel in [KernelMode::Event, KernelMode::Wheel] {
+            let fast = Simulation::with_config(&app, &cfg.clone().with_kernel(kernel))
+                .run()
+                .unwrap_err();
+            assert_eq!(fast.violation.kind, InvariantKind::ForwardProgress);
+            assert_eq!(tick.violation.cycle, fast.violation.cycle, "{}", kernel.label());
+        }
     }
 }

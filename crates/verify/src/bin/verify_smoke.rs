@@ -93,8 +93,8 @@ fn main() {
     };
     match run_seeds(&base, clean) {
         Ok(s) => println!(
-            "fuzz: {clean} clean seeds, {} steps, {} loads / {} drains / {} prefetches / {} bursts, 0 violations",
-            s.steps, s.loads, s.drains, s.prefetches, s.bursts
+            "fuzz: {clean} clean seeds, {} steps, {} loads / {} drains / {} prefetches / {} bursts / {} wheel wakeups, 0 violations",
+            s.steps, s.loads, s.drains, s.prefetches, s.bursts, s.wakeups
         ),
         Err(f) => {
             failures += 1;

@@ -9,6 +9,16 @@
 //! traffic: invalidations, ownership downgrades, remote forwards, and
 //! racing RFOs.
 //!
+//! Time itself is fuzzed through a [`spb_sim::scheduler::TimingWheel`]:
+//! steps register the memory system's own contractual wakeup
+//! ([`spb_mem::MemorySystem::wake_at`]) alongside a decoy source,
+//! cancel registrations at random, and fire due wakeups **late** by a
+//! small skew before ticking. Firing early is sound by design; firing
+//! late breaks bit-identity with the reference kernels but must never
+//! break coherence — which is exactly what the after-every-step checker
+//! establishes. The wheel is also audited after each firing: a due
+//! wakeup it failed to consume is reported as a failure.
+//!
 //! After **every** step the full coherence invariant checker runs
 //! ([`spb_mem::MemorySystem::check_invariants`]), and a thorough sweep
 //! ([`spb_mem::MemorySystem::check_invariants_thorough`]) closes the
@@ -21,6 +31,7 @@
 //! and `spbsim verify fuzz --seed N --steps M` replays it exactly.
 
 use spb_mem::{FaultConfig, MemoryConfig, MemorySystem, RfoOrigin};
+use spb_sim::scheduler::{TimingWheel, NEAR_SLOTS};
 use std::fmt;
 
 /// Blocks in the contended pool that every core touches.
@@ -31,6 +42,10 @@ const PRIVATE_BLOCKS: u64 = 24;
 const SHARED_BASE: u64 = 0x4000;
 /// Base block of core `c`'s private pool: `PRIVATE_BASE + c * 0x1000`.
 const PRIVATE_BASE: u64 = 0x8000;
+/// Wheel source id for the memory system's contractual wakeup.
+const MEM_ID: usize = 0;
+/// Wheel source id for the decoy registration (register/cancel churn).
+const DECOY_ID: usize = 1;
 
 /// One fuzzing schedule, fully determined by its fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +110,8 @@ pub struct FuzzStats {
     pub bursts: u64,
     /// Cycles advanced.
     pub cycles: u64,
+    /// Timing-wheel wakeups fired (possibly with late skew).
+    pub wakeups: u64,
 }
 
 impl FuzzStats {
@@ -106,6 +123,7 @@ impl FuzzStats {
         self.prefetches += other.prefetches;
         self.bursts += other.bursts;
         self.cycles += other.cycles;
+        self.wakeups += other.wakeups;
     }
 }
 
@@ -204,6 +222,7 @@ pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
     let mut stats = FuzzStats::default();
     let mut now = 0u64;
     let mut mutation_armed = false;
+    let mut wheel = TimingWheel::new(2, now);
     mem.tick(now);
 
     for step in 0..config.steps {
@@ -212,6 +231,14 @@ pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
         if !mutation_armed && config.mutate_at.is_some_and(|at| step >= at) {
             mutation_armed = mem.seed_lost_owner_mutation(now).is_some();
         }
+        let fail = |violation: String| {
+            Box::new(FuzzFailure {
+                config: *config,
+                step,
+                violation,
+                minimized_steps: None,
+            })
+        };
         let core = rng.below(config.cores as u64) as usize;
         let addr = pick_block(&mut rng, core) * 64 + (rng.below(8) * 8);
         match rng.below(100) {
@@ -234,23 +261,48 @@ pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
                 mem.enqueue_burst(core, base..base + len, now);
                 stats.bursts += 1;
             }
+            85..=88 => {
+                // Wakeup registration churn: the memory system's own
+                // contractual wake, plus (half the time) a decoy that
+                // lands anywhere from the near wheel to the far heap,
+                // re-registering over whatever it held before.
+                wheel.register(MEM_ID, mem.wake_at(now));
+                if rng.below(2) == 0 {
+                    wheel.register(DECOY_ID, now + 1 + rng.below(2 * NEAR_SLOTS));
+                }
+            }
+            89..=90 => {
+                wheel.cancel(rng.below(2) as usize);
+            }
             _ => {
-                for _ in 0..=rng.below(8) {
-                    now += 1;
+                if let Some(w) = wheel.next_wake() {
+                    // Fire the due wakeup — sometimes LATE by a small
+                    // skew. Tardiness breaks bit-identity with the
+                    // reference kernels, but coherence must survive it;
+                    // the after-step checker below is the judge.
+                    let target = now.max(w + rng.below(4));
+                    stats.cycles += target - now;
+                    now = target;
+                    wheel.advance_to(now);
                     mem.tick(now);
-                    stats.cycles += 1;
+                    stats.wakeups += 1;
+                    if let Some(t) = wheel.next_wake() {
+                        if t <= now {
+                            return Err(fail(format!(
+                                "timing wheel kept a due wakeup: next_wake {t} <= now {now}"
+                            )));
+                        }
+                    }
+                } else {
+                    for _ in 0..=rng.below(8) {
+                        now += 1;
+                        mem.tick(now);
+                        stats.cycles += 1;
+                    }
                 }
             }
         }
         stats.steps += 1;
-        let fail = |violation: String| {
-            Box::new(FuzzFailure {
-                config: *config,
-                step,
-                violation,
-                minimized_steps: None,
-            })
-        };
         if let Err(v) = mem.check_invariants(now) {
             return Err(fail(v.to_string()));
         }
@@ -369,6 +421,20 @@ mod tests {
         let stats = run_seeds(&base, 8).expect("no violations");
         assert_eq!(stats.steps, 8 * 384);
         assert!(stats.drains > 0 && stats.loads > 0 && stats.bursts > 0);
+    }
+
+    #[test]
+    fn wakeup_skew_steps_fire_and_stay_coherent() {
+        // The register/cancel/fire-late scheduler actions must actually
+        // run (not just be reachable) and must never trip the checker.
+        let base = FuzzConfig {
+            seed: 4_000,
+            steps: 768,
+            ..FuzzConfig::default()
+        };
+        let stats = run_seeds(&base, 8).expect("wakeup skew must not break coherence");
+        assert!(stats.wakeups > 0, "no wheel wakeup ever fired: {stats:?}");
+        assert!(stats.cycles > 0);
     }
 
     #[test]
