@@ -124,14 +124,35 @@ fn compare_snapshots(base_path: &str, new_path: &str, blocking: bool) {
         println!("geomean throughput: {b:.3} -> {n:.3} Mops/s");
     }
     if blocking {
-        let failures = base.gate_failures(&new);
-        if failures.is_empty() {
+        let report = base.gate_report(&new);
+        println!(
+            "bench gate: machine factor {:.3}, limit {:.3} ({}x tolerance)",
+            report.machine, report.limit, GATE_TOLERANCE
+        );
+        // Every bench gets a verdict line, so a failing gate is
+        // attributable to the exact app-policy cells that regressed
+        // relative to their peers — not just a failure count.
+        for b in &report.benches {
+            println!(
+                "bench gate: {:<4} {:<44} calibrated ratio {:.3}/{:.3}",
+                if b.failed { "FAIL" } else { "ok" },
+                b.name,
+                b.ratio,
+                report.limit
+            );
+        }
+        for name in &report.missing {
+            eprintln!("bench gate: FAIL {name}: missing from new snapshot");
+        }
+        if report.passed() {
             println!("bench gate: PASS (no calibrated min-sample regression beyond {GATE_TOLERANCE}x)");
         } else {
-            for f in &failures {
+            let failed =
+                report.missing.len() + report.benches.iter().filter(|b| b.failed).count();
+            for f in base.gate_failures(&new) {
                 eprintln!("bench gate: FAIL: {f}");
             }
-            eprintln!("bench gate: {} benchmark(s) failed", failures.len());
+            eprintln!("bench gate: {failed} benchmark(s) failed");
             std::process::exit(1);
         }
         return;

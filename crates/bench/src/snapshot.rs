@@ -262,39 +262,93 @@ impl BenchSnapshot {
     /// bench exceeding the calibrated limit, or missing from `new`,
     /// is a failure. An empty return means the gate passes.
     pub fn gate_failures(&self, new: &BenchSnapshot) -> Vec<String> {
-        let mut out = Vec::new();
+        let report = self.gate_report(new);
+        let mut out: Vec<String> = report
+            .missing
+            .iter()
+            .map(|name| format!("{name}: missing from new snapshot"))
+            .collect();
+        for b in report.benches.iter().filter(|b| b.failed) {
+            out.push(format!(
+                "{}: min-sample ratio {:.3} exceeds limit {:.3} \
+                 (machine factor {:.3} x tolerance {GATE_TOLERANCE})",
+                b.name, b.ratio, report.limit, report.machine,
+            ));
+        }
+        out
+    }
+
+    /// The full per-bench view behind [`BenchSnapshot::gate_failures`]:
+    /// every common bench with its calibrated ratio and verdict, so a
+    /// failing gate is attributable to the specific `app-policy` cells
+    /// that regressed instead of a bare summary count.
+    pub fn gate_report(&self, new: &BenchSnapshot) -> GateReport {
+        let mut report = GateReport::default();
         let mut ratios = Vec::new();
         for base in &self.records {
             let Some(fresh) = new.records.iter().find(|r| r.name == base.name) else {
-                out.push(format!("{}: missing from new snapshot", base.name));
+                report.missing.push(base.name.clone());
                 continue;
             };
             let (b, f) = (base.min_ns(), fresh.min_ns());
             if b > 0 && f > 0 {
-                ratios.push((base.name.as_str(), f as f64 / b as f64));
+                ratios.push((base.name.clone(), f as f64 / b as f64));
             }
         }
         if ratios.is_empty() {
-            return out;
+            return report;
         }
         let mut sorted: Vec<f64> = ratios.iter().map(|&(_, r)| r).collect();
         sorted.sort_by(f64::total_cmp);
         let mid = sorted.len() / 2;
-        let machine = if sorted.len() % 2 == 1 {
+        report.machine = if sorted.len() % 2 == 1 {
             sorted[mid]
         } else {
             (sorted[mid - 1] + sorted[mid]) / 2.0
         };
-        for &(name, r) in &ratios {
-            if r > machine * GATE_TOLERANCE {
-                out.push(format!(
-                    "{name}: min-sample ratio {r:.3} exceeds limit {:.3} \
-                     (machine factor {machine:.3} x tolerance {GATE_TOLERANCE})",
-                    machine * GATE_TOLERANCE,
-                ));
-            }
-        }
-        out
+        report.limit = report.machine * GATE_TOLERANCE;
+        report.benches = ratios
+            .into_iter()
+            .map(|(name, ratio)| GateBench {
+                name,
+                ratio,
+                failed: ratio > report.limit,
+            })
+            .collect();
+        report
+    }
+}
+
+/// One bench's verdict in a [`GateReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateBench {
+    /// Bench name (`quick_grid/<app>-<policy>-sb14`).
+    pub name: String,
+    /// Min-of-samples ratio of new over baseline (>1 = slower).
+    pub ratio: f64,
+    /// Whether the ratio exceeds the calibrated limit.
+    pub failed: bool,
+}
+
+/// Structured result of a gate comparison (see
+/// [`BenchSnapshot::gate_report`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Snapshot-wide median ratio — the machine-speed calibration.
+    pub machine: f64,
+    /// The failure threshold: `machine × GATE_TOLERANCE`.
+    pub limit: f64,
+    /// Every bench present in both snapshots, in baseline order.
+    pub benches: Vec<GateBench>,
+    /// Baseline benches absent from the new snapshot (always failures).
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no missing benches, nothing over the
+    /// limit).
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.benches.iter().all(|b| !b.failed)
     }
 }
 
@@ -455,5 +509,37 @@ mod tests {
         let failures = base.gate_failures(&missing);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn gate_report_names_every_bench_with_a_verdict() {
+        let base = BenchSnapshot {
+            kernel: "wheel".into(),
+            records: vec![rec("a", &[100]), rec("b", &[100]), rec("c", &[100])],
+        };
+        let relative = BenchSnapshot {
+            kernel: "wheel".into(),
+            records: vec![rec("a", &[100]), rec("b", &[100]), rec("c", &[150])],
+        };
+        let report = base.gate_report(&relative);
+        assert!(!report.passed());
+        // Every common bench appears with its calibrated ratio — the
+        // passing ones too, so a failure is attributable per app.
+        assert_eq!(report.benches.len(), 3);
+        assert_eq!(report.machine, 1.0);
+        assert_eq!(report.limit, GATE_TOLERANCE);
+        let verdicts: Vec<(&str, bool)> = report
+            .benches
+            .iter()
+            .map(|b| (b.name.as_str(), b.failed))
+            .collect();
+        assert_eq!(verdicts, vec![("a", false), ("b", false), ("c", true)]);
+        assert!((report.benches[2].ratio - 1.5).abs() < 1e-12);
+        // The passing direction agrees with the string API.
+        let uniform = BenchSnapshot {
+            kernel: "wheel".into(),
+            records: vec![rec("a", &[130]), rec("b", &[130]), rec("c", &[130])],
+        };
+        assert!(base.gate_report(&uniform).passed());
     }
 }

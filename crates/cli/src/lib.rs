@@ -20,6 +20,7 @@
 
 use spb_sim::config::{KernelMode, PolicyKind, SimConfig};
 use spb_trace::profile::AppProfile;
+use spb_trace::SquashConfig;
 use std::fmt;
 
 pub mod commands;
@@ -279,6 +280,8 @@ pub struct RunOpts {
     /// Execution kernel (push-based `wheel` by default; `event` and
     /// `tick` keep the earlier kernels as equivalence references).
     pub kernel: KernelMode,
+    /// Wrong-path squash model (`SquashConfig::none()` = off).
+    pub squash: SquashConfig,
 }
 
 impl Default for RunOpts {
@@ -294,6 +297,7 @@ impl Default for RunOpts {
             fault_rate: 0.0,
             fault_seed: 1,
             kernel: KernelMode::Wheel,
+            squash: SquashConfig::none(),
         }
     }
 }
@@ -308,6 +312,7 @@ impl RunOpts {
         cfg.warmup_uops = self.warmup;
         cfg.seed = self.seed;
         cfg.kernel = self.kernel;
+        cfg.squash = self.squash;
         if self.fault_rate > 0.0 {
             cfg.mem.fault = spb_mem::FaultConfig::uniform(self.fault_rate, self.fault_seed);
         }
@@ -403,6 +408,12 @@ fn parse_run_opts<'a>(
                 args.next();
                 let v = take_value("--kernel", args)?;
                 opts.kernel = KernelMode::parse(v).map_err(|e| CliError(format!("--kernel: {e}")))?;
+            }
+            "--squash" => {
+                args.next();
+                let v = take_value("--squash", args)?;
+                opts.squash =
+                    SquashConfig::parse(v).map_err(|e| CliError(format!("--squash: {e}")))?;
             }
             _ => {
                 leftovers.push(args.next().unwrap().to_string());
@@ -638,6 +649,14 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let quick = it.any(|a| a == "--quick");
             Ok(Command::Experiment { name, quick })
         }
+        // Shorthand for the squash-storm scenario study.
+        "squash" => {
+            let quick = it.any(|a| a == "--quick");
+            Ok(Command::Experiment {
+                name: "squash".into(),
+                quick,
+            })
+        }
         "verify" => match it.next() {
             Some("fuzz") => {
                 let mut config = spb_verify::FuzzConfig::default();
@@ -675,6 +694,13 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                             config.mutate_at = Some(parse_num(
                                 "--mutate-at",
                                 take_value("--mutate-at", &mut it)?,
+                            )? as u32);
+                        }
+                        "--squash" => config.squash = true,
+                        "--spec-mutate-at" => {
+                            config.spec_mutate_at = Some(parse_num(
+                                "--spec-mutate-at",
+                                take_value("--spec-mutate-at", &mut it)?,
                             )? as u32);
                         }
                         "--count" => count = parse_num("--count", take_value("--count", &mut it)?)?,
@@ -979,8 +1005,10 @@ USAGE:
                [--retry N]
   spbsim trace --app NAME [--out trace.json] [opts]   export a Chrome trace of a run
   spbsim experiment NAME [--quick]              regenerate a paper experiment
+  spbsim squash [--quick]                       squash-storm scenario study: wasted
+                                                RFOs / leaked M state, SPB vs at-commit
   spbsim verify fuzz [--seed N] [--steps M] [--cores 1..8] [--count K]
-                     [--fault-rate-e4 R] [--mutate-at S]
+                     [--fault-rate-e4 R] [--mutate-at S] [--squash] [--spec-mutate-at S]
                                                 run/replay coherence-fuzzer schedules
   spbsim verify oracle --app NAME [opts]        diff one run against the oracles
   spbsim serve [--addr H:P] [--dir DIR] [--jobs N] [--queue N] [--retry N]
@@ -1024,6 +1052,10 @@ RUN OPTIONS:
   --kernel K      execution kernel: wheel (push-based timing wheel,
                   default), event (probe-polling skip-ahead) or tick
                   (legacy lock-step reference; bit-identical results)
+  --squash SPEC   wrong-path squash model — SPEC is a comma list of
+                  rate=[0,1], depth=MIN..MAX, storm=N, ret2spec=on|off,
+                  seed=N (rate=0 disables; parse(label(s)) == s)
+                  e.g. --squash rate=0.05,depth=8..32,storm=4
 
 Suite and sweep runs fan out over a worker pool (results are identical
 to a serial run) and write a machine-readable JSON report under
@@ -1513,6 +1545,80 @@ mod tests {
                 assert_eq!(config.mutate_at, Some(100));
                 assert_eq!(count, 4);
                 // The failure-replay string round-trips through the parser.
+                let replay = config.repro();
+                let args: Vec<&str> = replay.split_whitespace().skip(1).collect();
+                match parse(args).unwrap() {
+                    Command::Verify(VerifyCmd::Fuzz { config: c2, .. }) => {
+                        assert_eq!(c2, config)
+                    }
+                    other => panic!("replay parsed as {other:?}"),
+                }
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_squash_flags_roundtrip() {
+        // --squash on run-like commands lands in the SimConfig…
+        let cmd = parse([
+            "run",
+            "--app",
+            "x264",
+            "--squash",
+            "rate=0.05,depth=8..32,storm=4,seed=7",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run { cfg, .. } => {
+                assert!(cfg.squash.enabled());
+                // …and round-trips label() -> parse() like every other
+                // spelling on the wire (the PR 8 pattern).
+                assert_eq!(
+                    SquashConfig::parse(&cfg.squash.label()).unwrap(),
+                    cfg.squash
+                );
+                assert_eq!(cfg.to_sim_config().squash, cfg.squash);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // The default stays off and keeps the config's Debug (and so
+        // the serve cache key) byte-identical to a squash-less build.
+        let cmd = parse(["run", "--app", "x264"]).unwrap();
+        match cmd {
+            Command::Run { cfg, .. } => assert!(!cfg.squash.enabled()),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // A bad spec names the flag.
+        let err = parse(["run", "--app", "x264", "--squash", "rate=2"]).unwrap_err();
+        assert!(err.to_string().contains("--squash"), "{err}");
+        // `spbsim squash` is shorthand for the registry experiment.
+        assert_eq!(
+            parse(["squash", "--quick"]).unwrap(),
+            Command::Experiment {
+                name: "squash".into(),
+                quick: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_verify_fuzz_squash_flags() {
+        let cmd = parse([
+            "verify",
+            "fuzz",
+            "--seed",
+            "11",
+            "--squash",
+            "--spec-mutate-at",
+            "64",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Verify(VerifyCmd::Fuzz { config, .. }) => {
+                assert!(config.squash);
+                assert_eq!(config.spec_mutate_at, Some(64));
+                // The replay string re-parses to the same schedule.
                 let replay = config.repro();
                 let args: Vec<&str> = replay.split_whitespace().skip(1).collect();
                 match parse(args).unwrap() {

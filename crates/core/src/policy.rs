@@ -4,6 +4,74 @@ use crate::detector::{SpbConfig, SpbDetector, SpbDynamicDetector};
 use spb_cpu::StorePrefetchPolicy;
 use spb_mem::{MemorySystem, RfoOrigin};
 
+/// Wrong-path companion to the commit-fed SPB detector.
+///
+/// The paper's SPB observes *committed* stores, so squashed work never
+/// reaches it. The squash-storm scenarios ask the opposite question:
+/// what does SPB waste if its window closes over a wrong-path store run
+/// (a detector fed at execute, or deep ret2spec-style speculation where
+/// a whole burst executes before the misprediction resolves)? This
+/// mini-detector mirrors the main one's trigger rule — a contiguous
+/// same-page ±1-block run reaching the window `n` — but issues its page
+/// burst through [`MemorySystem::enqueue_burst_spec`], so every block it
+/// acquires is tagged and charged at squash time. It keeps no state
+/// across paths: [`WrongPathWindow::reset`] runs at every squash.
+#[derive(Debug, Clone, Copy)]
+struct WrongPathWindow {
+    n: u64,
+    last_block: u64,
+    run: u64,
+    descending: bool,
+    fired_page: u64,
+}
+
+impl WrongPathWindow {
+    fn new(n: u32) -> Self {
+        Self {
+            n: u64::from(n.max(1)),
+            last_block: u64::MAX - 1,
+            run: 0,
+            descending: false,
+            fired_page: u64::MAX,
+        }
+    }
+
+    /// Observes one wrong-path store; returns the block range to burst
+    /// when the window closes over a contiguous run on a new page.
+    fn observe(&mut self, addr: u64) -> Option<std::ops::Range<u64>> {
+        let block = addr / 64;
+        let asc = block == self.last_block.wrapping_add(1);
+        let desc = block == self.last_block.wrapping_sub(1);
+        if asc || desc {
+            self.run += 1;
+            self.descending = desc;
+        } else {
+            self.run = 1;
+            self.descending = false;
+        }
+        self.last_block = block;
+        let page = block / 64;
+        if self.run >= self.n && page != self.fired_page {
+            self.fired_page = page;
+            let lo = page * 64;
+            let hi = lo + 64;
+            // Burst the untouched remainder of the page, in run order.
+            return Some(if self.descending {
+                lo..block
+            } else {
+                (block + 1).min(hi)..hi
+            });
+        }
+        None
+    }
+
+    fn reset(&mut self) {
+        self.run = 0;
+        self.last_block = u64::MAX - 1;
+        self.fired_page = u64::MAX;
+    }
+}
+
 /// The full SPB policy: at-commit RFOs for every store (the hardware
 /// baseline keeps running underneath, as in the paper's Figure 4, where
 /// per-store `WritePF` requests continue and are discarded when the
@@ -27,6 +95,7 @@ use spb_mem::{MemorySystem, RfoOrigin};
 #[derive(Debug, Clone)]
 pub struct SpbPolicy {
     detector: SpbDetector,
+    wrong_path: WrongPathWindow,
 }
 
 impl SpbPolicy {
@@ -38,6 +107,7 @@ impl SpbPolicy {
     pub fn new(config: SpbConfig) -> Self {
         Self {
             detector: SpbDetector::new(config),
+            wrong_path: WrongPathWindow::new(config.n),
         }
     }
 
@@ -77,6 +147,24 @@ impl StorePrefetchPolicy for SpbPolicy {
         }
     }
 
+    fn on_wrong_path_store(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        _pc: u64,
+        now: u64,
+    ) {
+        if let Some(range) = self.wrong_path.observe(addr) {
+            mem.enqueue_burst_spec(core, range, now);
+        }
+    }
+
+    fn on_wrong_path_squash(&mut self, _mem: &mut MemorySystem, _core: usize, _now: u64) {
+        self.wrong_path.reset();
+    }
+
     fn name(&self) -> &'static str {
         "spb"
     }
@@ -87,6 +175,7 @@ impl StorePrefetchPolicy for SpbPolicy {
 #[derive(Debug, Clone)]
 pub struct SpbDynamicPolicy {
     detector: SpbDynamicDetector,
+    wrong_path: WrongPathWindow,
 }
 
 impl SpbDynamicPolicy {
@@ -98,6 +187,7 @@ impl SpbDynamicPolicy {
     pub fn new(config: SpbConfig) -> Self {
         Self {
             detector: SpbDynamicDetector::new(config),
+            wrong_path: WrongPathWindow::new(config.n),
         }
     }
 
@@ -127,6 +217,24 @@ impl StorePrefetchPolicy for SpbDynamicPolicy {
         if let Some(burst) = self.detector.observe_store(addr, size) {
             mem.enqueue_burst(core, burst.blocks(), now);
         }
+    }
+
+    fn on_wrong_path_store(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        _pc: u64,
+        now: u64,
+    ) {
+        if let Some(range) = self.wrong_path.observe(addr) {
+            mem.enqueue_burst_spec(core, range, now);
+        }
+    }
+
+    fn on_wrong_path_squash(&mut self, _mem: &mut MemorySystem, _core: usize, _now: u64) {
+        self.wrong_path.reset();
     }
 
     fn name(&self) -> &'static str {
@@ -247,6 +355,85 @@ mod tests {
         assert_eq!(SpbPolicy::with_paper_defaults().name(), "spb");
         assert_eq!(SpbDynamicPolicy::default().name(), "spb-dynamic");
     }
+
+    #[test]
+    fn wrong_path_run_reaching_window_fires_speculative_burst() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut spb = SpbPolicy::new(SpbConfig { n: 8, dedupe: true });
+        // A contiguous 16-block wrong-path run on one page: the window
+        // (8) closes mid-run and the rest of the page goes out as a
+        // speculative burst.
+        for i in 0..16u64 {
+            spb.on_wrong_path_store(&mut mem, 0, 0x40_0000 + i * 64, 8, 0xDEAD, i);
+        }
+        assert!(mem.burst_queue_len(0) > 0, "speculative burst enqueued");
+        // Drain the queue, then squash: everything it bought is waste.
+        let mut now = 16;
+        while mem.burst_queue_len(0) > 0 {
+            mem.tick(now);
+            now += 1;
+        }
+        spb.on_wrong_path_squash(&mut mem, 0, now);
+        mem.attribute_squash(0, now);
+        assert!(mem.stats().spec_wasted_rfos > 0);
+        assert!(mem.stats().spec_leaked_m_blocks > 0);
+        assert_eq!(
+            mem.stats().prefetch_requests[RfoOrigin::SpbBurst.index()] as usize,
+            mem.stats().spec_rfos_issued as usize,
+            "every burst RFO on the wrong path is a speculative one"
+        );
+    }
+
+    #[test]
+    fn wrong_path_runs_shorter_than_window_stay_silent() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut spb = SpbPolicy::with_paper_defaults(); // n = 48
+        for episode in 0..8u64 {
+            for i in 0..16u64 {
+                let addr = 0x80_0000 + episode * 4096 + i * 64;
+                spb.on_wrong_path_store(&mut mem, 0, addr, 8, 0xDEAD, i);
+            }
+            spb.on_wrong_path_squash(&mut mem, 0, episode * 100);
+            mem.attribute_squash(0, episode * 100);
+        }
+        assert_eq!(mem.burst_queue_len(0), 0);
+        assert_eq!(mem.stats().spec_rfos_issued, 0);
+        assert_eq!(mem.stats().spec_leaked_m_blocks, 0);
+    }
+
+    #[test]
+    fn squash_resets_the_wrong_path_window_across_paths() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut spb = SpbPolicy::new(SpbConfig { n: 8, dedupe: true });
+        // Two runs of 5 on the same page, split by a squash: neither
+        // reaches the window alone, and the reset forbids stitching.
+        for i in 0..5u64 {
+            spb.on_wrong_path_store(&mut mem, 0, 0xC0_0000 + i * 64, 8, 0xDEAD, i);
+        }
+        spb.on_wrong_path_squash(&mut mem, 0, 10);
+        mem.attribute_squash(0, 10);
+        for i in 5..10u64 {
+            spb.on_wrong_path_store(&mut mem, 0, 0xC0_0000 + i * 64, 8, 0xDEAD, i);
+        }
+        assert_eq!(mem.burst_queue_len(0), 0, "reset must split the run");
+    }
+
+    #[test]
+    fn descending_wrong_path_run_bursts_toward_page_start() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut spb = SpbPolicy::new(SpbConfig { n: 8, dedupe: true });
+        // ret2spec-style descending run from the top of a page.
+        for i in 0..8u64 {
+            let addr = 0x100_0000 + 4096 - 64 - i * 64;
+            spb.on_wrong_path_store(&mut mem, 0, addr, 8, 0xDEAD, i);
+        }
+        let queued = mem.burst_queue_len(0);
+        assert!(queued > 0, "descending run must fire too");
+        // The burst covers only blocks below the run's current position.
+        let page_lo = 0x100_0000 / 64;
+        let current = (0x100_0000 + 4096 - 64 * 8) / 64;
+        assert_eq!(queued as u64, current - page_lo);
+    }
 }
 
 /// SPB with the §IV-A/footnote-2 extensions (backward bursts and
@@ -257,6 +444,7 @@ mod tests {
 #[derive(Debug, Clone)]
 pub struct ExtendedSpbPolicy {
     detector: crate::extensions::ExtendedSpbDetector,
+    wrong_path: WrongPathWindow,
 }
 
 impl ExtendedSpbPolicy {
@@ -268,6 +456,7 @@ impl ExtendedSpbPolicy {
     pub fn new(config: crate::extensions::ExtSpbConfig) -> Self {
         Self {
             detector: crate::extensions::ExtendedSpbDetector::new(config),
+            wrong_path: WrongPathWindow::new(config.base.n),
         }
     }
 
@@ -293,6 +482,24 @@ impl StorePrefetchPolicy for ExtendedSpbPolicy {
         }
     }
 
+    fn on_wrong_path_store(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        _pc: u64,
+        now: u64,
+    ) {
+        if let Some(range) = self.wrong_path.observe(addr) {
+            mem.enqueue_burst_spec(core, range, now);
+        }
+    }
+
+    fn on_wrong_path_squash(&mut self, _mem: &mut MemorySystem, _core: usize, _now: u64) {
+        self.wrong_path.reset();
+    }
+
     fn name(&self) -> &'static str {
         "spb-extended"
     }
@@ -310,6 +517,7 @@ impl StorePrefetchPolicy for ExtendedSpbPolicy {
 #[derive(Debug, Clone)]
 pub struct FeedbackSpbPolicy {
     detector: SpbDetector,
+    wrong_path: WrongPathWindow,
     level: usize,
     last_issued: u64,
     last_useful: u64,
@@ -329,6 +537,7 @@ impl FeedbackSpbPolicy {
     pub fn new(config: SpbConfig) -> Self {
         Self {
             detector: SpbDetector::new(config),
+            wrong_path: WrongPathWindow::new(config.n),
             level: 1,
             last_issued: 0,
             last_useful: 0,
@@ -383,6 +592,32 @@ impl StorePrefetchPolicy for FeedbackSpbPolicy {
             let keep = (burst.len() * frac).div_ceil(1000).max(1);
             mem.enqueue_burst(core, burst.start..burst.start + keep, now);
         }
+    }
+
+    fn on_wrong_path_store(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        _pc: u64,
+        now: u64,
+    ) {
+        if let Some(range) = self.wrong_path.observe(addr) {
+            let len = range.end - range.start;
+            if len == 0 {
+                return;
+            }
+            // The ladder throttles speculative bursts exactly like
+            // committed ones: same fraction of the remaining page.
+            let frac = FEEDBACK_FRAC_LEVELS[self.level];
+            let keep = (len * frac).div_ceil(1000).clamp(1, len);
+            mem.enqueue_burst_spec(core, range.start..range.start + keep, now);
+        }
+    }
+
+    fn on_wrong_path_squash(&mut self, _mem: &mut MemorySystem, _core: usize, _now: u64) {
+        self.wrong_path.reset();
     }
 
     fn name(&self) -> &'static str {

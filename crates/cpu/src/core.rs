@@ -45,6 +45,13 @@ pub struct CpuStats {
     /// SB-stall cycles attributed to the code region of the blocking
     /// store (Figure 3), indexed parallel to [`CodeRegion::ALL`].
     pub sb_stall_by_region: [u64; 5],
+    /// Explicitly modeled wrong-path stores fetched from the trace (the
+    /// squash injector's streams), as opposed to the synthesized
+    /// [`CpuStats::wrong_path_uops`] estimate.
+    pub wrong_path_stores_injected: u64,
+    /// Squash episodes resolved: each ends one injected wrong-path run
+    /// and triggers waste attribution in the memory system.
+    pub squash_episodes: u64,
 }
 
 impl CpuStats {
@@ -84,6 +91,10 @@ pub struct Core {
     sb_next_attempt: u64,
     fetch_resume_at: u64,
     last_store_addr: u64,
+    /// Whether the front end is currently feeding an injected wrong-path
+    /// store run; cleared (and the squash charged) when the next
+    /// correct-path µop arrives.
+    in_wrong_path: bool,
     trace_done: bool,
     topdown: TopDown,
     stats: CpuStats,
@@ -141,6 +152,7 @@ impl Core {
             sb_next_attempt: 0,
             fetch_resume_at: 0,
             last_store_addr: 0,
+            in_wrong_path: false,
             trace_done: false,
             topdown: TopDown::new(),
             stats: CpuStats::default(),
@@ -309,6 +321,12 @@ impl Core {
         } else {
             match self.pending_op.take().or_else(|| self.trace.next_op()) {
                 None => self.trace_done = true,
+                Some(op) if op.is_wrong_path() || self.in_wrong_path => {
+                    // Wrong-path work (or a squash waiting to resolve)
+                    // always has same-cycle effects in `dispatch`.
+                    self.pending_op = Some(op);
+                    return Some(now);
+                }
                 Some(op) => match self.blocking_resource(&op, now) {
                     None => {
                         self.pending_op = Some(op);
@@ -499,6 +517,35 @@ impl Core {
                     break;
                 }
             };
+            if op.is_wrong_path() {
+                // A wrong-path µop consumes a front-end slot but never
+                // enters the ROB, IQ, or SB — it exists so speculative
+                // policies see its address and pay for it.
+                self.in_wrong_path = true;
+                self.stats.wrong_path_uops += 1;
+                if let OpKind::Store { addr, size } = op.kind() {
+                    self.stats.wrong_path_stores_injected += 1;
+                    self.policy
+                        .on_wrong_path_store(mem, self.id, addr, size, op.pc(), now);
+                }
+                dispatched += 1;
+                continue;
+            }
+            if self.in_wrong_path {
+                // First correct-path µop after a wrong-path run: the
+                // squash resolves here. Charge the memory system's waste
+                // attribution, reset the policy's path-local state, and
+                // pay the fetch redirect before the correct path resumes.
+                self.in_wrong_path = false;
+                self.stats.squash_episodes += 1;
+                mem.attribute_squash(self.id, now);
+                self.policy.on_wrong_path_squash(mem, self.id, now);
+                self.fetch_resume_at = self
+                    .fetch_resume_at
+                    .max(now + self.config.redirect_penalty);
+                self.pending_op = Some(op);
+                continue;
+            }
             if let Some(cause) = self.blocking_resource(&op, now) {
                 if cause == StallCause::StoreBuffer {
                     // Figure 3: charge the stall to the code region of the
@@ -956,6 +1003,83 @@ mod tests {
         assert_eq!(core.stats().committed_stores, stores);
         assert_eq!(core.stats().committed_loads, loads);
         assert_eq!(core.stats().committed_branches, branches);
+    }
+}
+
+#[cfg(test)]
+mod wrong_path_tests {
+    use super::*;
+    use crate::policy::{AtExecutePolicy, NoPolicy};
+    use spb_mem::MemoryConfig;
+    use spb_trace::generators::{ComputeGen, ComputeParams};
+    use spb_trace::{SquashConfig, SquashInjector};
+
+    fn branchy(count: u64, seed: u64) -> ComputeGen {
+        ComputeGen::new(
+            ComputeParams {
+                count,
+                fp_ratio: 0.0,
+                mispredict_rate: 0.0,
+                branch_every: 4,
+                dep_density: 0.1,
+            },
+            seed,
+        )
+    }
+
+    fn storm() -> SquashConfig {
+        SquashConfig::parse("rate=0.3,depth=8..16,storm=1,seed=3").unwrap()
+    }
+
+    fn run(policy: Box<dyn StorePrefetchPolicy + Send>, inject: bool) -> (Core, MemorySystem) {
+        let mut m = MemorySystem::new(MemoryConfig::default());
+        let trace: Box<dyn TraceSource + Send> = if inject {
+            Box::new(SquashInjector::new(branchy(20_000, 7), storm(), 0))
+        } else {
+            Box::new(branchy(20_000, 7))
+        };
+        let mut core = Core::new(0, CoreConfig::skylake(), trace, policy);
+        let _ = core.run_until_committed(&mut m, 10_000);
+        (core, m)
+    }
+
+    #[test]
+    fn injected_wrong_path_stores_never_commit() {
+        let (clean, _) = run(Box::new(NoPolicy), false);
+        let (injected, _) = run(Box::new(NoPolicy), true);
+        assert!(injected.stats().squash_episodes > 0);
+        assert!(injected.stats().wrong_path_stores_injected > 0);
+        // The committed stream is untouched by injection: same per-kind
+        // counts over the same committed µop count.
+        assert_eq!(injected.committed_uops(), clean.committed_uops());
+        assert_eq!(
+            injected.stats().committed_stores,
+            clean.stats().committed_stores
+        );
+        assert_eq!(
+            injected.stats().committed_branches,
+            clean.stats().committed_branches
+        );
+    }
+
+    #[test]
+    fn at_execute_pays_for_wrong_path_runs() {
+        let (core, m) = run(Box::new(AtExecutePolicy::new()), true);
+        assert!(core.stats().squash_episodes > 0);
+        assert_eq!(m.stats().spec_squashes, core.stats().squash_episodes);
+        assert!(m.stats().spec_rfos_issued > 0);
+        assert!(m.stats().spec_wasted_rfos > 0, "wrong-path RFOs are waste");
+        assert!(m.stats().spec_leaked_m_blocks > 0);
+        m.check_invariants_thorough(1_000_000).unwrap();
+    }
+
+    #[test]
+    fn passive_policy_sees_squashes_but_leaks_nothing() {
+        let (core, m) = run(Box::new(NoPolicy), true);
+        assert!(core.stats().squash_episodes > 0);
+        assert_eq!(m.stats().spec_squashes, core.stats().squash_episodes);
+        assert_eq!(m.stats().spec_rfos_issued, 0);
+        assert_eq!(m.stats().spec_leaked_m_blocks, 0);
     }
 }
 

@@ -60,6 +60,29 @@ pub trait StorePrefetchPolicy {
     ) {
     }
 
+    /// An *explicitly modeled* wrong-path store executed (its address
+    /// resolved on a mispredicted path that will be squashed). Unlike the
+    /// synthesized [`StorePrefetchPolicy::on_squash`] estimate, these
+    /// stores carry real addresses, so speculative policies issue their
+    /// RFOs through [`MemorySystem::store_prefetch_spec`] and the traffic
+    /// is attributed per block at squash time.
+    fn on_wrong_path_store(
+        &mut self,
+        _mem: &mut MemorySystem,
+        _core: usize,
+        _addr: u64,
+        _size: u8,
+        _pc: u64,
+        _now: u64,
+    ) {
+    }
+
+    /// The squash that ends an explicitly modeled wrong-path run resolved
+    /// on `core`. Policies that keep per-path detector state (SPB's
+    /// speculative burst detector) reset it here; the memory system's own
+    /// waste attribution has already run.
+    fn on_wrong_path_squash(&mut self, _mem: &mut MemorySystem, _core: usize, _now: u64) {}
+
     /// Display name used in experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -152,6 +175,21 @@ impl StorePrefetchPolicy for AtExecutePolicy {
             let addr = last_addr.wrapping_add(4096 + i * 64);
             let _ = mem.store_prefetch(core, addr, 0, now, RfoOrigin::AtExecute);
         }
+    }
+
+    fn on_wrong_path_store(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        _size: u8,
+        pc: u64,
+        now: u64,
+    ) {
+        // At-execute issues the RFO the moment the address resolves,
+        // wrong path included — the defining waste of the scheme. The
+        // spec-tagged variant lets the squash charge it per block.
+        let _ = mem.store_prefetch_spec(core, addr, pc, now, RfoOrigin::AtExecute);
     }
 
     fn name(&self) -> &'static str {

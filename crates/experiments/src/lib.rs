@@ -20,6 +20,7 @@ pub mod grid;
 pub mod registry;
 pub mod smt_validation;
 pub mod spatial;
+pub mod squash;
 pub mod variance;
 
 pub mod fig01;

@@ -244,6 +244,14 @@ pub const REGISTRY: &[FigureDef] = &[
         from_grid: None,
         run: crate::variance::run,
     },
+    FigureDef {
+        id: "squash",
+        title: "Squash storms",
+        claim: "wasted RFOs and leaked M state under wrong-path bursts stay bounded",
+        aliases: &["storms"],
+        from_grid: None,
+        run: crate::squash::run,
+    },
 ];
 
 /// Looks a figure up by canonical id or alias.
@@ -281,10 +289,11 @@ mod tests {
 
     #[test]
     fn registry_covers_every_experiment_module() {
-        // Paper order: Table I first, seed robustness last.
+        // Paper order: Table I first, then the post-paper scenario
+        // studies (seed robustness, squash storms).
         assert_eq!(REGISTRY.first().unwrap().id, "tab1");
-        assert_eq!(REGISTRY.last().unwrap().id, "variance");
-        assert_eq!(REGISTRY.len(), 24);
+        assert_eq!(REGISTRY.last().unwrap().id, "squash");
+        assert_eq!(REGISTRY.len(), 25);
     }
 
     #[test]

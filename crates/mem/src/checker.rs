@@ -40,6 +40,12 @@ pub enum InvariantKind {
     LineState,
     /// No core made forward progress within the watchdog's cycle budget.
     ForwardProgress,
+    /// A block still tagged as speculatively owned (its M-state
+    /// transition was caused by a wrong-path RFO) holds dirty data in the
+    /// tagging core's L1 — an architectural store performed without the
+    /// controller untagging the line, so squash attribution would
+    /// mis-charge real work as speculative waste.
+    SpeculativeLeak,
 }
 
 impl fmt::Display for InvariantKind {
@@ -51,6 +57,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::MshrLeak => "mshr-leak",
             InvariantKind::LineState => "line-state",
             InvariantKind::ForwardProgress => "forward-progress",
+            InvariantKind::SpeculativeLeak => "speculative-leak",
         };
         f.write_str(s)
     }

@@ -243,6 +243,25 @@ pub struct MemStats {
     /// invalidate remote sharers. Zero means the run was bit-identical
     /// to the un-repaired model.
     pub coherence_repairs: u64,
+    /// Speculative (wrong-path) RFOs issued or merged downstream.
+    pub spec_rfos_issued: u64,
+    /// Of those, RFOs attributed as wasted at squash time: the squash
+    /// arrived before any architectural store reached the block.
+    pub spec_wasted_rfos: u64,
+    /// Coherence messages (remote invalidations) caused by RFOs later
+    /// attributed as wasted.
+    pub spec_wasted_coh_msgs: u64,
+    /// Blocks a squashed speculative burst left in M/E state without any
+    /// architectural store ever reaching them — the leak the ret2spec /
+    /// speculative-buffer-overflow footprint is made of.
+    pub spec_leaked_m_blocks: u64,
+    /// DRAM fills caused by RFOs later attributed as wasted.
+    pub spec_wasted_dram: u64,
+    /// Squash episodes attributed to this memory system.
+    pub spec_squashes: u64,
+    /// Speculative burst-queue entries dropped at squash time before
+    /// they could issue (queued behind a full MSHR file).
+    pub spec_dropped: u64,
 }
 
 impl MemStats {
@@ -277,12 +296,26 @@ impl MemStats {
     }
 }
 
+/// Per-block record of speculation-caused ownership: which core's
+/// wrong-path RFO turned the block M/E, and the downstream traffic it
+/// cost. Drained into the `spec_*` waste counters at squash time;
+/// removed the moment an architectural store performs to the block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SpecTag {
+    core: u8,
+    rfos: u32,
+    coh: u32,
+    dram: u32,
+}
+
 struct CoreMem {
     l1: CacheArray,
     l2: CacheArray,
     mshr: MshrFile,
     prefetcher: Prefetcher,
-    burst_queue: VecDeque<(u64, RfoOrigin)>,
+    /// `(block, origin, speculative)`: speculative entries are dropped
+    /// (and counted) if the squash arrives before they issue.
+    burst_queue: VecDeque<(u64, RfoOrigin, bool)>,
     /// Latest completion time among outstanding demand misses.
     demand_miss_until: u64,
 }
@@ -322,6 +355,15 @@ pub struct MemorySystem {
     /// Next observer occupancy-sample boundary (relevant only while a
     /// sink is attached).
     next_obs_at: u64,
+    /// Blocks whose M/E transition was caused by a speculative
+    /// (wrong-path) RFO and that no architectural store has reached yet.
+    /// Empty for every run without a squash model (the hot-path guard).
+    spec_tags: BlockMap<SpecTag>,
+    /// Whether the current [`MemorySystem::store_prefetch`] call is on
+    /// behalf of a wrong-path store (set only by
+    /// [`MemorySystem::store_prefetch_spec`]); routes a Queued retry
+    /// back through the speculative path.
+    spec_ctx: bool,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -392,6 +434,8 @@ impl MemorySystem {
                 u64::MAX
             },
             next_obs_at: 0,
+            spec_tags: BlockMap::new(),
+            spec_ctx: false,
             config,
         }
     }
@@ -653,11 +697,71 @@ impl MemorySystem {
     /// Returns the first violation found.
     pub fn check_invariants(&mut self, now: u64) -> Result<(), InvariantViolation> {
         self.check_directory_and_mshrs(now)?;
+        self.check_spec_tags(now)?;
         if self.config.checker_interval > 0 {
             self.check_mutated_lines(now)
         } else {
             self.check_lines_full(now)
         }
+    }
+
+    /// Check 4, speculative-tag hygiene: a block still tagged as
+    /// speculatively owned must not hold dirty data in the tagging core's
+    /// L1. Dirty data means an architectural store performed, and the
+    /// performing path untags the line; a dirty-and-tagged line is a
+    /// controller that forgot the untag, which would mis-charge committed
+    /// work as speculative waste at the next squash. O(tags), and tags
+    /// only exist while a wrong-path episode is in flight, so this is
+    /// free for every non-speculative configuration.
+    fn check_spec_tags(&self, now: u64) -> Result<(), InvariantViolation> {
+        if self.spec_tags.is_empty() {
+            return Ok(());
+        }
+        for (block, tag) in self.spec_tags.iter() {
+            let core = tag.core as usize;
+            if let Some(line) = self.cores[core].l1.peek(block) {
+                if line.dirty && line.ready <= now {
+                    return Err(self.violation(
+                        InvariantKind::SpeculativeLeak,
+                        Some(block),
+                        Some(core),
+                        now,
+                        format!(
+                            "block is tagged speculative ({} wrong-path RFOs) \
+                             but holds dirty data in the tagging core's L1",
+                            tag.rfos
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Test-only protocol mutation: marks one speculatively tagged line
+    /// dirty in its tagging core's L1 *without* clearing the tag — the
+    /// end state of a controller that performs an architectural store but
+    /// forgets to untag the line. Returns the corrupted block, or `None`
+    /// if no tagged line is currently resident. `spb-verify` uses this as
+    /// the negative control proving [`InvariantKind::SpeculativeLeak`] is
+    /// actually checked; it must never be called outside tests.
+    #[doc(hidden)]
+    pub fn seed_forget_untag_mutation(&mut self, now: u64) -> Option<u64> {
+        let mut found: Option<(usize, u64)> = None;
+        for (block, tag) in self.spec_tags.iter() {
+            let core = tag.core as usize;
+            if let Some(line) = self.cores[core].l1.peek(block) {
+                if line.ready <= now && !line.dirty {
+                    found = Some((core, block));
+                    break;
+                }
+            }
+        }
+        let (core, block) = found?;
+        if let Some(mut l) = self.cores[core].l1.lookup(block) {
+            l.set_dirty(true);
+        }
+        Some(block)
     }
 
     /// Checks 1 and 2 of [`MemorySystem::check_invariants`]: directory
@@ -853,6 +957,7 @@ impl MemorySystem {
     /// Returns the first violation found.
     pub fn check_invariants_thorough(&self, now: u64) -> Result<(), InvariantViolation> {
         self.check_directory_and_mshrs(now)?;
+        self.check_spec_tags(now)?;
         self.check_lines_full(now)?;
         for (block, entry) in self.directory.iter_entries() {
             let holds = |core: usize| {
@@ -1452,6 +1557,16 @@ impl MemorySystem {
     ) -> StoreDrainOutcome {
         let block = addr / 64;
         self.cores[core].mshr.retire_completed(now);
+        // An architectural store reached the block (whether it performs
+        // now, merges into an in-flight fill, or opens a demand RFO):
+        // whatever speculation obtained ownership was useful, not waste.
+        // Untagging here — not only on Performed — matters because the
+        // demand-miss paths below install Modified (dirty) lines whose
+        // store has not performed yet; a tag surviving past this point
+        // would trip the speculative-leak check on exactly that state.
+        if !self.spec_tags.is_empty() {
+            self.spec_tags.remove(block);
+        }
         let line_info = self.cores[core]
             .l1
             .lookup(block)
@@ -1640,7 +1755,8 @@ impl MemorySystem {
                     mshr.retire_completed(now);
                     if denied || mshr.len() >= mshr.capacity() {
                         self.stats.prefetch_requests[origin.index()] -= 1; // re-counted on reissue
-                        self.cores[core].burst_queue.push_back((block, origin));
+                        let spec = self.spec_ctx;
+                        self.cores[core].burst_queue.push_back((block, origin, spec));
                         self.coh(now, core as u8, block, CoherenceKind::PrefetchQueued);
                         return RfoResponse::Queued;
                     }
@@ -1667,15 +1783,138 @@ impl MemorySystem {
         response
     }
 
+    /// [`MemorySystem::store_prefetch`] on behalf of a *wrong-path*
+    /// store: the RFO behaves identically at the controller, but any
+    /// block whose ownership it obtains (fresh issue or merge-upgrade)
+    /// is tagged speculative, together with the downstream traffic the
+    /// request caused. [`MemorySystem::attribute_squash`] later charges
+    /// still-tagged blocks as waste; an architectural store performing
+    /// to the block first clears the tag (the speculation was useful).
+    pub fn store_prefetch_spec(
+        &mut self,
+        core: usize,
+        addr: u64,
+        pc: u64,
+        now: u64,
+        origin: RfoOrigin,
+    ) -> RfoResponse {
+        let inval_before = self.stats.invalidations;
+        let dram_before = self.stats.dram_accesses;
+        self.spec_ctx = true;
+        let resp = self.store_prefetch(core, addr, pc, now, origin);
+        self.spec_ctx = false;
+        match resp {
+            RfoResponse::Issued | RfoResponse::Merged => {
+                self.stats.spec_rfos_issued += 1;
+                let coh = (self.stats.invalidations - inval_before) as u32;
+                let dram = (self.stats.dram_accesses - dram_before) as u32;
+                let block = addr / 64;
+                if let Some(t) = self.spec_tags.get_mut(block) {
+                    t.core = core as u8;
+                    t.rfos += 1;
+                    t.coh += coh;
+                    t.dram += dram;
+                } else {
+                    self.spec_tags.insert(
+                        block,
+                        SpecTag {
+                            core: core as u8,
+                            rfos: 1,
+                            coh,
+                            dram,
+                        },
+                    );
+                }
+            }
+            // Queued: tagged when the queue re-issues it (spec entry).
+            // Discarded: the core already owned the line — this request
+            // caused no ownership transition, so nothing to attribute.
+            RfoResponse::Queued | RfoResponse::Discarded => {}
+        }
+        resp
+    }
+
+    /// A squash resolved on `core`: attributes every speculative tag it
+    /// still owns as waste (the wrong-path RFOs bought ownership no
+    /// architectural store ever used) and drops its still-queued
+    /// speculative burst entries. Folds the per-tag traffic into the
+    /// `spec_*` counters and emits one `squash` observer event.
+    pub fn attribute_squash(&mut self, core: usize, now: u64) {
+        let q = &mut self.cores[core].burst_queue;
+        let before = q.len();
+        q.retain(|&(_, _, spec)| !spec);
+        self.stats.spec_dropped += (before - q.len()) as u64;
+
+        let mut rfos = 0u64;
+        let mut coh = 0u64;
+        let mut dram = 0u64;
+        let mut blocks = 0u64;
+        if !self.spec_tags.is_empty() {
+            let id = core as u8;
+            self.spec_tags.retain(|_, t| {
+                if t.core == id {
+                    rfos += u64::from(t.rfos);
+                    coh += u64::from(t.coh);
+                    dram += u64::from(t.dram);
+                    blocks += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.stats.spec_wasted_rfos += rfos;
+        self.stats.spec_wasted_coh_msgs += coh;
+        self.stats.spec_wasted_dram += dram;
+        self.stats.spec_leaked_m_blocks += blocks;
+        self.stats.spec_squashes += 1;
+        self.obs.emit(|| Event {
+            cycle: now,
+            core: core as u8,
+            kind: ObsEventKind::SquashAttributed {
+                blocks: blocks as u32,
+                rfos: rfos as u32,
+            },
+        });
+    }
+
+    /// Number of blocks currently tagged as speculatively owned.
+    pub fn spec_tagged_blocks(&self) -> usize {
+        self.spec_tags.len()
+    }
+
     /// Queues a page burst: RFO prefetches for `blocks`, drained at
     /// [`MemoryConfig::burst_issue_per_cycle`] by [`MemorySystem::tick`].
     pub fn enqueue_burst(&mut self, core: usize, blocks: impl IntoIterator<Item = u64>, now: u64) {
+        self.enqueue_burst_inner(core, blocks, now, false);
+    }
+
+    /// [`MemorySystem::enqueue_burst`] for a burst triggered by
+    /// *wrong-path* stores: every issued block is speculatively tagged,
+    /// and entries still queued when the squash arrives are dropped and
+    /// counted instead of issued.
+    pub fn enqueue_burst_spec(
+        &mut self,
+        core: usize,
+        blocks: impl IntoIterator<Item = u64>,
+        now: u64,
+    ) {
+        self.enqueue_burst_inner(core, blocks, now, true);
+    }
+
+    fn enqueue_burst_inner(
+        &mut self,
+        core: usize,
+        blocks: impl IntoIterator<Item = u64>,
+        now: u64,
+        spec: bool,
+    ) {
         let q = &mut self.cores[core].burst_queue;
         let before = q.len();
         let mut first = None;
         for b in blocks {
             first.get_or_insert(b);
-            q.push_back((b, RfoOrigin::SpbBurst));
+            q.push_back((b, RfoOrigin::SpbBurst, spec));
         }
         let pushed = (q.len() - before) as u64;
         if pushed > 0 {
@@ -1715,7 +1954,7 @@ impl MemorySystem {
                 if mshr.len() + 4 >= mshr.capacity() {
                     break;
                 }
-                let Some((block, origin)) = self.cores[core].burst_queue.pop_front() else {
+                let Some((block, origin, spec)) = self.cores[core].burst_queue.pop_front() else {
                     break;
                 };
                 if self.fault.drop_burst_block() {
@@ -1730,7 +1969,11 @@ impl MemorySystem {
                     core: core as u8,
                     kind: ObsEventKind::BurstIssued { block },
                 });
-                let _ = self.store_prefetch(core, block * 64, 0, now, origin);
+                if spec {
+                    let _ = self.store_prefetch_spec(core, block * 64, 0, now, origin);
+                } else {
+                    let _ = self.store_prefetch(core, block * 64, 0, now, origin);
+                }
             }
         }
         if self.obs.enabled() && now >= self.next_obs_at {
@@ -1856,6 +2099,70 @@ mod tests {
         }
         assert_eq!(m.burst_queue_len(0), 0);
         assert_eq!(m.stats().prefetch_requests[RfoOrigin::SpbBurst.index()], 10);
+    }
+
+    #[test]
+    fn spec_prefetch_tags_block_and_squash_attributes_waste() {
+        let mut m = single_core();
+        let resp = m.store_prefetch_spec(0, 0x80000, 0xDEAD, 0, RfoOrigin::AtExecute);
+        assert_eq!(resp, RfoResponse::Issued);
+        assert_eq!(m.stats().spec_rfos_issued, 1);
+        assert_eq!(m.spec_tagged_blocks(), 1);
+        // Cold block: the RFO went to DRAM, and no store ever performs.
+        m.attribute_squash(0, 100);
+        assert_eq!(m.stats().spec_wasted_rfos, 1);
+        assert_eq!(m.stats().spec_leaked_m_blocks, 1);
+        assert_eq!(m.stats().spec_wasted_dram, 1);
+        assert_eq!(m.stats().spec_squashes, 1);
+        assert_eq!(m.spec_tagged_blocks(), 0);
+    }
+
+    #[test]
+    fn architectural_store_untags_speculative_block() {
+        let mut m = single_core();
+        let _ = m.store_prefetch_spec(0, 0x90000, 0xDEAD, 0, RfoOrigin::AtExecute);
+        // The speculation turns out right: a committed store performs to
+        // the block before any squash reaches the controller.
+        let o = m.store_drain(0, 0x90000, 1000);
+        assert_eq!(o, StoreDrainOutcome::Performed { l1_hit: true });
+        assert_eq!(m.spec_tagged_blocks(), 0);
+        m.attribute_squash(0, 1001);
+        assert_eq!(m.stats().spec_wasted_rfos, 0);
+        assert_eq!(m.stats().spec_leaked_m_blocks, 0);
+        assert_eq!(m.stats().spec_squashes, 1);
+    }
+
+    #[test]
+    fn squash_drops_queued_speculative_burst_entries() {
+        let mut m = single_core();
+        m.enqueue_burst(0, [0x1000, 0x1001], 0);
+        m.enqueue_burst_spec(0, [0x2000, 0x2001, 0x2002], 0);
+        assert_eq!(m.burst_queue_len(0), 5);
+        m.attribute_squash(0, 0);
+        assert_eq!(m.stats().spec_dropped, 3);
+        assert_eq!(m.burst_queue_len(0), 2, "committed-path entries survive");
+    }
+
+    #[test]
+    fn spec_checks_pass_on_healthy_speculation() {
+        let mut m = single_core();
+        let _ = m.store_prefetch_spec(0, 0xa0000, 0xDEAD, 0, RfoOrigin::AtExecute);
+        m.check_invariants(1000).unwrap();
+        m.check_invariants_thorough(1000).unwrap();
+    }
+
+    #[test]
+    fn forget_untag_mutation_trips_speculative_leak_check() {
+        let mut m = single_core();
+        let _ = m.store_prefetch_spec(0, 0xb0000, 0xDEAD, 0, RfoOrigin::AtExecute);
+        // Let the fill complete so the line is stable, then corrupt.
+        let block = m.seed_forget_untag_mutation(1000).expect("tagged line");
+        assert_eq!(block, 0xb0000 / 64);
+        let err = m.check_invariants(1000).unwrap_err();
+        assert_eq!(err.kind, InvariantKind::SpeculativeLeak);
+        assert_eq!(err.block, Some(block));
+        let err = m.check_invariants_thorough(1000).unwrap_err();
+        assert_eq!(err.kind, InvariantKind::SpeculativeLeak);
     }
 
     #[test]

@@ -164,6 +164,15 @@ pub enum EventKind {
         /// Channels still busy at the sample point.
         busy: u32,
     },
+    /// A pipeline squash resolved and the memory system attributed the
+    /// wrong-path speculation it left behind: blocks still tagged as
+    /// speculatively owned were charged as waste.
+    SquashAttributed {
+        /// Blocks whose M-state transition was never architecturally used.
+        blocks: u32,
+        /// Wrong-path RFOs attributed to those blocks.
+        rfos: u32,
+    },
 }
 
 impl EventKind {
@@ -180,6 +189,7 @@ impl EventKind {
             EventKind::MshrAlloc { .. } => "mshr-alloc",
             EventKind::MshrOccupancy { .. } => "mshr-occupancy",
             EventKind::DramQueue { .. } => "dram-queue",
+            EventKind::SquashAttributed { .. } => "squash",
         }
     }
 }

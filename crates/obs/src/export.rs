@@ -151,6 +151,18 @@ fn trace_event(ev: &Event) -> Json {
             "busy-channels",
             u64::from(busy),
         ),
+        EventKind::SquashAttributed { blocks, rfos } => {
+            let mut p = base("squash", "i", "squash", ev);
+            p.push(("s".to_string(), Json::str("t")));
+            push_args(
+                &mut p,
+                vec![
+                    ("leaked-blocks", Json::from(u64::from(blocks))),
+                    ("wasted-rfos", Json::from(u64::from(rfos))),
+                ],
+            );
+            Json::Obj(p)
+        }
     }
 }
 

@@ -8,6 +8,7 @@
 //! request and response sides of the protocol share one schema family.
 
 use spb_sim::config::{PolicyKind, SimConfig};
+use spb_trace::SquashConfig;
 use spb_stats::json::Json;
 use spb_trace::profile::AppProfile;
 
@@ -115,6 +116,10 @@ pub struct JobSpec {
     pub measure_uops: Option<u64>,
     /// Override the workload seed.
     pub seed: Option<u64>,
+    /// Wrong-path squash model for every cell, as a
+    /// [`SquashConfig`] label (absent = model off). Kept as the wire
+    /// spelling so old clients and old cache entries are untouched.
+    pub squash: Option<String>,
     /// The cells to simulate, in report order.
     pub cells: Vec<CellSpec>,
 }
@@ -132,6 +137,7 @@ impl JobSpec {
             warmup_uops: None,
             measure_uops: None,
             seed: None,
+            squash: None,
             cells,
         }
     }
@@ -187,6 +193,9 @@ impl JobSpec {
         if let Some(s) = self.seed {
             pairs.push(("seed", Json::from(s)));
         }
+        if let Some(sq) = &self.squash {
+            pairs.push(("squash", Json::str(sq)));
+        }
         pairs.push(("cells", Json::arr(self.cells.iter().map(CellSpec::to_json))));
         Json::obj(pairs)
     }
@@ -231,6 +240,16 @@ impl JobSpec {
         let warmup_uops = opt_u64("warmup_uops")?;
         let measure_uops = opt_u64("measure_uops")?;
         let seed = opt_u64("seed")?;
+        let squash = match v.get("squash") {
+            None => None,
+            Some(sq) => {
+                let spec = sq.as_str().ok_or("job: squash must be a string")?;
+                // Validate at the door so a bad spec is rejected at
+                // submission, not when the cell runs.
+                SquashConfig::parse(spec).map_err(|e| format!("job: squash: {e}"))?;
+                Some(spec.to_string())
+            }
+        };
         let cells = v
             .get("cells")
             .and_then(Json::as_arr)
@@ -251,6 +270,7 @@ impl JobSpec {
             warmup_uops,
             measure_uops,
             seed,
+            squash,
             cells,
         })
     }
@@ -268,6 +288,9 @@ impl JobSpec {
         }
         if let Some(s) = self.seed {
             base.seed = s;
+        }
+        if let Some(sq) = &self.squash {
+            base.squash = SquashConfig::parse(sq).map_err(|e| format!("squash: {e}"))?;
         }
         let mut profiles: Vec<AppProfile> = Vec::new();
         let mut resolved = Vec::with_capacity(self.cells.len());
@@ -305,6 +328,7 @@ mod tests {
             warmup_uops: Some(2_000),
             measure_uops: Some(10_000),
             seed: Some(43),
+            squash: Some("rate=0.05,depth=8..32,storm=4,seed=7".into()),
             cells: vec![CellSpec {
                 app: "x264".into(),
                 policy: "spb".into(),
@@ -377,6 +401,53 @@ mod tests {
         );
         let err = bad.resolve().unwrap_err();
         assert!(err.contains("n=1..1024"), "{err}");
+    }
+
+    #[test]
+    fn squash_specs_survive_the_wire_and_split_cache_keys() {
+        let cell = || CellSpec {
+            app: "x264".into(),
+            policy: "at-execute".into(),
+            sb: 14,
+        };
+        let with_squash = |spec: &str| {
+            let mut job = JobSpec::new("sq", Budget::Quick, vec![cell()]);
+            job.squash = Some(spec.into());
+            job
+        };
+
+        // The spec round-trips through the wire…
+        let job = with_squash("rate=0.1,depth=8..32,storm=2,seed=5");
+        let back = JobSpec::from_json(&Json::parse(&job.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, job);
+        // …and resolves into every cell's SimConfig.
+        let (_, resolved) = back.resolve().unwrap();
+        assert!(resolved[0].1.squash.enabled());
+        assert_eq!(
+            resolved[0].1.squash,
+            SquashConfig::parse("rate=0.1,depth=8..32,storm=2,seed=5").unwrap()
+        );
+
+        // Two jobs differing only in the squash *seed* must hash to
+        // different cache keys, and a squash job must never collide
+        // with the squash-less cell it wraps.
+        let key = |job: &JobSpec| {
+            let (_, resolved) = job.resolve().unwrap();
+            crate::cache::CacheKey::for_cell("x264", &resolved[0].1)
+        };
+        let k1 = key(&with_squash("rate=0.1,depth=8..32,seed=1"));
+        let k2 = key(&with_squash("rate=0.1,depth=8..32,seed=2"));
+        let plain = key(&JobSpec::new("p", Budget::Quick, vec![cell()]));
+        assert_ne!(k1, k2, "squash seed must split the cache key");
+        assert_ne!(k1, plain, "squash cells must not reuse plain results");
+
+        // A rate-0 spec disables the model and keeps the plain key, so
+        // old cache entries stay valid.
+        assert_eq!(key(&with_squash("rate=0,seed=9")), plain);
+
+        // A malformed spec is rejected at submission time.
+        let text = with_squash("rate=2").to_json().to_string();
+        assert!(JobSpec::from_json(&Json::parse(&text).unwrap()).is_err());
     }
 
     #[test]

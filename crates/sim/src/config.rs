@@ -6,6 +6,7 @@ use spb_core::policy::{ExtendedSpbPolicy, FeedbackSpbPolicy, SpbDynamicPolicy, S
 use spb_cpu::policy::{AtCommitPolicy, AtExecutePolicy, NoPolicy};
 use spb_cpu::{CoreConfig, StorePrefetchPolicy};
 use spb_mem::MemoryConfig;
+use spb_trace::SquashConfig;
 use std::fmt;
 
 /// The SB entry count used for the "ideal" configuration (the paper
@@ -258,7 +259,7 @@ fn parse_window_only(head: &str, args: Option<&str>) -> Result<u32, String> {
 }
 
 /// Everything one run needs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SimConfig {
     /// Core microarchitecture (Table I / II).
     pub core: CoreConfig,
@@ -280,6 +281,34 @@ pub struct SimConfig {
     pub watchdog_cycles: u64,
     /// Which execution kernel to use (bit-identical results either way).
     pub kernel: KernelMode,
+    /// Wrong-path squash model ([`SquashConfig::none`] = off: no
+    /// injector is constructed and the run is bit-identical to a build
+    /// without the speculation model).
+    pub squash: SquashConfig,
+}
+
+/// Like [`PolicyKind`], the `Debug` rendering is part of the
+/// content-addressed cache-key format. A disabled squash model renders
+/// exactly like the pre-squash derive (the field is omitted), so every
+/// existing cache entry and golden record stays valid; an enabled model
+/// appends the squash field, so two configs differing only in squash
+/// parameters — including the seed alone — hash to distinct keys.
+impl fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("SimConfig");
+        d.field("core", &self.core)
+            .field("mem", &self.mem)
+            .field("policy", &self.policy)
+            .field("warmup_uops", &self.warmup_uops)
+            .field("measure_uops", &self.measure_uops)
+            .field("seed", &self.seed)
+            .field("watchdog_cycles", &self.watchdog_cycles)
+            .field("kernel", &self.kernel);
+        if self.squash.enabled() {
+            d.field("squash", &self.squash);
+        }
+        d.finish()
+    }
 }
 
 impl SimConfig {
@@ -295,6 +324,7 @@ impl SimConfig {
             seed: 42,
             watchdog_cycles: 2_000_000,
             kernel: KernelMode::Wheel,
+            squash: SquashConfig::none(),
         }
     }
 
@@ -328,6 +358,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Returns a copy with a different wrong-path squash model.
+    #[must_use]
+    pub fn with_squash(mut self, squash: SquashConfig) -> Self {
+        self.squash = squash;
         self
     }
 
@@ -466,6 +503,36 @@ mod tests {
         assert!(e.contains("takes no parameters"), "{e}");
         let e = PolicyKind::parse("magic").unwrap_err();
         assert!(e.contains("spb-feedback"), "unknown-policy error lists every form: {e}");
+    }
+
+    /// The squash field participates in the cache-key `Debug`
+    /// rendering only when enabled: disabled configs render exactly as
+    /// before the speculation model existed (old cache entries stay
+    /// valid), and two configs differing only in squash parameters —
+    /// even just the seed — render differently.
+    #[test]
+    fn squash_debug_rendering_is_cache_stable() {
+        use spb_trace::SquashConfig;
+        let off = SimConfig::quick();
+        let rendered = format!("{off:?}");
+        assert!(
+            !rendered.contains("squash"),
+            "disabled squash must not leak into the cache key: {rendered}"
+        );
+        // rate=0 is also "disabled" regardless of the other knobs.
+        let zero = off
+            .clone()
+            .with_squash(SquashConfig::parse("rate=0,depth=8..32").unwrap());
+        assert_eq!(format!("{zero:?}"), rendered);
+        let a = off
+            .clone()
+            .with_squash(SquashConfig::parse("rate=0.05,seed=1").unwrap());
+        let b = off
+            .clone()
+            .with_squash(SquashConfig::parse("rate=0.05,seed=2").unwrap());
+        assert!(format!("{a:?}").contains("squash"));
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+        assert_ne!(format!("{a:?}"), rendered);
     }
 
     #[test]

@@ -113,6 +113,27 @@ pub fn render(r: &RunResult) -> String {
         );
     }
 
+    if m.spec_squashes > 0 || m.spec_rfos_issued > 0 {
+        let _ = writeln!(out, "\n-- Wrong-path speculation (squash model) --");
+        let _ = writeln!(
+            out,
+            "  episodes {} | spec RFOs issued {} | wasted {} | dropped before issue {}",
+            m.spec_squashes, m.spec_rfos_issued, m.spec_wasted_rfos, m.spec_dropped
+        );
+        let _ = writeln!(
+            out,
+            "  leaked M-state blocks {} | wasted coherence msgs {} | wasted DRAM fills {} (~{:.1} nJ)",
+            m.spec_leaked_m_blocks,
+            m.spec_wasted_coh_msgs,
+            m.spec_wasted_dram,
+            spb_energy::EnergyModel::default().speculative_waste_nj(
+                m.spec_wasted_rfos,
+                m.spec_wasted_coh_msgs,
+                m.spec_wasted_dram,
+            )
+        );
+    }
+
     if r.sb_residency.count() > 0 {
         let _ = writeln!(out, "\n-- SB residency (commit → drain, cycles) --");
         let _ = writeln!(
@@ -155,6 +176,8 @@ mod tests {
             .policy(PolicyKind::spb_default())
             .run_or_panic();
         let text = render(&r);
+        // No squash model configured: the speculation section stays silent.
+        assert!(!text.contains("squash model"));
         for section in [
             "host wall",
             "Top-Down",
@@ -180,5 +203,21 @@ mod tests {
         // povray has no store-prefetch traffic and no invalidations.
         assert!(!text.contains("invalidations"));
         assert!(!text.contains("at-execute"));
+    }
+
+    #[test]
+    fn report_shows_speculative_waste_under_squash() {
+        let app = AppProfile::by_name("x264").unwrap();
+        let cfg = SimConfig::quick()
+            .with_sb(14)
+            .with_policy(PolicyKind::AtExecute)
+            .with_squash(
+                spb_trace::SquashConfig::parse("rate=0.1,depth=8..32,storm=4,seed=11").unwrap(),
+            );
+        let r = Simulation::with_config(&app, &cfg).run_or_panic();
+        let text = render(&r);
+        for needle in ["squash model", "leaked M-state blocks", "wasted"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 }

@@ -43,6 +43,13 @@ pub struct CoreWindow {
     pub loads: u64,
     /// Branches committed during the measured window.
     pub branches: u64,
+    /// Wrong-path squash episodes resolved during warm-up. Together
+    /// with `squashes` this tells the `spb-verify` leak oracle exactly
+    /// which [`spb_trace::squash::EpisodePlan`] episodes fall inside
+    /// the measured window.
+    pub warmup_squashes: u64,
+    /// Wrong-path squash episodes resolved during the measured window.
+    pub squashes: u64,
 }
 
 impl CoreWindow {
@@ -463,6 +470,8 @@ pub(crate) fn merge_cpu_stats(into: &mut CpuStats, from: &CpuStats) {
     into.mispredicts += from.mispredicts;
     into.wrong_path_uops += from.wrong_path_uops;
     into.wrong_path_l1_accesses += from.wrong_path_l1_accesses;
+    into.wrong_path_stores_injected += from.wrong_path_stores_injected;
+    into.squash_episodes += from.squash_episodes;
     into.store_forwards += from.store_forwards;
     into.coalesced_stores += from.coalesced_stores;
     for i in 0..into.sb_stall_by_region.len() {
@@ -642,6 +651,79 @@ mod tests {
         assert_eq!(tick.cpu, wheel.cpu);
         assert_eq!(tick.mem, wheel.mem);
         assert_eq!(tick.per_core, wheel.per_core);
+    }
+
+    /// A squash model at rate 0 must be indistinguishable — bit for
+    /// bit, on every counter — from a config that never mentions the
+    /// squash model at all. This is the executable spec that makes the
+    /// speculation model a pure extension.
+    #[test]
+    fn squash_rate_zero_is_bit_identical_to_no_squash_model() {
+        use spb_trace::SquashConfig;
+        let app = AppProfile::by_name("x264").unwrap();
+        let base = SimConfig::quick().with_sb(14).with_policy(PolicyKind::spb_default());
+        let zero = base
+            .clone()
+            .with_squash(SquashConfig::parse("rate=0,depth=8..32,storm=4,seed=9").unwrap());
+        let a = Simulation::with_config(&app, &base).run_or_panic();
+        let b = Simulation::with_config(&app, &zero).run_or_panic();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.uops, b.uops);
+        assert_eq!(a.topdown, b.topdown);
+        assert_eq!(a.cpu, b.cpu);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.per_core, b.per_core);
+        assert_eq!(a.sb_residency, b.sb_residency);
+        assert_eq!(a.burst_lengths, b.burst_lengths);
+        assert_eq!(a.cpu.squash_episodes, 0);
+    }
+
+    /// All three kernels must agree bit for bit with squash storms on —
+    /// wrong-path injection, spec-tagged RFOs and squash attribution
+    /// are all cycle-exact state machines, not approximations.
+    #[test]
+    fn kernels_match_bit_for_bit_with_squash_storms() {
+        use crate::config::KernelMode;
+        use spb_trace::SquashConfig;
+        let app = AppProfile::by_name("x264").unwrap();
+        let squash = SquashConfig::parse("rate=0.1,depth=8..32,storm=2,seed=5").unwrap();
+        let cfg = SimConfig::quick()
+            .with_sb(14)
+            .with_policy(PolicyKind::AtExecute)
+            .with_squash(squash);
+        let tick = Simulation::with_config(&app, &cfg.clone().with_kernel(KernelMode::Tick))
+            .run_or_panic();
+        assert!(tick.cpu.squash_episodes > 0, "storms actually fired");
+        for kernel in [KernelMode::Event, KernelMode::Wheel] {
+            let fast =
+                Simulation::with_config(&app, &cfg.clone().with_kernel(kernel)).run_or_panic();
+            let label = kernel.label();
+            assert_eq!(tick.cycles, fast.cycles, "{label}");
+            assert_eq!(tick.uops, fast.uops, "{label}");
+            assert_eq!(tick.cpu, fast.cpu, "{label}");
+            assert_eq!(tick.mem, fast.mem, "{label}");
+            assert_eq!(tick.per_core, fast.per_core, "{label}");
+        }
+    }
+
+    /// Squash episodes land in the per-core replay recipe and the
+    /// wasted-traffic counters line up across layers.
+    #[test]
+    fn squash_runs_report_episodes_and_wasted_traffic() {
+        use spb_trace::SquashConfig;
+        let app = AppProfile::by_name("x264").unwrap();
+        let cfg = SimConfig::quick()
+            .with_sb(14)
+            .with_policy(PolicyKind::AtExecute)
+            .with_squash(SquashConfig::parse("rate=0.1,depth=8..32,storm=2,seed=5").unwrap());
+        let r = Simulation::with_config(&app, &cfg).run_or_panic();
+        let per_core_sq: u64 = r.per_core.iter().map(|w| w.squashes).sum();
+        assert_eq!(per_core_sq, r.cpu.squash_episodes);
+        assert_eq!(r.mem.spec_squashes, r.cpu.squash_episodes);
+        assert!(r.cpu.wrong_path_stores_injected > 0);
+        assert!(r.mem.spec_wasted_rfos > 0, "at-execute wastes RFOs under storms");
+        let squash = r.metrics.get("squash").expect("squash metrics registered");
+        assert_eq!(squash.get_counter("wasted_rfos"), Some(r.mem.spec_wasted_rfos));
     }
 
     /// The watchdog must fire at the same cycle under every kernel —

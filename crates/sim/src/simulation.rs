@@ -145,7 +145,15 @@ impl Simulation {
             .into_iter()
             .enumerate()
             .map(|(i, t)| {
-                let mut core = Core::new(i, core_cfg, Box::new(t), cfg.policy.build());
+                // When the squash model is off no injector exists at
+                // all: the trace object is the same one a build without
+                // the speculation model would hand the core.
+                let trace: Box<dyn spb_trace::TraceSource + Send> = if cfg.squash.enabled() {
+                    Box::new(spb_trace::SquashInjector::new(t, cfg.squash, i))
+                } else {
+                    Box::new(t)
+                };
+                let mut core = Core::new(i, core_cfg, trace, cfg.policy.build());
                 core.set_observer(self.observer.clone());
                 core
             })
@@ -179,6 +187,7 @@ impl Simulation {
         // Trace position at the measure boundary: commit is in order, so
         // each core has consumed exactly this many trace entries.
         let warmup_committed: Vec<u64> = cores.iter().map(|c| c.committed_uops()).collect();
+        let warmup_squashes: Vec<u64> = cores.iter().map(|c| c.stats().squash_episodes).collect();
         for core in &mut cores {
             core.reset_stats();
         }
@@ -217,7 +226,8 @@ impl Simulation {
         let mut uops = 0;
         let mut sb_residency = Histogram::new("sb_residency_cycles", 16, 64);
         let mut per_core = Vec::with_capacity(cores.len());
-        for (core, &warmup) in cores.iter().zip(&warmup_committed) {
+        for ((core, &warmup), &warm_sq) in cores.iter().zip(&warmup_committed).zip(&warmup_squashes)
+        {
             topdown.merge(core.topdown());
             merge_cpu_stats(&mut cpu, core.stats());
             sb_residency.merge(core.sb_residency());
@@ -228,6 +238,8 @@ impl Simulation {
                 stores: core.stats().committed_stores,
                 loads: core.stats().committed_loads,
                 branches: core.stats().committed_branches,
+                warmup_squashes: warm_sq,
+                squashes: core.stats().squash_episodes,
             });
         }
 
@@ -314,6 +326,19 @@ fn build_metrics(
         .counter("dram_accesses", r.mem.dram_accesses);
     reg.component("sb").histogram(&r.sb_residency);
     reg.component("spb").histogram(&r.burst_lengths);
+    // Registered only when the squash model actually fired, so runs
+    // without it serialize the exact metric set they always had.
+    if r.cpu.squash_episodes > 0 {
+        reg.component("squash")
+            .counter("episodes", r.cpu.squash_episodes)
+            .counter("wrong_path_stores", r.cpu.wrong_path_stores_injected)
+            .counter("spec_rfos_issued", r.mem.spec_rfos_issued)
+            .counter("wasted_rfos", r.mem.spec_wasted_rfos)
+            .counter("wasted_coh_msgs", r.mem.spec_wasted_coh_msgs)
+            .counter("leaked_m_blocks", r.mem.spec_leaked_m_blocks)
+            .counter("wasted_dram", r.mem.spec_wasted_dram)
+            .counter("dropped_burst_entries", r.mem.spec_dropped);
+    }
     reg
 }
 

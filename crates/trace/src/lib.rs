@@ -45,10 +45,12 @@ pub mod phased;
 pub mod profile;
 pub mod region;
 pub mod rng;
+pub mod squash;
 
 pub use op::{MicroOp, OpKind};
 pub use phased::PhasedWorkload;
 pub use region::CodeRegion;
+pub use squash::{SquashConfig, SquashInjector};
 
 /// A source of µops to feed a simulated core.
 ///

@@ -96,6 +96,7 @@ pub struct MicroOp {
     kind: OpKind,
     pc: u64,
     deps: [u16; 2],
+    wrong_path: bool,
 }
 
 impl MicroOp {
@@ -105,7 +106,25 @@ impl MicroOp {
             kind,
             pc,
             deps: [0, 0],
+            wrong_path: false,
         }
+    }
+
+    /// Marks this µop as wrong-path: fetched down a mispredicted branch,
+    /// executed speculatively, and squashed before commit. Wrong-path
+    /// µops never enter the ROB or the store buffer and never count as
+    /// committed work; they exist so speculation-side effects (the RFOs
+    /// an at-execute or SPB-style policy issues for them) can be modeled
+    /// and attributed.
+    #[must_use]
+    pub fn with_wrong_path(mut self) -> Self {
+        self.wrong_path = true;
+        self
+    }
+
+    /// Whether this µop is on the wrong path (see [`Self::with_wrong_path`]).
+    pub fn is_wrong_path(&self) -> bool {
+        self.wrong_path
     }
 
     /// Adds a backward dependency distance, filling the first free slot.

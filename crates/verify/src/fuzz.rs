@@ -64,6 +64,13 @@ pub struct FuzzConfig {
     /// this step, if set. Kept as an absolute step (not a fraction of
     /// `steps`) so that shrinking the schedule replays the same prefix.
     pub mutate_at: Option<u32>,
+    /// Mix wrong-path speculation into the schedule: spec-tagged RFO
+    /// runs, speculative page bursts, and squash resolutions that can
+    /// land mid-drain or mid-burst.
+    pub squash: bool,
+    /// Arm the test-only "forgot to untag a speculative line" mutation
+    /// at this step, if set (needs `squash` to have tagged something).
+    pub spec_mutate_at: Option<u32>,
 }
 
 impl Default for FuzzConfig {
@@ -74,6 +81,8 @@ impl Default for FuzzConfig {
             cores: 4,
             fault_rate_e4: 0,
             mutate_at: None,
+            squash: false,
+            spec_mutate_at: None,
         }
     }
 }
@@ -90,6 +99,12 @@ impl FuzzConfig {
         }
         if let Some(at) = self.mutate_at {
             s.push_str(&format!(" --mutate-at {at}"));
+        }
+        if self.squash {
+            s.push_str(" --squash");
+        }
+        if let Some(at) = self.spec_mutate_at {
+            s.push_str(&format!(" --spec-mutate-at {at}"));
         }
         s
     }
@@ -112,6 +127,10 @@ pub struct FuzzStats {
     pub cycles: u64,
     /// Timing-wheel wakeups fired (possibly with late skew).
     pub wakeups: u64,
+    /// Wrong-path (spec-tagged) RFO prefetches issued.
+    pub spec_prefetches: u64,
+    /// Squash resolutions attributed.
+    pub squashes: u64,
 }
 
 impl FuzzStats {
@@ -124,6 +143,8 @@ impl FuzzStats {
         self.bursts += other.bursts;
         self.cycles += other.cycles;
         self.wakeups += other.wakeups;
+        self.spec_prefetches += other.spec_prefetches;
+        self.squashes += other.squashes;
     }
 }
 
@@ -222,6 +243,7 @@ pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
     let mut stats = FuzzStats::default();
     let mut now = 0u64;
     let mut mutation_armed = false;
+    let mut spec_mutation_armed = false;
     let mut wheel = TimingWheel::new(2, now);
     mem.tick(now);
 
@@ -230,6 +252,11 @@ pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
         // line exists (early on, every line is still in flight).
         if !mutation_armed && config.mutate_at.is_some_and(|at| step >= at) {
             mutation_armed = mem.seed_lost_owner_mutation(now).is_some();
+        }
+        // Likewise for the forgot-to-untag mutation: it needs a
+        // resident speculatively tagged line to corrupt.
+        if !spec_mutation_armed && config.spec_mutate_at.is_some_and(|at| step >= at) {
+            spec_mutation_armed = mem.seed_forget_untag_mutation(now).is_some();
         }
         let fail = |violation: String| {
             Box::new(FuzzFailure {
@@ -241,7 +268,15 @@ pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
         };
         let core = rng.below(config.cores as u64) as usize;
         let addr = pick_block(&mut rng, core) * 64 + (rng.below(8) * 8);
-        match rng.below(100) {
+        // With squash steps enabled the roll space widens; the first
+        // 100 outcomes keep their weights, so the baseline actions
+        // still dominate the schedule.
+        let roll = if config.squash {
+            rng.below(118)
+        } else {
+            rng.below(100)
+        };
+        match roll {
             0..=34 => {
                 mem.load(core, addr, now);
                 stats.loads += 1;
@@ -274,7 +309,7 @@ pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
             89..=90 => {
                 wheel.cancel(rng.below(2) as usize);
             }
-            _ => {
+            91..=99 => {
                 if let Some(w) = wheel.next_wake() {
                     // Fire the due wakeup — sometimes LATE by a small
                     // skew. Tardiness breaks bit-identity with the
@@ -300,6 +335,32 @@ pub fn run_one(config: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
                         stats.cycles += 1;
                     }
                 }
+            }
+            100..=109 => {
+                // A wrong-path store run: spec-tagged RFOs the squash
+                // will later attribute (or an architectural drain will
+                // untag first — both must stay coherent).
+                let base = pick_block(&mut rng, core);
+                let len = 1 + rng.below(6);
+                for i in 0..len {
+                    let origin = RfoOrigin::ALL[rng.below(3) as usize];
+                    let _ = mem.store_prefetch_spec(core, (base + i) * 64, 0xDEAD_0000, now, origin);
+                }
+                stats.spec_prefetches += len;
+            }
+            110..=113 => {
+                // A speculative page burst; a later squash can land
+                // while part of it is still queued (mid-burst drop).
+                let base = pick_block(&mut rng, core);
+                let len = 1 + rng.below(8);
+                mem.enqueue_burst_spec(core, base..base + len, now);
+                stats.bursts += 1;
+            }
+            _ => {
+                // The squash resolves on `core`: drop its queued
+                // speculative burst entries and charge its tags.
+                mem.attribute_squash(core, now);
+                stats.squashes += 1;
             }
         }
         stats.steps += 1;
@@ -447,6 +508,64 @@ mod tests {
             ..FuzzConfig::default()
         };
         run_seeds(&base, 4).expect("faults must not break coherence");
+    }
+
+    #[test]
+    fn squash_steps_stay_coherent_across_256_seeds() {
+        // The headline soak for the speculation model: wrong-path RFO
+        // runs, speculative bursts and mid-anything squashes across 256
+        // seeds, with the invariant checker after every step and the
+        // wheel's next_wake audit live the whole time.
+        let base = FuzzConfig {
+            seed: 20_000,
+            steps: 160,
+            squash: true,
+            ..FuzzConfig::default()
+        };
+        let stats = run_seeds(&base, 256).expect("squash steps must not break coherence");
+        assert!(stats.spec_prefetches > 0, "spec runs actually fired: {stats:?}");
+        assert!(stats.squashes > 0, "squashes actually resolved: {stats:?}");
+        assert!(stats.wakeups > 0, "wheel audit was exercised: {stats:?}");
+    }
+
+    #[test]
+    fn squash_steps_survive_fault_injection() {
+        let base = FuzzConfig {
+            seed: 31_000,
+            steps: 384,
+            squash: true,
+            fault_rate_e4: 250,
+            ..FuzzConfig::default()
+        };
+        run_seeds(&base, 4).expect("faults plus speculation must stay coherent");
+    }
+
+    #[test]
+    fn the_forget_untag_mutation_is_caught_and_replayable() {
+        // Negative control: a controller that performs a store on a
+        // speculatively tagged line but forgets to untag it must trip
+        // InvariantKind::SpeculativeLeak, and the failure must carry a
+        // replayable repro line.
+        let cfg = FuzzConfig {
+            seed: 11,
+            steps: 1_024,
+            squash: true,
+            spec_mutate_at: Some(64),
+            ..FuzzConfig::default()
+        };
+        let failure = run_one(&cfg).expect_err("a forgotten untag must trip the checker");
+        assert!(
+            failure.violation.contains("speculative-leak"),
+            "wrong violation: {}",
+            failure.violation
+        );
+        assert!(failure.config.repro().contains("--squash"));
+        assert!(failure.config.repro().contains("--spec-mutate-at 64"));
+        // Deterministic replay of the exact failing schedule.
+        let replay = run_one(&cfg).expect_err("replay fails identically");
+        assert_eq!(replay.step, failure.step);
+        let minimized = minimize(&failure);
+        assert!(minimized.minimized_steps.expect("minimization ran") <= failure.step + 1);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!    optionally under a bounded fault plan — running the coherence
 //!    invariant checker after every step. Failing seeds are minimized
 //!    and replayable via `spbsim verify fuzz --seed N`.
+//! 4. **A speculative-leak oracle** ([`leak`]): a squash-aware flat
+//!    model replays the wrong-path episode plan and pins the exact
+//!    wasted-RFO / leaked-M-state accounting of per-store speculation,
+//!    plus a page-span leak bound for the SPB burst policies.
 //!
 //! The key contract the oracles rest on (pinned by a unit test in
 //! `spb-cpu`): commit is in order and wrong-path µops are synthesized,
@@ -35,8 +39,10 @@
 
 pub mod differential;
 pub mod fuzz;
+pub mod leak;
 pub mod oracle;
 
 pub use differential::{check_app, DiffFailure, DiffOutcome};
 pub use fuzz::{minimize, run_one, run_seeds, FuzzConfig, FuzzFailure, FuzzStats};
+pub use leak::{check_run, predict_leak, LeakFailure, LeakPrediction, LeakReport};
 pub use oracle::{predict, CorePrediction, KindCounts, OraclePrediction};
